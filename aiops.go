@@ -1,0 +1,277 @@
+// Package aiops is the public face of this repository: a faithful,
+// fully-simulated implementation of the OCE-helper framework from "A
+// Holistic View of AI-driven Network Incident Management" (HotNets '23),
+// together with everything needed to reproduce the paper's arguments —
+// a cloud network simulator, telemetry, an incident scenario library
+// (including the Casc-1 and AWS Direct Connect Tokyo reconstructions), a
+// simulated LLM, one-shot and human baselines, and the §3 evaluation
+// machinery (A/B tests, historical replay, cost accounting).
+//
+// Quickstart:
+//
+//	sys := aiops.New(aiops.WithSeed(7))
+//	in, _ := sys.Spawn("cascade-5", 7)
+//	res := sys.Assist(in, 7)
+//	fmt.Println(res.Mitigated, res.TTM)
+//
+// The System type bundles a knowledge base, an incident history and the
+// helper configuration; the Spawn/Assist/OneShot/Unassisted methods run
+// the three predictor designs over freshly generated incidents, and
+// ABTest/Replay run the paper's evaluation protocols.
+package aiops
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/eval"
+	"repro/internal/harness"
+	"repro/internal/incident"
+	"repro/internal/kb"
+	"repro/internal/llm"
+	"repro/internal/mitigation"
+	"repro/internal/netsim"
+	"repro/internal/ops"
+	"repro/internal/replayer"
+	"repro/internal/scenarios"
+)
+
+// Re-exported core types, so downstream users rarely need the internal
+// import paths.
+type (
+	// Result is the uniform per-incident outcome.
+	Result = harness.Result
+	// Instance is a generated incident: live world plus report.
+	Instance = scenarios.Instance
+	// Scenario generates one incident class.
+	Scenario = scenarios.Scenario
+	// Incident is the report handed to responders.
+	Incident = incident.Incident
+	// Action is one mitigation step.
+	Action = mitigation.Action
+	// Plan is an ordered mitigation proposal.
+	Plan = mitigation.Plan
+	// HelperConfig tunes the iterative helper (beam, risk budget,
+	// pre-approval, in-context rules...).
+	HelperConfig = core.Config
+	// ABResult is a randomized-trial outcome.
+	ABResult = eval.ABResult
+	// ReplayReport aggregates a historical replay run.
+	ReplayReport = replayer.Report
+	// World is the live simulated network.
+	World = netsim.World
+	// KnowledgeBase is the versioned operator knowledge store.
+	KnowledgeBase = kb.KB
+	// InContextRule carries a knowledge update inside prompts.
+	InContextRule = llm.InContextRule
+)
+
+// System bundles a deployment's knowledge, incident history and helper
+// configuration.
+type System struct {
+	kbase         *kb.KB
+	history       *kb.History
+	cfg           core.Config
+	expertise     float64
+	hallucination float64
+	window        int
+	generic       bool // use the generic embedder instead of the domain one
+	seed          int64
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithSeed sets the base seed used by GenerateHistory and convenience
+// methods.
+func WithSeed(seed int64) Option { return func(s *System) { s.seed = seed } }
+
+// WithHelperConfig overrides the helper configuration.
+func WithHelperConfig(cfg core.Config) Option { return func(s *System) { s.cfg = cfg } }
+
+// WithStaleKnowledge pins the knowledge base to version 1 — the "stale
+// iterative helper" of the paper's Fig. 3: it predates the fastpath
+// protocol rollout.
+func WithStaleKnowledge() Option {
+	return func(s *System) { s.kbase = kb.Default() }
+}
+
+// WithExpertise sets the in-the-loop OCE expertise (default 0.9).
+func WithExpertise(e float64) Option { return func(s *System) { s.expertise = e } }
+
+// WithHallucination sets the simulated model's hallucination rate.
+func WithHallucination(rate float64) Option { return func(s *System) { s.hallucination = rate } }
+
+// WithContextWindow overrides the model's context window in tokens.
+func WithContextWindow(tokens int) Option { return func(s *System) { s.window = tokens } }
+
+// WithGenericEmbeddings makes retrieval use the generic (non-network)
+// embedder — the §4.4 contrast.
+func WithGenericEmbeddings() Option { return func(s *System) { s.generic = true } }
+
+// New builds a System with current knowledge (base corpus + the fastpath
+// rollout update) and an empty incident history.
+func New(opts ...Option) *System {
+	kbase := kb.Default()
+	kb.ApplyFastpathUpdate(kbase)
+	s := &System{
+		kbase:     kbase,
+		history:   kb.NewHistory(),
+		cfg:       core.DefaultConfig(),
+		expertise: 0.9,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.history == nil {
+		s.history = kb.NewHistory()
+	}
+	return s
+}
+
+// KB exposes the system's knowledge base (e.g. to apply updates).
+func (s *System) KB() *kb.KB { return s.kbase }
+
+// History exposes the incident history store.
+func (s *System) History() *kb.History { return s.history }
+
+// ScenarioNames lists the incident classes the library can generate.
+func (s *System) ScenarioNames() []string {
+	var out []string
+	for _, sc := range scenarios.All() {
+		out = append(out, sc.Name())
+	}
+	return out
+}
+
+// Spawn generates a fresh incident of the named class.
+func (s *System) Spawn(name string, seed int64) (*Instance, error) {
+	sc := scenarios.ByName(name)
+	if sc == nil {
+		return nil, fmt.Errorf("aiops: unknown scenario %q (have %v)", name, s.ScenarioNames())
+	}
+	return sc.Build(newRand(seed)), nil
+}
+
+// GenerateHistory populates the incident history with n historical
+// incidents resolved by simulated unassisted operators (the training
+// corpus for the one-shot baseline and the replay substrate).
+func (s *System) GenerateHistory(n int, seed int64) {
+	c := replayer.Generate(replayer.Options{N: n, Seed: seed, KBase: s.kbase})
+	for _, rec := range c.History.All() {
+		s.history.Add(rec)
+	}
+}
+
+func (s *System) embedder() embed.Embedder {
+	if s.generic {
+		return embed.NewHashEmbedder(128)
+	}
+	return embed.NewDomainEmbedder(128)
+}
+
+func (s *System) helperRunner() *harness.HelperRunner {
+	return &harness.HelperRunner{
+		KBase:         s.kbase,
+		Config:        s.cfg,
+		Expertise:     s.expertise,
+		Hallucination: s.hallucination,
+		Window:        s.window,
+		History:       s.history,
+	}
+}
+
+// Assist runs the paper's iterative helper on the incident.
+func (s *System) Assist(in *Instance, seed int64) Result {
+	return s.helperRunner().Run(in, seed)
+}
+
+// OneShot runs the retrieval-based one-shot baseline (train it first
+// with GenerateHistory).
+func (s *System) OneShot(in *Instance, seed int64) Result {
+	r := &harness.OneShotRunner{History: s.history, KBase: s.kbase, Embedder: s.embedder()}
+	return r.Run(in, seed)
+}
+
+// Unassisted runs the helper-free control OCE.
+func (s *System) Unassisted(in *Instance, seed int64) Result {
+	r := &harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history}
+	return r.Run(in, seed)
+}
+
+// ABTest runs §3's randomized trial: n incidents randomly assigned to the
+// helper-assisted arm or the unassisted control arm.
+func (s *System) ABTest(n int, seed int64) *ABResult {
+	return eval.ABTest(eval.ABConfig{N: n, Seed: seed},
+		s.helperRunner(),
+		&harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history},
+	)
+}
+
+// Replay generates a historical corpus of size n and replays it through
+// the helper, reporting §3's replay metrics (TTM savings over matching
+// incidents, mismatch fraction, conditional estimates).
+func (s *System) Replay(n int, seed int64) *ReplayReport {
+	c := replayer.Generate(replayer.Options{N: n, Seed: seed, KBase: s.kbase})
+	runner := s.helperRunner()
+	runner.History = c.History
+	return replayer.Replay(c, runner)
+}
+
+// Trace runs the helper on the incident and returns the full module-by-
+// module session trace (Fig. 1 in action) alongside the result.
+func (s *System) Trace(in *Instance, seed int64) (Result, string) {
+	res, trace, _ := s.runTraced(in, seed)
+	return res, trace
+}
+
+// Postmortem runs the helper on the incident and returns the result with
+// a generated incident-review document (timeline, deduction chain,
+// costs, follow-ups).
+func (s *System) Postmortem(in *Instance, seed int64) (Result, string) {
+	res, _, pm := s.runTraced(in, seed)
+	return res, pm
+}
+
+func (s *System) runTraced(in *Instance, seed int64) (Result, string, string) {
+	model := llm.NewSimLLM(s.kbase, seed)
+	model.HallucinationRate = s.hallucination
+	if s.window > 0 {
+		model.Window = s.window
+	}
+	return harness.RunTraced(model, s.kbase, s.cfg, s.expertise, s.history, in, seed)
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// FleetReport re-exports the fleet-level operations report.
+type FleetReport = ops.Report
+
+// Fleet simulates incident operations at fleet scale: n incidents arrive
+// as a Poisson process at the given hourly rate over a pool of
+// responders, each handled by this system's helper. Compare with
+// FleetUnassisted to see queueing amplification (experiment E10).
+func (s *System) Fleet(oces int, arrivalsPerHour float64, n int, seed int64) *FleetReport {
+	return ops.Simulate(ops.Config{
+		OCEs: oces, ArrivalsPerHour: arrivalsPerHour, Incidents: n, Seed: seed,
+		Runner: s.helperRunner(),
+	})
+}
+
+// FleetUnassisted is Fleet with the helper-free control OCE pool.
+func (s *System) FleetUnassisted(oces int, arrivalsPerHour float64, n int, seed int64) *FleetReport {
+	return ops.Simulate(ops.Config{
+		OCEs: oces, ArrivalsPerHour: arrivalsPerHour, Incidents: n, Seed: seed,
+		Runner: &harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history},
+	})
+}
+
+// SaveHistory writes the incident history as JSON.
+func (s *System) SaveHistory(w io.Writer) error { return s.history.SaveJSON(w) }
+
+// LoadHistory merges JSON incident records (as written by SaveHistory)
+// into the system's history.
+func (s *System) LoadHistory(r io.Reader) error { return s.history.LoadJSON(r) }

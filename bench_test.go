@@ -1,0 +1,301 @@
+package aiops
+
+// The benchmark harness has two layers:
+//
+//   - BenchmarkE1..E9 regenerate the per-experiment tables from
+//     DESIGN.md's index (small cells; run `go run ./cmd/benchgen` for
+//     full-size tables) and report each experiment's headline metric via
+//     b.ReportMetric, so `go test -bench=E` tracks the reproduction's
+//     shape over time.
+//   - The micro-benchmarks below measure the substrates a downstream
+//     user would care about: routing, world cloning (what-if risk),
+//     embeddings, vector search, simulated-LLM completion, and whole
+//     helper sessions.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/kb"
+	"repro/internal/llm"
+	"repro/internal/mitigation"
+	"repro/internal/netsim"
+	"repro/internal/replayer"
+	"repro/internal/risk"
+	"repro/internal/scenarios"
+)
+
+const benchTrials = 4
+
+func benchParams(i int) experiments.Params {
+	return experiments.Params{Trials: benchTrials, Seed: int64(1000 + i)}
+}
+
+// ---------------------------------------------------------------------------
+// Experiment benches (one per table/figure).
+// ---------------------------------------------------------------------------
+
+func BenchmarkE1_FrameworkPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		trace, tables := experiments.E1FrameworkTrace(benchParams(i))
+		if trace == "" || len(tables) == 0 {
+			b.Fatal("empty E1 output")
+		}
+	}
+}
+
+func BenchmarkE2_IterativeVsOneShot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E2IterativeVsOneShot(benchParams(i))
+		if len(tables[0].Rows) < 8 {
+			b.Fatalf("E2 rows = %d", len(tables[0].Rows))
+		}
+	}
+}
+
+func BenchmarkE3_Adaptivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E3Adaptivity(benchParams(i))
+		if len(tables[0].Rows) != 5 {
+			b.Fatalf("E3 rows = %d", len(tables[0].Rows))
+		}
+	}
+}
+
+func BenchmarkE4_ABTest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E4ABTest(benchParams(i))
+		if len(tables) != 2 {
+			b.Fatal("E4 should emit arm stats + tests")
+		}
+	}
+}
+
+func BenchmarkE5_Replay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E5Replay(benchParams(i))
+		if len(tables[0].Rows) < 7 {
+			b.Fatal("E5 incomplete")
+		}
+	}
+}
+
+func BenchmarkE6_Costs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E6Costs(benchParams(i))
+		if len(tables) != 2 {
+			b.Fatal("E6 should emit inference + TSG tables")
+		}
+	}
+}
+
+func BenchmarkE7_RiskAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E7RiskAblation(benchParams(i))
+		if len(tables[0].Rows) != 4 {
+			b.Fatal("E7 should emit 4 variants")
+		}
+	}
+}
+
+func BenchmarkE8_Embeddings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E8Embeddings(benchParams(i))
+		if len(tables[0].Rows) != 2 {
+			b.Fatal("E8 should emit 2 embedders")
+		}
+	}
+}
+
+func BenchmarkE9_Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E9Sensitivity(benchParams(i))
+		if len(tables) != 4 {
+			b.Fatal("E9 should emit 4 sweeps")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+// ---------------------------------------------------------------------------
+
+func benchWorld() *netsim.World {
+	return scenarios.StandardWorld(rand.New(rand.NewSource(1)))
+}
+
+func BenchmarkRouteTraffic(b *testing.B) {
+	w := benchWorld()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Invalidate()
+		w.Recompute()
+	}
+}
+
+func BenchmarkRouteDAG(b *testing.B) {
+	w := benchWorld()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := netsim.RouteDAGFor(w.Net, "us-east-host-p0-t0-h0", "eu-north-host-p0-t0-h0", nil)
+		if d == nil {
+			b.Fatal("no DAG")
+		}
+	}
+}
+
+func BenchmarkWorldClone(b *testing.B) {
+	w := benchWorld()
+	w.Recompute()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.Clone() == nil {
+			b.Fatal("nil clone")
+		}
+	}
+}
+
+func BenchmarkScenarioBuildCascade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := (&scenarios.Cascade{Stage: 5}).Build(rand.New(rand.NewSource(int64(i))))
+		if in.Incident == nil {
+			b.Fatal("no incident")
+		}
+	}
+}
+
+func BenchmarkEmbedDomain(b *testing.B) {
+	e := embed.NewDomainEmbedder(128)
+	text := "severe packet loss and retransmissions after config push in us-east; devices resetting"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := e.Embed(text); len(v) != 128 {
+			b.Fatal("bad vector")
+		}
+	}
+}
+
+func BenchmarkVectorSearchANN(b *testing.B) {
+	corpus := replayer.Generate(replayer.Options{N: 150, Seed: 5})
+	store := embed.NewStore(embed.NewDomainEmbedder(128))
+	for _, r := range corpus.History.All() {
+		store.Add(r.ID, r.Text())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := store.SearchANN("packet drops in the web tier after deploy", 3); len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+func BenchmarkSimLLMFormHypotheses(b *testing.B) {
+	model := llm.NewSimLLM(kb.Default(), 1)
+	req := llm.BuildFormHypotheses(llm.PromptContext{Symptoms: []string{kb.CPacketLoss}}, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Complete(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRiskAssessPlan(b *testing.B) {
+	in := (&scenarios.Cascade{Stage: 5}).Build(rand.New(rand.NewSource(3)))
+	a := &risk.Assessor{}
+	plan := mitigation.Plan{Actions: []mitigation.Action{
+		{Kind: mitigation.OverrideWAN, Target: "B4", Param: "healthy"},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := a.AssessPlan(in.World, plan); rep == nil {
+			b.Fatal("nil report")
+		}
+	}
+}
+
+func benchKB() *kb.KB {
+	k := kb.Default()
+	kb.ApplyFastpathUpdate(k)
+	return k
+}
+
+func BenchmarkHelperSessionGrayLink(b *testing.B) {
+	kbase := benchKB()
+	r := &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(int64(i))))
+		res := r.Run(in, int64(i))
+		if !res.Mitigated {
+			b.Fatalf("iteration %d not mitigated", i)
+		}
+	}
+}
+
+func BenchmarkHelperSessionCascade(b *testing.B) {
+	kbase := benchKB()
+	r := &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := (&scenarios.Cascade{Stage: 5}).Build(rand.New(rand.NewSource(int64(i))))
+		res := r.Run(in, int64(i))
+		if !res.Mitigated {
+			b.Fatalf("iteration %d not mitigated", i)
+		}
+	}
+}
+
+func BenchmarkOneShotSession(b *testing.B) {
+	kbase := benchKB()
+	hist := replayer.Generate(replayer.Options{N: 100, Seed: 6}).History
+	r := &harness.OneShotRunner{History: hist, KBase: kbase}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(int64(i))))
+		r.Run(in, int64(i))
+	}
+}
+
+func BenchmarkUnassistedSession(b *testing.B) {
+	kbase := benchKB()
+	r := &harness.ControlRunner{KBase: kbase}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(int64(i))))
+		r.Run(in, int64(i))
+	}
+}
+
+func BenchmarkE10_FleetLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E10FleetLoad(benchParams(i))
+		if len(tables[0].Rows) != 8 {
+			b.Fatal("E10 should emit 4 rates x 2 arms")
+		}
+	}
+}
+
+func BenchmarkE11_LearningCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E11LearningCurve(benchParams(i))
+		if len(tables[0].Rows) != 4 {
+			b.Fatal("E11 should emit 4 history sizes")
+		}
+	}
+}
+
+func BenchmarkE12_SmallModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E12SmallModels(benchParams(i))
+		if len(tables[0].Rows) != 8 {
+			b.Fatal("E12 should emit 4 recalls x 2 RAG arms")
+		}
+	}
+}

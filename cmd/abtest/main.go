@@ -1,0 +1,51 @@
+// Command abtest runs §3's randomized A/B evaluation: incidents are
+// randomly assigned to a helper-assisted arm or a helper-free control
+// arm, and the TTM distributions are compared with Welch's t-test, the
+// Mann-Whitney U test, a permutation test and a bootstrap CI.
+//
+// Usage:
+//
+//	abtest [-n 200] [-seed 1] [-history 150]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+	"repro/internal/eval"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 200, "incidents in the trial")
+		seed    = flag.Int64("seed", 1, "random seed")
+		history = flag.Int("history", 150, "historical incidents to pre-load")
+	)
+	flag.Parse()
+
+	sys := aiops.New(aiops.WithSeed(*seed))
+	sys.GenerateHistory(*history, *seed^0x1157)
+	res := sys.ABTest(*n, *seed)
+
+	arms := eval.NewTable("A/B trial: helper-assisted vs unassisted control",
+		"arm", "n", "meanTTM(m)", "medianTTM(m)", "p95TTM(m)", "mitigated", "correct", "wrong", "secondary")
+	for _, a := range []*eval.ArmStats{&res.Treatment, &res.Control} {
+		arms.AddRow(a.Name, a.N, a.MeanTTM(), a.MedianTTM(), eval.Percentile(a.TTMMinutes, 95),
+			eval.Pct(a.MitigationRate()), eval.Pct(a.CorrectRate()), a.Wrong, a.Secondary)
+	}
+	fmt.Println(arms)
+
+	tests := eval.NewTable("significance of the TTM difference", "test", "statistic", "p-value")
+	tests.AddRow("Welch t", res.Welch.T, fmt.Sprintf("%.4g", res.Welch.P))
+	tests.AddRow("Mann-Whitney U (z)", res.MannWhitney.T, fmt.Sprintf("%.4g", res.MannWhitney.P))
+	tests.AddRow("permutation", "-", fmt.Sprintf("%.4g", res.PermP))
+	tests.AddRow("bootstrap 95% CI (min)", fmt.Sprintf("[%.1f, %.1f]", res.DiffLo, res.DiffHi), "-")
+	fmt.Println(tests)
+
+	if res.SignificantAt(0.05) {
+		fmt.Println("TTM difference significant at alpha=0.05")
+	} else {
+		fmt.Println("TTM difference NOT significant at alpha=0.05 (increase -n)")
+	}
+}

@@ -1,0 +1,80 @@
+// Command benchgen regenerates every experiment table in DESIGN.md's
+// per-experiment index (E1-E9): the reproduction's equivalent of the
+// paper's figures and the §3 evaluation methodology.
+//
+// Usage:
+//
+//	benchgen                 # all experiments
+//	benchgen -exp e2,e3      # a subset
+//	benchgen -trials 30      # bigger cells
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment ids (e1..e11) or 'all'")
+		trials = flag.Int("trials", 20, "incidents per experiment cell")
+		seed   = flag.Int64("seed", 42, "base random seed")
+		html   = flag.String("html", "", "also write a self-contained HTML report to this path")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *exp != "all" {
+		for _, id := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	p := experiments.Params{Trials: *trials, Seed: *seed}
+	report := eval.NewHTMLReport("AI-driven Network Incident Management — experiment tables", *seed, *trials)
+	ran := 0
+	for _, e := range experiments.Registry {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		ran++
+		fmt.Printf("==== %s: %s ====\n\n", e.ID, e.Desc)
+		section := eval.HTMLSection{Heading: e.ID + ": " + e.Desc}
+		if e.ID == "e1" {
+			trace, tables := experiments.E1FrameworkTrace(p)
+			fmt.Println(trace)
+			section.Pre = trace
+			section.Tables = tables
+			for _, t := range tables {
+				fmt.Println(t)
+			}
+		} else {
+			section.Tables = e.Run(p)
+			for _, t := range section.Tables {
+				fmt.Println(t)
+			}
+		}
+		report.Sections = append(report.Sections, section)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *exp)
+		os.Exit(1)
+	}
+	if *html != "" {
+		f, err := os.Create(*html)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.WriteHTML(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *html)
+	}
+}

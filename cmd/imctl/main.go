@@ -1,0 +1,97 @@
+// Command imctl runs a single simulated incident through the OCE-helper
+// and prints the module-by-module session trace — Figure 1 in action.
+//
+// Usage:
+//
+//	imctl [-scenario cascade-5] [-seed 7] [-stale] [-hallucination 0.2]
+//	      [-incontext] [-window 8192] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/kb"
+)
+
+// in2 regenerates the identical incident for a second pass.
+func in2(sys *aiops.System, scenario string, seed int64) (*aiops.Instance, int64) {
+	in, err := sys.Spawn(scenario, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return in, seed
+}
+
+func main() {
+	var (
+		scenario      = flag.String("scenario", "cascade-5", "incident class to generate")
+		seed          = flag.Int64("seed", 7, "random seed")
+		stale         = flag.Bool("stale", false, "use the stale (pre-fastpath) knowledge base")
+		inctx         = flag.Bool("incontext", false, "supply the fastpath knowledge as in-context rules")
+		hallucination = flag.Float64("hallucination", 0, "model hallucination rate [0,1]")
+		window        = flag.Int("window", 0, "context window override (tokens)")
+		expertise     = flag.Float64("expertise", 0.9, "OCE expertise [0,1]")
+		list          = flag.Bool("list", false, "list available scenarios and exit")
+		postmortem    = flag.Bool("postmortem", false, "print a generated postmortem after the session")
+	)
+	flag.Parse()
+
+	opts := []aiops.Option{
+		aiops.WithSeed(*seed),
+		aiops.WithHallucination(*hallucination),
+		aiops.WithExpertise(*expertise),
+	}
+	if *stale || *inctx {
+		opts = append(opts, aiops.WithStaleKnowledge())
+	}
+	if *window > 0 {
+		opts = append(opts, aiops.WithContextWindow(*window))
+	}
+	if *inctx {
+		cfg := aiops.HelperConfig{}
+		cfg.InContextRules = []aiops.InContextRule{
+			{Cause: kb.CProtocolRollout, Effect: kb.CProtocolBug, Strength: 0.4},
+			{Cause: kb.CProtocolBug, Effect: kb.CDeviceOSCrash, Strength: 0.8},
+		}
+		opts = append(opts, aiops.WithHelperConfig(cfg))
+	}
+	sys := aiops.New(opts...)
+
+	if *list {
+		for _, n := range sys.ScenarioNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	in, err := sys.Spawn(*scenario, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("incident:", in.Incident.String())
+	fmt.Println()
+	fmt.Println(in.Incident.Summary)
+	fmt.Println()
+
+	res, trace := sys.Trace(in, *seed)
+	fmt.Println("--- helper session trace " + "---")
+	fmt.Print(trace)
+	fmt.Println()
+	fmt.Printf("mitigated=%v correct=%v rootcause=%v escalated=%v\n", res.Mitigated, res.Correct, res.RootCause, res.Escalated)
+	fmt.Printf("TTM=%s rounds=%d toolCalls=%d llmCalls=%d tokens=%d\n",
+		res.TTM.Truncate(1e9), res.Rounds, res.ToolCalls, res.LLMCalls, res.Tokens)
+	fmt.Printf("applied plan: %s\n", res.Applied)
+	if *postmortem {
+		_, pm := sys.Postmortem(in2(sys, *scenario, *seed))
+		fmt.Println()
+		fmt.Print(pm)
+	}
+	if !res.Mitigated {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,75 @@
+// Command kbctl inspects the operator knowledge base: concepts, causal
+// rules (optionally one team's slice), troubleshooting guides, and a
+// Graphviz export of the causal graph.
+//
+// Usage:
+//
+//	kbctl -rules               # all causal rules
+//	kbctl -rules -team wan     # one team's namespace
+//	kbctl -concepts            # concept vocabulary with test tools
+//	kbctl -tsgs                # troubleshooting guides
+//	kbctl -dot > kb.dot        # causal graph for graphviz
+//	kbctl -stale ...           # the pre-fastpath (version 1) snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+	"repro/internal/kb"
+)
+
+func main() {
+	var (
+		rules    = flag.Bool("rules", false, "list causal rules")
+		team     = flag.String("team", "", "restrict rules to one team")
+		concepts = flag.Bool("concepts", false, "list concepts")
+		tsgs     = flag.Bool("tsgs", false, "list troubleshooting guides")
+		dot      = flag.Bool("dot", false, "export the causal graph as DOT")
+		stale    = flag.Bool("stale", false, "use the version-1 (pre-fastpath) snapshot")
+	)
+	flag.Parse()
+
+	k := kb.Default()
+	if !*stale {
+		kb.ApplyFastpathUpdate(k)
+	}
+
+	switch {
+	case *dot:
+		if err := k.ExportDOT(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *concepts:
+		t := eval.NewTable(fmt.Sprintf("concepts (KB v%d)", k.Version()), "id", "prior", "test tool", "mitigations", "description")
+		for _, id := range k.Concepts() {
+			c, _ := k.ConceptByID(id)
+			t.AddRow(c.ID, c.Prior, c.TestTool, len(c.Mitigations), c.Description)
+		}
+		fmt.Println(t)
+	case *tsgs:
+		t := eval.NewTable("troubleshooting guides", "id", "symptom", "team", "version", "steps")
+		for _, id := range k.Concepts() {
+			for _, g := range k.TSGForSymptom(id) {
+				t.AddRow(g.ID, g.Symptom, g.Team, g.Version, len(g.Steps))
+			}
+		}
+		fmt.Println(t)
+	case *rules:
+		rs := k.Rules()
+		if *team != "" {
+			rs = k.TeamRules(*team)
+		}
+		t := eval.NewTable(fmt.Sprintf("causal rules (KB v%d)", k.Version()), "cause", "effect", "strength", "team", "since", "note")
+		for _, r := range rs {
+			t.AddRow(r.Cause, r.Effect, r.Strength, r.Team, r.AddedVersion, r.Note)
+		}
+		fmt.Println(t)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

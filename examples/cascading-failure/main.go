@@ -1,0 +1,68 @@
+// Cascading failure: a faithful replay of the paper's Figure 2 incident
+// (Casc-1 from Google's postmortem corpus).
+//
+// During a network upgrade, a transient configuration inconsistency (1)
+// makes multiple clusters observe B4 with the same IP prefixes (2); the
+// traffic controller misreads that as B4 failure (3) and shifts all B4
+// traffic onto B2 (4), overloading it (5) and dropping packets (6). A
+// one-shot predictor sees only event 6; the iterative helper walks the
+// chain backwards.
+//
+// Run with:
+//
+//	go run ./examples/cascading-failure
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	sys := aiops.New(aiops.WithSeed(2))
+	sys.GenerateHistory(120, 7) // routine history: no cascade ever recorded
+
+	in, err := sys.Spawn("cascade-5", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("incident:", in.Incident.Title)
+	fmt.Println()
+	fmt.Println(in.Incident.Summary)
+
+	// What the monitors see at page time.
+	fmt.Println("\ntelemetry at page time:")
+	pm := telemetry.NewPingMesh(in.World)
+	fmt.Printf("  pingmesh worst pair loss: %.1f%%\n", telemetry.MaxLoss(pm.Query())*100)
+	util := &telemetry.LinkUtilMonitor{World: in.World}
+	for _, s := range util.Top(3) {
+		fmt.Printf("  hot link %-42s util=%.2f\n", s.Link, s.Utilization)
+	}
+	fmt.Printf("  controller: failed WANs = %v\n", in.World.Ctl.FailedWANs())
+
+	// Ground truth (the harness's view; helpers never see this).
+	fmt.Println("\nground-truth causal chain:", in.Incident.Truth.CausalChain)
+
+	// One-shot first: it must leap the whole chain and cannot.
+	osIn, _ := sys.Spawn("cascade-5", 2)
+	osRes := sys.OneShot(osIn, 2)
+	fmt.Printf("\none-shot outcome: mitigated=%v (escalated=%v), penalized TTM=%s\n",
+		osRes.Mitigated, osRes.Escalated, osRes.PenalizedTTM().Truncate(1e9))
+
+	// The iterative helper chains deductions: overload -> failover ->
+	// (prefix conflict) -> config push, then overrides the controller or
+	// rolls the change back.
+	res, trace := sys.Trace(in, 2)
+	fmt.Println("\niterative helper session:")
+	fmt.Print(trace)
+	fmt.Printf("\niterative outcome: mitigated=%v correct=%v TTM=%s rounds=%d\n",
+		res.Mitigated, res.Correct, res.TTM.Truncate(1e9), res.Rounds)
+	fmt.Printf("applied plan: %s\n", res.Applied)
+
+	// After mitigation the world is clean again.
+	fmt.Printf("\npost-mitigation worst pair loss: %.2f%%\n", telemetry.MaxLoss(pm.Query())*100)
+}

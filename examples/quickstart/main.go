@@ -1,0 +1,54 @@
+// Quickstart: generate one incident on the simulated cloud, let the
+// OCE-helper work it, and inspect the outcome.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A System bundles the knowledge base (current: base networking
+	// knowledge + the fastpath rollout update), an incident history and
+	// the helper configuration.
+	sys := aiops.New(aiops.WithSeed(1))
+
+	// Give the similar-incidents tool and the one-shot baseline some
+	// history to retrieve from.
+	sys.GenerateHistory(60, 99)
+
+	// Generate a gray-failure incident: a fabric link silently
+	// corrupting frames.
+	in, err := sys.Spawn("gray-link", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("incident:", in.Incident.String())
+
+	// Run the iterative helper (hypothesis former -> tester ->
+	// mitigation planner, OCE in the loop) and show its reasoning.
+	res, trace := sys.Trace(in, 1)
+	fmt.Println("\nhelper session:")
+	fmt.Print(trace)
+
+	fmt.Printf("\nmitigated=%v correct=%v TTM=%s plan=%s\n",
+		res.Mitigated, res.Correct, res.TTM.Truncate(1e9), res.Applied)
+
+	// Compare with the one-shot baseline on an identical incident.
+	in2, _ := sys.Spawn("gray-link", 1)
+	osRes := sys.OneShot(in2, 1)
+	fmt.Printf("one-shot baseline: mitigated=%v correct=%v TTM=%s\n",
+		osRes.Mitigated, osRes.Correct, osRes.PenalizedTTM().Truncate(1e9))
+
+	// And with an unassisted on-call engineer.
+	in3, _ := sys.Spawn("gray-link", 1)
+	ctl := sys.Unassisted(in3, 1)
+	fmt.Printf("unassisted OCE:    mitigated=%v correct=%v TTM=%s\n",
+		ctl.Mitigated, ctl.Correct, ctl.PenalizedTTM().Truncate(1e9))
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/kb"
+	"repro/internal/llm"
+	"repro/internal/mitigation"
+	"repro/internal/netsim"
+	"repro/internal/tools"
+)
+
+// This file reproduces §3's TSG case study: automating a well-structured
+// troubleshooting guide with an LLM versus a hard-coded script. Both
+// executors follow the same guide and reach the same outcome; they
+// differ in cost structure — the LLM path pays integration, guard-rail
+// and prompt-design engineering plus per-incident inference, and both
+// must be updated on every TSG revision, so "the cost would not
+// amortize".
+
+// TSGResult is the outcome of following a guide on one incident.
+type TSGResult struct {
+	Completed bool
+	Mitigated bool
+	Applied   mitigation.Plan
+	Elapsed   time.Duration
+	LLMTokens int
+}
+
+// RunTSG follows the guide mechanically. When model is non-nil it plays
+// the LLM-automation role: each query step pays an interpretation call
+// and each action step a planning call (token-metered); when model is
+// nil it is the hard-coded script. Bindings flow from query steps into
+// action placeholders.
+func RunTSG(w *netsim.World, t *kb.TSG, reg *tools.Registry, model llm.Model) TSGResult {
+	var res TSGResult
+	start := w.Clock.Now()
+	bindings := map[string]string{}
+	for _, step := range t.Steps {
+		switch step.Kind {
+		case kb.TSGQuery:
+			tool, ok := reg.Get(step.Tool)
+			if !ok {
+				res.Elapsed = w.Clock.Now() - start
+				return res
+			}
+			w.Clock.Advance(tool.Latency())
+			out, err := tool.Invoke(w, step.Args)
+			if err != nil {
+				res.Elapsed = w.Clock.Now() - start
+				return res
+			}
+			for k, v := range out.Bindings {
+				bindings[k] = v
+			}
+			if model != nil {
+				resp, err := model.Complete(llm.BuildInterpretTest(llm.PromptContext{}, t.Symptom, step.Tool, out.Findings))
+				if err == nil {
+					res.LLMTokens += resp.Usage.Total()
+					w.Clock.Advance(resp.Latency)
+				}
+			}
+		case kb.TSGAction:
+			a := step.Action
+			targets := []string{a.Target}
+			if bound, ok := bindings[a.Target]; ok {
+				targets = strings.Split(bound, ",")
+			}
+			if model != nil {
+				resp, err := model.Complete(llm.BuildPlanMitigation(llm.PromptContext{Bindings: bindings}, t.Symptom))
+				if err == nil {
+					res.LLMTokens += resp.Usage.Total()
+					w.Clock.Advance(resp.Latency)
+				}
+			}
+			ex := &mitigation.Executor{World: w, Clocked: true, Actor: "tsg"}
+			for _, target := range targets {
+				if strings.HasPrefix(target, "$") {
+					continue // unbound: the guide's query found nothing
+				}
+				act := mitigation.Action{Kind: a.Kind, Target: target, Param: a.Param}
+				if err := ex.Execute(act); err == nil {
+					res.Applied.Actions = append(res.Applied.Actions, act)
+				}
+			}
+		case kb.TSGVerify:
+			w.Clock.Advance(2 * time.Minute)
+			v := &mitigation.Verifier{World: w}
+			res.Mitigated = v.Mitigated()
+		}
+	}
+	res.Completed = true
+	res.Elapsed = w.Clock.Now() - start
+	return res
+}
+
+// CostModel parameterizes §3's management-cost accounting.
+type CostModel struct {
+	EngineerHourly float64 // $ per engineering hour
+
+	// LLM automation path.
+	LLMIntegrationHours float64 // wiring the LLM to monitoring APIs
+	GuardrailHours      float64 // damage-limiting wrappers
+	PromptDesignHours   float64 // per TSG revision: re-prompting so the LLM "exactly follows the TSG"
+	Pricing             llm.Pricing
+
+	// Hard-coded script path.
+	ScriptInitialHours   float64
+	ScriptPerChangeHours float64
+}
+
+// DefaultCostModel reflects the paper's qualitative accounting with
+// engineering estimates.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		EngineerHourly:       150,
+		LLMIntegrationHours:  40,
+		GuardrailHours:       24,
+		PromptDesignHours:    8,
+		Pricing:              llm.DefaultPricing(),
+		ScriptInitialHours:   16,
+		ScriptPerChangeHours: 6,
+	}
+}
+
+// CostReport is the total cost of operating one automation path.
+type CostReport struct {
+	Path            string
+	EngineeringCost float64
+	InferenceCost   float64
+}
+
+// Total returns engineering + inference dollars.
+func (c CostReport) Total() float64 { return c.EngineeringCost + c.InferenceCost }
+
+// String renders the report row.
+func (c CostReport) String() string {
+	return fmt.Sprintf("%-12s eng=$%.0f inference=$%.0f total=$%.0f", c.Path, c.EngineeringCost, c.InferenceCost, c.Total())
+}
+
+// LLMTSGCost prices the LLM-automation path: integration + guard-rails up
+// front, prompt redesign per TSG revision, inference per incident.
+func (m CostModel) LLMTSGCost(tsgRevisions, incidents, tokensPerIncident int) CostReport {
+	eng := (m.LLMIntegrationHours + m.GuardrailHours) * m.EngineerHourly
+	eng += float64(tsgRevisions) * m.PromptDesignHours * m.EngineerHourly
+	infer := float64(incidents*tokensPerIncident) / 1000 * m.Pricing.PromptPer1K
+	return CostReport{Path: "llm-tsg", EngineeringCost: eng, InferenceCost: infer}
+}
+
+// ScriptCost prices the hard-coded script path.
+func (m CostModel) ScriptCost(tsgRevisions int) CostReport {
+	eng := m.ScriptInitialHours * m.EngineerHourly
+	eng += float64(tsgRevisions) * m.ScriptPerChangeHours * m.EngineerHourly
+	return CostReport{Path: "script", EngineeringCost: eng}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/kb"
+)
+
+// OCE models the on-call engineer in the loop: the helper suggests, the
+// OCE approves, corrects, and pulls the trigger. Expertise controls how
+// reliably the OCE catches the helper's mistakes; approval latency is the
+// human cost of keeping the OCE in the driver's seat.
+type OCE struct {
+	// Expertise in [0,1]: probability the OCE catches a fabricated
+	// hypothesis or a misread tool output. Veterans (~0.9) rarely let a
+	// hallucination through; novices (~0.3) often do.
+	Expertise float64
+
+	// ApprovalLatency is the simulated time per approval decision
+	// (default 2 minutes). Pre-approved suggestions skip it.
+	ApprovalLatency time.Duration
+
+	// Known is the concept vocabulary the OCE can sanity-check
+	// hypotheses against (their training, §2). Typically the current
+	// KB's concept list.
+	Known map[string]bool
+
+	Rng *rand.Rand
+}
+
+// NewOCE builds an OCE with the given expertise over the KB's vocabulary.
+func NewOCE(expertise float64, kbase *kb.KB, rng *rand.Rand) *OCE {
+	known := make(map[string]bool)
+	for _, c := range kbase.Concepts() {
+		known[c] = true
+	}
+	return &OCE{
+		Expertise:       expertise,
+		ApprovalLatency: 2 * time.Minute,
+		Known:           known,
+		Rng:             rng,
+	}
+}
+
+// approvalDelay returns the time one decision costs.
+func (o *OCE) approvalDelay(preApproved bool) time.Duration {
+	if preApproved {
+		return 0
+	}
+	return o.ApprovalLatency
+}
+
+// VetoesHypothesis reports whether the OCE rejects the concept as
+// nonsense. Only unknown (fabricated) concepts can be vetoed, and only
+// when the OCE's expertise catches them.
+func (o *OCE) VetoesHypothesis(concept string) bool {
+	if o.Known[concept] {
+		return false
+	}
+	return o.Rng.Float64() < o.Expertise
+}
+
+// CatchesMisreading reports whether the OCE notices that the model's
+// verdict contradicts the tool output in front of them.
+func (o *OCE) CatchesMisreading() bool {
+	return o.Rng.Float64() < o.Expertise
+}

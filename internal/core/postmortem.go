@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/incident"
+)
+
+// Postmortem renders a structured incident review from a completed
+// session: timeline, validated deduction chain, applied mitigation, and
+// the §3 bookkeeping (TTM, mistakes, model cost). The paper's §1 lists
+// "generate human-like written content" among the LLM abilities that
+// make OCE-helpers feasible; this generator is deterministic and
+// template-based so reviews are reproducible — a production deployment
+// would have the model draft prose over the same structure.
+func Postmortem(inc *incident.Incident, out *Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Postmortem: %s\n\n", inc.Title)
+	fmt.Fprintf(&b, "Incident %s, severity %d, opened at T+%s.\n\n", inc.ID, inc.Severity, fmtDur(inc.OpenedAt))
+
+	b.WriteString("## Outcome\n\n")
+	switch {
+	case out.Mitigated:
+		fmt.Fprintf(&b, "Mitigated in %s over %d hypothesis-test rounds.\n", fmtDur(out.TTM), out.Rounds)
+	case out.Escalated:
+		fmt.Fprintf(&b, "Escalated after %s and %d rounds without a validated mitigation.\n", fmtDur(out.TTM), out.Rounds)
+	default:
+		fmt.Fprintf(&b, "Session ended unresolved after %s.\n", fmtDur(out.TTM))
+	}
+	if len(out.Applied.Actions) > 0 {
+		fmt.Fprintf(&b, "Applied mitigation: %s.\n", out.Applied)
+	}
+	if len(out.Confirmed) > 0 {
+		fmt.Fprintf(&b, "Validated deduction chain: %s.\n", strings.Join(out.Confirmed, " <- "))
+	}
+	b.WriteString("\n## Timeline\n\n")
+	for _, st := range out.Trace {
+		switch st.Kind {
+		case StepApproval, StepToolInvoked, StepInterpreted, StepPlanProposed,
+			StepRiskAssessed, StepPlanRejected, StepExecuted, StepVerified,
+			StepEscalated, StepOCECorrected, StepVeto:
+			fmt.Fprintf(&b, "- T+%s (round %d) %s: %s\n", fmtDur(st.At), st.Round, st.Kind, st.Detail)
+		}
+	}
+
+	b.WriteString("\n## Costs and mistakes\n\n")
+	fmt.Fprintf(&b, "- tool invocations: %d\n", out.ToolCalls)
+	fmt.Fprintf(&b, "- LLM calls: %d (%d tokens)\n", out.LLMUsage.Calls, out.LLMUsage.Prompt+out.LLMUsage.Completion)
+	fmt.Fprintf(&b, "- mitigations executed but insufficient: %d\n", out.WrongMitigations)
+	fmt.Fprintf(&b, "- mitigations that worsened a service: %d\n", out.SecondaryImpact)
+	fmt.Fprintf(&b, "- plans that failed to execute: %d\n", out.PlanErrors)
+
+	b.WriteString("\n## Follow-ups\n\n")
+	for _, f := range followUps(out) {
+		fmt.Fprintf(&b, "- %s\n", f)
+	}
+	return b.String()
+}
+
+// followUps derives action items from what went wrong in the session.
+func followUps(out *Outcome) []string {
+	var fs []string
+	if out.Escalated && !out.Mitigated {
+		fs = append(fs, "the knowledge base could not explain this incident: capture the specialist team's resolution as causal rules")
+	}
+	if out.WrongMitigations > 0 {
+		fs = append(fs, "review why executed mitigations failed verification; consider tightening the what-if gate")
+	}
+	if out.SecondaryImpact > 0 {
+		fs = append(fs, "a mitigation worsened a service: audit the risk assessment that approved it")
+	}
+	if out.PlanErrors > 0 {
+		fs = append(fs, "plans failed mid-execution (bad targets): review planner bindings and model hallucination rate")
+	}
+	if out.Mitigated && out.Rounds > 6 {
+		fs = append(fs, "resolution took many rounds: consider a TSG or pre-approval for this incident class")
+	}
+	if len(fs) == 0 {
+		fs = append(fs, "none: clean single-chain resolution")
+	}
+	return fs
+}
+
+func fmtDur(d time.Duration) string { return d.Truncate(time.Second).String() }

@@ -1,0 +1,552 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/incident"
+	"repro/internal/llm"
+	"repro/internal/mitigation"
+	"repro/internal/netsim"
+	"repro/internal/risk"
+	"repro/internal/tools"
+)
+
+// Helper wires the three modules together over a model, a toolbox and
+// the risk assessors.
+type Helper struct {
+	Model llm.Model
+	Tools *tools.Registry
+	// Quant is the white-box what-if assessor; nil (or
+	// Config.UseQuantitativeRisk=false) disables the quantitative view.
+	Quant  *risk.Assessor
+	Config Config
+}
+
+// verifyLatency is the simulated cost of one verification pass (watching
+// dashboards settle after a mitigation).
+const verifyLatency = 2 * time.Minute
+
+// fumbleLatency is the time wasted when the model proposes a tool that
+// does not exist.
+const fumbleLatency = 2 * time.Minute
+
+// stabilityWindow is how long a cleared incident is watched before it is
+// declared mitigated; it catches intermittent faults sampled in a quiet
+// phase.
+const stabilityWindow = 6 * time.Minute
+
+// session carries one run's mutable state.
+type session struct {
+	h   *Helper
+	w   *netsim.World
+	inc *incident.Incident
+	oce *OCE
+	cfg Config
+
+	ctx       llm.PromptContext
+	chain     []string // append-only confirmation history
+	attempted map[string]bool
+	out       *Outcome
+	round     int
+	stalls    int
+	repasses  int
+}
+
+// Run drives one incident end to end and returns the outcome. The
+// helper observes the world only through tools; it never touches
+// incident ground truth.
+func (h *Helper) Run(w *netsim.World, inc *incident.Incident, oce *OCE) *Outcome {
+	cfg := h.Config.withDefaults()
+	s := &session{
+		h: h, w: w, inc: inc, oce: oce, cfg: cfg,
+		attempted: map[string]bool{},
+		out:       &Outcome{},
+	}
+	s.ctx = llm.PromptContext{
+		Symptoms: append([]string(nil), inc.Symptoms...),
+		Bindings: map[string]string{},
+		Rules:    cfg.InContextRules,
+	}
+	s.addEvidence("incident: " + inc.Title)
+	for _, line := range strings.Split(inc.Summary, "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			s.addEvidence(line)
+		}
+	}
+
+	for s.round = 1; s.round <= cfg.MaxRounds; s.round++ {
+		s.out.Rounds = s.round
+		progressed, done := s.iterate()
+		if done {
+			s.out.TTM = w.Clock.Now() - inc.OpenedAt
+			return s.out
+		}
+		if progressed {
+			s.stalls = 0
+		} else {
+			s.stalls++
+			if s.stalls >= cfg.StallLimit {
+				if !s.retestPass() {
+					break
+				}
+			}
+		}
+	}
+	s.escalate("no further testable hypotheses")
+	s.out.TTM = w.Clock.Now() - inc.OpenedAt
+	return s.out
+}
+
+// iterate runs one hypothesize-approve-test-interpret(-mitigate) round.
+// It reports whether the round made progress and whether the incident is
+// closed (mitigated or terminally escalated).
+func (s *session) iterate() (progressed, done bool) {
+	// --- Module 1: hypothesis former -----------------------------------
+	hyps := s.formHypotheses()
+	if len(hyps) == 0 {
+		if s.backtrack() {
+			s.trace(StepNote, "dead end; backtracking to an earlier branch")
+			return true, false
+		}
+		return false, false
+	}
+
+	// --- OCE approval ---------------------------------------------------
+	chosen, ok := s.approveHypothesis(hyps)
+	if !ok {
+		return false, false
+	}
+
+	// --- Module 2: hypothesis tester -------------------------------------
+	verdictSupported, tested := s.testHypothesis(chosen)
+	if !tested {
+		s.reject(chosen.Concept)
+		return true, false
+	}
+	if !verdictSupported {
+		s.reject(chosen.Concept)
+		return true, false
+	}
+	s.confirm(chosen.Concept)
+
+	// --- Module 3: mitigation planner ------------------------------------
+	if s.attempted[chosen.Concept] {
+		return true, false
+	}
+	const maxPlanAttempts = 2
+	for attempt := 0; attempt < maxPlanAttempts; attempt++ {
+		plan, planned, retryable := s.planMitigation(chosen.Concept)
+		if !planned {
+			if retryable {
+				continue
+			}
+			return true, false
+		}
+		switch s.executeAndVerify(chosen.Concept, plan) {
+		case execMitigated:
+			return true, true
+		case execFailedToApply:
+			continue // a fresh plan may bind correctly
+		case execVerifyFailed:
+			return true, false
+		}
+	}
+	s.attempted[chosen.Concept] = true
+	return true, false
+}
+
+// execStatus is the outcome of one plan execution attempt.
+type execStatus int
+
+const (
+	execMitigated execStatus = iota
+	execFailedToApply
+	execVerifyFailed
+)
+
+// complete sends a request, advances the clock by inference latency, and
+// meters usage.
+func (s *session) complete(req llm.Request) (llm.Response, error) {
+	resp, err := s.h.Model.Complete(req)
+	if err != nil {
+		return resp, err
+	}
+	s.w.Clock.Advance(resp.Latency)
+	s.out.LLMUsage.Record(resp, llm.DefaultPricing())
+	return resp, nil
+}
+
+func (s *session) formHypotheses() []llm.Hypothesis {
+	resp, err := s.complete(llm.BuildFormHypotheses(s.ctx, s.cfg.Beam))
+	if err != nil {
+		s.trace(StepNote, "model error: "+err.Error())
+		return nil
+	}
+	hyps := llm.ParseHypotheses(resp.Content)
+	var names []string
+	for _, h := range hyps {
+		names = append(names, fmt.Sprintf("%s(%.2f)", h.Concept, h.Confidence))
+	}
+	s.trace(StepHypotheses, strings.Join(names, ", "))
+	// The model's explicit "I have nothing" marker is not a hypothesis.
+	out := hyps[:0]
+	for _, h := range hyps {
+		if h.Concept != "escalation_needed" {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// approveHypothesis walks the ranked list until the OCE approves one.
+func (s *session) approveHypothesis(hyps []llm.Hypothesis) (llm.Hypothesis, bool) {
+	for _, h := range hyps {
+		pre := s.cfg.PreApproveConfidence > 0 && h.Confidence >= s.cfg.PreApproveConfidence
+		s.w.Clock.Advance(s.oce.approvalDelay(pre))
+		if s.oce.VetoesHypothesis(h.Concept) {
+			s.trace(StepVeto, fmt.Sprintf("OCE vetoed %q: not a known failure mode", h.Concept))
+			s.reject(h.Concept)
+			continue
+		}
+		mode := "approved"
+		if pre {
+			mode = "pre-approved"
+		}
+		s.trace(StepApproval, fmt.Sprintf("%s %s (confidence %.2f): %s", mode, h.Concept, h.Confidence, h.Reason))
+		return h, true
+	}
+	return llm.Hypothesis{}, false
+}
+
+// testHypothesis runs the tester module: plan the test, invoke the tool,
+// interpret the output (with OCE oversight). tested is false when no
+// test could be run at all.
+func (s *session) testHypothesis(h llm.Hypothesis) (supported, tested bool) {
+	resp, err := s.complete(llm.BuildPlanTest(s.ctx, h.Concept))
+	if err != nil {
+		s.trace(StepNote, "model error: "+err.Error())
+		return false, false
+	}
+	tp, ok := llm.ParseTestPlan(resp.Content)
+	if !ok {
+		s.trace(StepTestPlanned, fmt.Sprintf("no known test for %s", h.Concept))
+		return false, false
+	}
+	s.trace(StepTestPlanned, fmt.Sprintf("%s via %s: %s", h.Concept, tp.Tool, tp.Reason))
+
+	tool, ok := s.h.Tools.Get(tp.Tool)
+	if !ok {
+		// Hallucinated tooling: the OCE fumbles looking for it.
+		s.w.Clock.Advance(fumbleLatency)
+		s.addEvidence(fmt.Sprintf("tool %q does not exist in the toolbox", tp.Tool))
+		s.trace(StepNote, fmt.Sprintf("tool %q not found", tp.Tool))
+		return false, false
+	}
+	s.w.Clock.Advance(tool.Latency())
+	res, err := tool.Invoke(s.w, tp.Args)
+	s.out.ToolCalls++
+	if err != nil {
+		s.addEvidence(fmt.Sprintf("tool %s failed: %v", tp.Tool, err))
+		s.trace(StepToolInvoked, fmt.Sprintf("%s failed: %v", tp.Tool, err))
+		return false, false
+	}
+	s.trace(StepToolInvoked, fmt.Sprintf("%s -> %d findings", tp.Tool, len(res.Findings)))
+	for _, f := range res.Findings {
+		s.addEvidence(tp.Tool + ": " + f)
+	}
+	for k, v := range res.Bindings {
+		s.ctx.Bindings[k] = v
+	}
+
+	// Interpretation, with optional self-consistency voting and the OCE
+	// double-checking the reading.
+	v, ok := s.interpret(h.Concept, tp.Tool, res.Findings)
+	if !ok {
+		return false, false
+	}
+	truthful := findingsSupport(res.Findings, h.Concept)
+	if v.Supported != truthful && s.oce.CatchesMisreading() {
+		s.trace(StepOCECorrected, fmt.Sprintf("OCE overruled model's reading of %s output (model said supported=%v)", tp.Tool, v.Supported))
+		v.Supported = truthful
+	}
+	s.trace(StepInterpreted, fmt.Sprintf("%s supported=%v (%.2f): %s", h.Concept, v.Supported, v.Confidence, v.Reason))
+	return v.Supported, true
+}
+
+// interpret asks the model whether the findings support the hypothesis,
+// sampling SelfConsistency times and majority-voting. Ties break toward
+// "unsupported" (the conservative reading).
+func (s *session) interpret(concept, tool string, findings []string) (llm.Verdict, bool) {
+	votes := s.cfg.SelfConsistency
+	if votes < 1 {
+		votes = 1
+	}
+	var last llm.Verdict
+	yes, valid := 0, 0
+	for i := 0; i < votes; i++ {
+		resp, err := s.complete(llm.BuildInterpretTest(s.ctx, concept, tool, findings))
+		if err != nil {
+			continue
+		}
+		v, ok := llm.ParseVerdict(resp.Content)
+		if !ok {
+			continue
+		}
+		valid++
+		last = v
+		if v.Supported {
+			yes++
+		}
+	}
+	if valid == 0 {
+		return llm.Verdict{}, false
+	}
+	last.Supported = yes*2 > valid
+	if votes > 1 {
+		s.trace(StepNote, fmt.Sprintf("self-consistency: %d/%d votes supported", yes, valid))
+	}
+	return last, true
+}
+
+// findingsSupport is the literal reading an attentive OCE applies when
+// double-checking the model: does the tool output assert the concept?
+func findingsSupport(findings []string, concept string) bool {
+	for _, f := range findings {
+		if strings.Contains(f, concept+"=true") {
+			return true
+		}
+	}
+	return false
+}
+
+// planMitigation asks the model for a plan and gates it through both
+// risk views. planned=false means investigation should continue;
+// retryable=true marks failures caused by a malformed plan (hallucinated
+// target) rather than by the cause being unmitigable — the caller may
+// re-ask the model once.
+func (s *session) planMitigation(cause string) (plan mitigation.Plan, planned, retryable bool) {
+	resp, err := s.complete(llm.BuildPlanMitigation(s.ctx, cause))
+	if err != nil {
+		return mitigation.Plan{}, false, false
+	}
+	proposed := llm.ParseActions(resp.Content)
+	if len(proposed) == 0 {
+		return mitigation.Plan{}, false, false
+	}
+	escalateOnly := true
+	for _, pa := range proposed {
+		if strings.HasPrefix(pa.Action.Target, "$") {
+			// Unbound placeholder: the planner lacks a concrete target;
+			// keep investigating instead of guessing.
+			s.trace(StepPlanRejected, fmt.Sprintf("plan for %s has unbound target %s", cause, pa.Action.Target))
+			return mitigation.Plan{}, false, false
+		}
+		if pa.Action.Kind != mitigation.Escalate {
+			escalateOnly = false
+		}
+		plan.Actions = append(plan.Actions, pa.Action)
+		plan.Rationale = pa.Reason
+	}
+	if escalateOnly {
+		// The model knows no mitigation; treat as no plan so the chain
+		// can go deeper before the stall limit forces escalation.
+		s.trace(StepPlanProposed, fmt.Sprintf("model has no mitigation for %s", cause))
+		s.attempted[cause] = true
+		return mitigation.Plan{}, false, false
+	}
+	s.trace(StepPlanProposed, fmt.Sprintf("for %s: %s", cause, plan))
+
+	// Risk assessment: qualitative (model) and quantitative (what-if).
+	comb := risk.Combined{}
+	if s.cfg.UseQualitativeRisk {
+		rresp, err := s.complete(llm.BuildAssessRisk(s.ctx, plan.Actions))
+		if err == nil {
+			if op, ok := llm.ParseRiskOpinion(rresp.Content); ok {
+				comb.Qualitative = op
+			}
+		}
+	}
+	if s.cfg.UseQuantitativeRisk && s.h.Quant != nil {
+		comb.Quantitative = s.h.Quant.AssessPlan(s.w, plan)
+	}
+	if comb.Qualitative.Reason != "" || comb.Quantitative != nil {
+		s.trace(StepRiskAssessed, comb.Narrative())
+	}
+	if !comb.Acceptable(s.cfg.RiskBudget) {
+		s.trace(StepPlanRejected, fmt.Sprintf("risk %.2f over budget %.2f (or hard veto)", comb.Score(), s.cfg.RiskBudget))
+		s.addEvidence(fmt.Sprintf("mitigation for %s rejected by risk assessment: %s", cause, comb.Narrative()))
+		if comb.Quantitative != nil && comb.Quantitative.ExecError != nil {
+			// The plan itself is broken (e.g. hallucinated target), not
+			// the cause: worth one fresh planning attempt.
+			return mitigation.Plan{}, false, true
+		}
+		s.attempted[cause] = true
+		return mitigation.Plan{}, false, false
+	}
+	if comb.Quantitative != nil && comb.Quantitative.WorstLatencyRatio > 1.5 {
+		s.trace(StepPlanRejected, fmt.Sprintf("what-if predicts residual latency %.1fx baseline: plan insufficient", comb.Quantitative.WorstLatencyRatio))
+		s.attempted[cause] = true
+		s.addEvidence(fmt.Sprintf("what-if: mitigating %s alone leaves latency degraded", cause))
+		return mitigation.Plan{}, false, false
+	}
+	if comb.Quantitative != nil && comb.Quantitative.WorstAfter > incidentLossGate {
+		// The what-if engine predicts residual impact: at best a partial
+		// mitigation. Keep digging for the real cause instead of
+		// spending an execution round (risk-informed search, §2).
+		s.trace(StepPlanRejected, fmt.Sprintf("what-if predicts residual loss %.1f%%: plan insufficient", comb.Quantitative.WorstAfter*100))
+		s.attempted[cause] = true
+		s.addEvidence(fmt.Sprintf("what-if: mitigating %s alone leaves residual impact", cause))
+		return mitigation.Plan{}, false, false
+	}
+
+	// OCE pulls the trigger (§4.3: only the OCE starts mitigation).
+	pre := s.cfg.PreApproveRisk > 0 && comb.Score() <= s.cfg.PreApproveRisk && comb.Quantitative != nil && !comb.Quantitative.WouldCauseIncident
+	s.w.Clock.Advance(s.oce.approvalDelay(pre))
+	return plan, true, false
+}
+
+// incidentLossGate mirrors the alert engine's service-loss threshold.
+const incidentLossGate = 0.01
+
+// executeAndVerify applies the plan and closes the loop with
+// verification.
+func (s *session) executeAndVerify(cause string, plan mitigation.Plan) execStatus {
+	before := worstServiceLoss(s.w)
+	ex := &mitigation.Executor{World: s.w, Clocked: true, Actor: "oce"}
+	if err := ex.ExecutePlan(plan); err != nil {
+		s.out.PlanErrors++
+		s.addEvidence(fmt.Sprintf("executing plan failed: %v", err))
+		s.trace(StepExecuted, fmt.Sprintf("plan failed mid-execution: %v", err))
+		return execFailedToApply
+	}
+	s.out.Applied.Actions = append(s.out.Applied.Actions, plan.Actions...)
+	s.trace(StepExecuted, plan.String())
+
+	s.w.Clock.Advance(verifyLatency)
+	v := &mitigation.Verifier{World: s.w}
+	if v.Mitigated() {
+		// Stability check: watch the dashboards a little longer before
+		// declaring victory, so an intermittent fault in a quiet window
+		// cannot close the incident prematurely.
+		s.w.Clock.Advance(stabilityWindow)
+		if v.Mitigated() {
+			s.out.Mitigated = true
+			s.trace(StepVerified, "impact cleared and stable; incident mitigated")
+			return execMitigated
+		}
+		s.trace(StepVerified, "impact cleared momentarily but recurred during the stability window")
+	}
+	s.out.WrongMitigations++
+	s.attempted[cause] = true
+	after := worstServiceLoss(s.w)
+	if after > before+0.01 {
+		s.out.SecondaryImpact++
+		s.addEvidence(fmt.Sprintf("mitigation for %s made things worse (worst loss %.1f%% -> %.1f%%)", cause, before*100, after*100))
+	} else {
+		s.addEvidence(fmt.Sprintf("mitigation for %s executed but impact persists", cause))
+	}
+	s.trace(StepVerified, fmt.Sprintf("impact persists (worst loss %.1f%% -> %.1f%%)", before*100, after*100))
+	return execVerifyFailed
+}
+
+func worstServiceLoss(w *netsim.World) float64 {
+	rep := w.Recompute()
+	worst := 0.0
+	for _, ss := range rep.ServiceStats {
+		if ss.LossRate > worst {
+			worst = ss.LossRate
+		}
+	}
+	return worst
+}
+
+// backtrack handles a dead end: the newest confirmed concept has no
+// remaining unexplored causes, so park it (it stays excluded from
+// re-proposal via the rejected list, though it remains in the outcome's
+// chain) and let the former chain from the previous confirmation — or
+// from the symptoms when nothing else is confirmed.
+func (s *session) backtrack() bool {
+	n := len(s.ctx.Confirmed)
+	if n == 0 {
+		return false
+	}
+	last := s.ctx.Confirmed[n-1]
+	s.ctx.Confirmed = s.ctx.Confirmed[:n-1]
+	s.reject(last)
+	return true
+}
+
+// retestPass handles non-stationary incidents: when every hypothesis has
+// been rejected but the impact is still live, operators go around again —
+// a signal sampled in a quiet window may light up on the second look.
+// One re-test pass is allowed (bounded by MaxRounds regardless).
+func (s *session) retestPass() bool {
+	if s.repasses >= 1 || len(s.ctx.Rejected) == 0 {
+		return false
+	}
+	// "Is the impact really gone?" needs the same stability discipline
+	// as post-mitigation verification: an intermittent fault in a quiet
+	// window must not end the investigation.
+	v := &mitigation.Verifier{World: s.w}
+	if v.Mitigated() {
+		s.w.Clock.Advance(stabilityWindow)
+		if v.Mitigated() {
+			return false // genuinely clean; nothing live to chase
+		}
+	}
+	s.repasses++
+	s.stalls = 0
+	s.ctx.Rejected = nil
+	s.trace(StepNote, "impact persists with all hypotheses rejected; re-testing from the top (signals may be intermittent)")
+	return true
+}
+
+func (s *session) confirm(concept string) {
+	s.ctx.Confirmed = append(s.ctx.Confirmed, concept)
+	s.chain = append(s.chain, concept)
+	s.out.Confirmed = append([]string(nil), s.chain...)
+}
+
+func (s *session) reject(concept string) {
+	for _, r := range s.ctx.Rejected {
+		if r == concept {
+			return
+		}
+	}
+	s.ctx.Rejected = append(s.ctx.Rejected, concept)
+}
+
+func (s *session) escalate(why string) {
+	ex := &mitigation.Executor{World: s.w, Clocked: true, Actor: "helper"}
+	_ = ex.Execute(mitigation.Action{Kind: mitigation.Escalate, Target: "SWAT"})
+	s.out.Escalated = true
+	s.trace(StepEscalated, why)
+}
+
+func (s *session) addEvidence(line string) {
+	s.ctx.Evidence = append(s.ctx.Evidence, line)
+	if max := s.cfg.EvidenceWindow; len(s.ctx.Evidence) > max {
+		s.ctx.Evidence = s.ctx.Evidence[len(s.ctx.Evidence)-max:]
+	}
+}
+
+func (s *session) trace(kind StepKind, detail string) {
+	s.out.Trace = append(s.out.Trace, TraceStep{
+		At: s.w.Clock.Now(), Round: s.round, Kind: kind, Detail: detail,
+	})
+}
+
+// FormatTrace renders a trace for CLI display.
+func FormatTrace(steps []TraceStep) string {
+	var b strings.Builder
+	for _, st := range steps {
+		fmt.Fprintf(&b, "[%7s r%02d] %-14s %s\n", formatDur(st.At), st.Round, st.Kind, st.Detail)
+	}
+	return b.String()
+}
+
+func formatDur(d time.Duration) string {
+	return d.Truncate(time.Second).String()
+}

@@ -1,0 +1,362 @@
+// Package embed implements text embeddings and a vector store for
+// incident-similarity retrieval.
+//
+// The paper (§4.4 "Network-focused Embeddings") observes that retrieval
+// frameworks embed text with generic models "trained on non-network
+// specific data" and calls for network-specific embedding models. This
+// package provides both ends of that contrast:
+//
+//   - HashEmbedder: a generic character-n-gram hashing embedder — a stand
+//     in for an off-the-shelf sentence encoder with no domain knowledge.
+//   - DomainEmbedder: the same machinery with a networking-aware
+//     tokenizer: domain synonyms fold to shared canonical tokens
+//     ("drop", "discard" and "loss" embed identically) and domain terms
+//     carry extra weight, so incidents that describe the same failure
+//     with different words land near each other.
+//
+// The store supports exact cosine search and LSH (random-hyperplane)
+// approximate search, mirroring the vector-database architecture the
+// paper describes.
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Embedder maps text to a fixed-dimension unit vector.
+type Embedder interface {
+	Name() string
+	Dim() int
+	Embed(text string) []float32
+}
+
+// fnv32a hashes s with the FNV-1a function; used to bucket tokens into
+// vector dimensions deterministically.
+func fnv32a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// normalize scales v to unit length in place and returns it. Zero vectors
+// are returned unchanged.
+func normalize(v []float32) []float32 {
+	var sum float64
+	for _, x := range v {
+		sum += float64(x) * float64(x)
+	}
+	if sum == 0 {
+		return v
+	}
+	inv := float32(1 / math.Sqrt(sum))
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors.
+func Cosine(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("embed: cosine of vectors with different dimensions")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// HashEmbedder is the generic baseline: character trigrams hashed into a
+// fixed-dimension bag, signed by a second hash, L2-normalized.
+type HashEmbedder struct {
+	Dims int
+}
+
+// NewHashEmbedder returns a generic embedder with the given dimension
+// (128 if non-positive).
+func NewHashEmbedder(dims int) *HashEmbedder {
+	if dims <= 0 {
+		dims = 128
+	}
+	return &HashEmbedder{Dims: dims}
+}
+
+// Name implements Embedder.
+func (e *HashEmbedder) Name() string { return "generic-hash" }
+
+// Dim implements Embedder.
+func (e *HashEmbedder) Dim() int { return e.Dims }
+
+// Embed implements Embedder.
+func (e *HashEmbedder) Embed(text string) []float32 {
+	v := make([]float32, e.Dims)
+	t := strings.ToLower(text)
+	for i := 0; i+3 <= len(t); i++ {
+		tri := t[i : i+3]
+		h := fnv32a(tri)
+		idx := int(h % uint32(e.Dims))
+		sign := float32(1)
+		if (h>>16)&1 == 1 {
+			sign = -1
+		}
+		v[idx] += sign
+	}
+	return normalize(v)
+}
+
+// domainSynonyms folds networking vocabulary onto canonical tokens. The
+// table is the "network-specific training" of the domain embedder.
+var domainSynonyms = map[string]string{
+	"loss": "pktloss", "losses": "pktloss", "drop": "pktloss", "drops": "pktloss",
+	"dropped": "pktloss", "dropping": "pktloss", "discard": "pktloss", "discards": "pktloss",
+	"retransmissions": "pktloss", "retransmits": "pktloss", "blackhole": "pktloss", "blackholed": "pktloss",
+
+	"crash": "oscrash", "crashed": "oscrash", "panic": "oscrash", "wedge": "oscrash",
+	"wedged": "oscrash", "unresponsive": "oscrash", "reset": "oscrash", "resetting": "oscrash",
+	"watchdog": "oscrash", "exception": "oscrash",
+
+	"congestion": "overload", "congested": "overload", "overload": "overload",
+	"overloaded": "overload", "hot": "overload", "utilization": "overload", "saturated": "overload",
+
+	"reroute": "failover", "rerouted": "failover", "failover": "failover",
+	"shifted": "failover", "drained": "failover",
+
+	"config": "confchg", "configuration": "confchg", "push": "confchg",
+	"rollout": "confchg", "deploy": "confchg", "deployed": "confchg", "upgrade": "confchg",
+
+	"latency": "lat", "slow": "lat", "rtt": "lat", "delay": "lat", "spikes": "lat", "spike": "lat",
+
+	"corruption": "fcserr", "corrupted": "fcserr", "corrupting": "fcserr",
+	"checksum": "fcserr", "fcs": "fcserr", "crc": "fcserr",
+
+	"monitor": "mon", "monitoring": "mon", "pingmesh": "mon", "telemetry": "mon",
+	"alert": "mon", "alerts": "mon", "alarm": "mon", "dashboards": "mon",
+
+	"fiber": "physlink", "optics": "physlink", "transceiver": "physlink",
+	"cable": "physlink", "carrier": "physlink",
+}
+
+// domainWeight boosts canonical domain tokens relative to filler words.
+const domainWeight = 3
+
+// DomainEmbedder is the network-specialized embedder: word tokens with
+// synonym folding and domain-term weighting, plus bigrams of the folded
+// stream.
+type DomainEmbedder struct {
+	Dims int
+}
+
+// NewDomainEmbedder returns a domain embedder with the given dimension
+// (128 if non-positive).
+func NewDomainEmbedder(dims int) *DomainEmbedder {
+	if dims <= 0 {
+		dims = 128
+	}
+	return &DomainEmbedder{Dims: dims}
+}
+
+// Name implements Embedder.
+func (e *DomainEmbedder) Name() string { return "domain-network" }
+
+// Dim implements Embedder.
+func (e *DomainEmbedder) Dim() int { return e.Dims }
+
+// Tokenize lowercases, splits on non-alphanumerics and folds synonyms;
+// exported for tests and for the retrieval-quality experiment's analysis.
+func (e *DomainEmbedder) Tokenize(text string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if canon, ok := domainSynonyms[f]; ok {
+			f = canon
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Embed implements Embedder.
+func (e *DomainEmbedder) Embed(text string) []float32 {
+	v := make([]float32, e.Dims)
+	toks := e.Tokenize(text)
+	add := func(tok string, w float32) {
+		h := fnv32a(tok)
+		idx := int(h % uint32(e.Dims))
+		sign := float32(1)
+		if (h>>16)&1 == 1 {
+			sign = -1
+		}
+		v[idx] += sign * w
+	}
+	isDomain := func(tok string) bool {
+		for _, canon := range domainSynonyms {
+			if tok == canon {
+				return true
+			}
+		}
+		return false
+	}
+	for i, tok := range toks {
+		w := float32(1)
+		if isDomain(tok) {
+			w = domainWeight
+		}
+		add(tok, w)
+		if i+1 < len(toks) {
+			add(tok+"_"+toks[i+1], 1)
+		}
+	}
+	return normalize(v)
+}
+
+// Hit is one search result.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// Store is a vector database over an embedder.
+type Store struct {
+	emb  Embedder
+	ids  []string
+	vecs [][]float32
+	byID map[string]int
+
+	planes [][]float32 // LSH hyperplanes; built lazily
+	bucket map[uint64][]int
+}
+
+// NewStore returns an empty vector store over the embedder.
+func NewStore(e Embedder) *Store {
+	return &Store{emb: e, byID: make(map[string]int)}
+}
+
+// Embedder returns the store's embedder.
+func (s *Store) Embedder() Embedder { return s.emb }
+
+// Len reports the number of stored vectors.
+func (s *Store) Len() int { return len(s.ids) }
+
+// Add embeds and stores text under id, replacing any existing entry.
+func (s *Store) Add(id, text string) {
+	v := s.emb.Embed(text)
+	if i, ok := s.byID[id]; ok {
+		s.vecs[i] = v
+	} else {
+		s.byID[id] = len(s.ids)
+		s.ids = append(s.ids, id)
+		s.vecs = append(s.vecs, v)
+	}
+	s.planes, s.bucket = nil, nil // invalidate LSH index
+}
+
+// Search returns the k nearest stored entries to the query text by exact
+// cosine similarity, ties broken by ID for determinism.
+func (s *Store) Search(query string, k int) []Hit {
+	q := s.emb.Embed(query)
+	hits := make([]Hit, 0, len(s.ids))
+	for i, id := range s.ids {
+		hits = append(hits, Hit{ID: id, Score: Cosine(q, s.vecs[i])})
+	}
+	sortHits(hits)
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// LSHPlanes is the number of random hyperplanes per LSH signature.
+const LSHPlanes = 14
+
+// buildLSH constructs the hyperplane index deterministically.
+func (s *Store) buildLSH() {
+	rng := rand.New(rand.NewSource(42))
+	s.planes = make([][]float32, LSHPlanes)
+	for p := range s.planes {
+		pl := make([]float32, s.emb.Dim())
+		for i := range pl {
+			pl[i] = float32(rng.NormFloat64())
+		}
+		s.planes[p] = pl
+	}
+	s.bucket = make(map[uint64][]int)
+	for i, v := range s.vecs {
+		s.bucket[s.sig(v)] = append(s.bucket[s.sig(v)], i)
+	}
+}
+
+func (s *Store) sig(v []float32) uint64 {
+	var sig uint64
+	for p, pl := range s.planes {
+		var dot float64
+		for i := range v {
+			dot += float64(v[i]) * float64(pl[i])
+		}
+		if dot >= 0 {
+			sig |= 1 << uint(p)
+		}
+	}
+	return sig
+}
+
+// SearchANN returns up to k approximate nearest neighbors using LSH with
+// multi-probe (flipping each signature bit once). It trades recall for a
+// candidate set much smaller than the store.
+func (s *Store) SearchANN(query string, k int) []Hit {
+	if s.planes == nil {
+		s.buildLSH()
+	}
+	q := s.emb.Embed(query)
+	base := s.sig(q)
+	cand := map[int]bool{}
+	addBucket := func(sig uint64) {
+		for _, i := range s.bucket[sig] {
+			cand[i] = true
+		}
+	}
+	addBucket(base)
+	for p := 0; p < LSHPlanes; p++ {
+		addBucket(base ^ (1 << uint(p)))
+	}
+	if len(cand) == 0 {
+		// No bucket within one probe: fall back to exact search rather
+		// than returning nothing (small stores hash sparsely).
+		return s.Search(query, k)
+	}
+	hits := make([]Hit, 0, len(cand))
+	for i := range cand {
+		hits = append(hits, Hit{ID: s.ids[i], Score: Cosine(q, s.vecs[i])})
+	}
+	sortHits(hits)
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+func sortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+}

@@ -1,0 +1,203 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbeddingsUnitNorm(t *testing.T) {
+	for _, e := range []Embedder{NewHashEmbedder(128), NewDomainEmbedder(128)} {
+		v := e.Embed("packet loss observed on link between tor and agg")
+		var sum float64
+		for _, x := range v {
+			sum += float64(x) * float64(x)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Errorf("%s: |v|^2 = %v, want 1", e.Name(), sum)
+		}
+		if len(v) != e.Dim() {
+			t.Errorf("%s: dim %d != %d", e.Name(), len(v), e.Dim())
+		}
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	e := NewDomainEmbedder(64)
+	a := e.Embed("device crashed in us-east")
+	b := e.Embed("device crashed in us-east")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	e := NewHashEmbedder(128)
+	v := e.Embed("some text about networking and switches")
+	if got := Cosine(v, v); math.Abs(got-1) > 1e-5 {
+		t.Errorf("self-cosine = %v", got)
+	}
+	w := e.Embed("completely unrelated gardening recipes with tomatoes")
+	if got := Cosine(v, w); got > 0.9 {
+		t.Errorf("unrelated texts cosine = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	Cosine(v, []float32{1})
+}
+
+func TestDomainSynonymFolding(t *testing.T) {
+	e := NewDomainEmbedder(128)
+	a := e.Embed("severe packet loss on the fabric")
+	b := e.Embed("severe packet drops on the fabric")
+	c := e.Embed("severe latency spike on the fabric")
+	if simAB := Cosine(a, b); simAB < 0.95 {
+		t.Errorf("synonym pair cosine = %v, want near 1", simAB)
+	}
+	if Cosine(a, b) <= Cosine(a, c) {
+		t.Error("synonyms should be closer than different domain concepts")
+	}
+}
+
+// The headline E8 property in miniature: the domain embedder separates
+// same-failure-different-words from different-failure-same-words better
+// than the generic embedder.
+func TestDomainBeatsGenericOnParaphrase(t *testing.T) {
+	query := "customers see heavy packet loss, devices resetting after crash"
+	same := "tenants report drops and discards; switches wedged with watchdog exception"
+	diff := "customers see heavy billing errors, invoices missing after update"
+
+	gen := NewHashEmbedder(128)
+	dom := NewDomainEmbedder(128)
+
+	genMargin := Cosine(gen.Embed(query), gen.Embed(same)) - Cosine(gen.Embed(query), gen.Embed(diff))
+	domMargin := Cosine(dom.Embed(query), dom.Embed(same)) - Cosine(dom.Embed(query), dom.Embed(diff))
+	if domMargin <= genMargin {
+		t.Errorf("domain margin %v <= generic margin %v", domMargin, genMargin)
+	}
+	if domMargin <= 0 {
+		t.Errorf("domain embedder failed paraphrase ranking entirely (margin %v)", domMargin)
+	}
+}
+
+func TestTokenizeFolds(t *testing.T) {
+	e := NewDomainEmbedder(64)
+	toks := e.Tokenize("Dropped packets & FCS errors!")
+	want := map[string]bool{"pktloss": false, "fcserr": false}
+	for _, tok := range toks {
+		if _, ok := want[tok]; ok {
+			want[tok] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("token %s not produced: %v", k, toks)
+		}
+	}
+}
+
+func TestStoreAddReplaceSearch(t *testing.T) {
+	s := NewStore(NewDomainEmbedder(128))
+	s.Add("a", "packet loss in us-east web tier")
+	s.Add("b", "device crash on wan router")
+	s.Add("c", "billing report generation slow")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	hits := s.Search("packet drops in the web tier", 2)
+	if len(hits) != 2 || hits[0].ID != "a" {
+		t.Fatalf("hits = %+v, want a first", hits)
+	}
+	// Replace entry and re-search.
+	s.Add("a", "totally unrelated topic about birds")
+	hits = s.Search("packet drops in the web tier", 1)
+	if hits[0].ID == "a" {
+		t.Fatal("replaced entry still matches old content")
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	s := NewStore(NewHashEmbedder(64))
+	s.Add("x", "identical text")
+	s.Add("y", "identical text")
+	hits := s.Search("identical text", 2)
+	if hits[0].ID != "x" || hits[1].ID != "y" {
+		t.Fatalf("tie-break not by ID: %+v", hits)
+	}
+}
+
+func TestANNFindsStrongMatches(t *testing.T) {
+	s := NewStore(NewDomainEmbedder(128))
+	texts := map[string]string{
+		"i1": "packet loss in us-east after config push",
+		"i2": "device crashed watchdog reset on B4 router",
+		"i3": "congestion hot links bulk transfer surge",
+		"i4": "pingmesh alarm false alert monitoring pipeline",
+		"i5": "latency spike on customer tunnels",
+	}
+	for id, tx := range texts {
+		s.Add(id, tx)
+	}
+	for i := 0; i < 30; i++ {
+		s.Add("filler"+string(rune('a'+i)), "routine maintenance note entry without incident content")
+	}
+	exact := s.Search("packet drops after configuration deploy in us-east", 1)
+	ann := s.SearchANN("packet drops after configuration deploy in us-east", 1)
+	if len(ann) == 0 {
+		t.Fatal("ANN returned nothing")
+	}
+	if ann[0].ID != exact[0].ID {
+		t.Errorf("ANN top hit %s != exact top hit %s", ann[0].ID, exact[0].ID)
+	}
+}
+
+func TestANNRecallReasonable(t *testing.T) {
+	s := NewStore(NewDomainEmbedder(128))
+	queries := []string{
+		"packet loss web tier us-east",
+		"router crash wedge fastpath",
+		"hot overloaded links bulk",
+		"monitoring false alarm pingmesh",
+	}
+	corpus := []string{
+		"web tier packet drops in us-east region",
+		"fastpath crash wedged router watchdog",
+		"bulk transfer congestion links saturated",
+		"pingmesh pipeline alarm fabricated loss",
+		"storage replication behind schedule",
+		"maintenance window scheduled for pod 3",
+		"new protocol rollout on B4 complete",
+		"customer tunnel latency normal",
+	}
+	for i, tx := range corpus {
+		s.Add(string(rune('A'+i)), tx)
+	}
+	match := 0
+	for _, q := range queries {
+		if s.Search(q, 1)[0].ID == s.SearchANN(q, 1)[0].ID {
+			match++
+		}
+	}
+	if match < 3 {
+		t.Errorf("ANN agreed with exact on %d/4 queries", match)
+	}
+}
+
+// Property: cosine similarity is always within [-1, 1] and symmetric for
+// arbitrary texts.
+func TestCosineBoundsProperty(t *testing.T) {
+	e := NewDomainEmbedder(64)
+	check := func(a, b string) bool {
+		va, vb := e.Embed(a), e.Embed(b)
+		s1, s2 := Cosine(va, vb), Cosine(vb, va)
+		return s1 >= -1.0001 && s1 <= 1.0001 && math.Abs(s1-s2) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package eval
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/scenarios"
+)
+
+// ArmStats summarizes one A/B arm.
+type ArmStats struct {
+	Name       string
+	N          int
+	TTMMinutes []float64 // penalized TTM per incident
+	Mitigated  int
+	Correct    int
+	Escalated  int
+	Wrong      int
+	Secondary  int
+	Tokens     int
+}
+
+// MeanTTM returns the arm's mean penalized TTM in minutes.
+func (a *ArmStats) MeanTTM() float64 { return Mean(a.TTMMinutes) }
+
+// MedianTTM returns the arm's median penalized TTM in minutes.
+func (a *ArmStats) MedianTTM() float64 { return Median(a.TTMMinutes) }
+
+// MitigationRate is the fraction of incidents the arm mitigated itself.
+func (a *ArmStats) MitigationRate() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return float64(a.Mitigated) / float64(a.N)
+}
+
+// CorrectRate is the fraction with ground-truth-correct mitigations.
+func (a *ArmStats) CorrectRate() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.N)
+}
+
+// add records one result.
+func (a *ArmStats) add(r harness.Result) {
+	a.N++
+	a.TTMMinutes = append(a.TTMMinutes, r.PenalizedTTM().Minutes())
+	if r.Mitigated {
+		a.Mitigated++
+	}
+	if r.Correct {
+		a.Correct++
+	}
+	if r.Escalated {
+		a.Escalated++
+	}
+	a.Wrong += r.Wrong
+	a.Secondary += r.Secondary
+	a.Tokens += r.Tokens
+}
+
+// ABResult is the full randomized-trial outcome.
+type ABResult struct {
+	Treatment ArmStats
+	Control   ArmStats
+
+	Welch       TTestResult
+	MannWhitney TTestResult
+	PermP       float64
+	// EffectSize is Cohen's d for the TTM difference.
+	EffectSize float64
+	// CI for the mean TTM difference (treatment - control), minutes.
+	DiffLo, DiffHi float64
+}
+
+// SignificantAt reports whether both the parametric and rank tests call
+// the TTM difference significant at level alpha.
+func (r *ABResult) SignificantAt(alpha float64) bool {
+	return r.Welch.P < alpha && r.MannWhitney.P < alpha
+}
+
+// ABConfig parameterizes the randomized trial.
+type ABConfig struct {
+	N    int // incidents in the trial
+	Mix  []scenarios.Scenario
+	Seed int64
+}
+
+// ABTest randomly assigns each sampled incident to the treatment
+// (helper-assisted) or control (helper-free) arm and compares TTM and
+// mistake overheads — §3's "most robust evaluation we can get".
+//
+// Randomization is per incident: the same scenario stream would have
+// been handled by either arm, and confounders (incident class mix,
+// severity) balance out in expectation.
+func ABTest(cfg ABConfig, treatment, control harness.Runner) *ABResult {
+	if cfg.N <= 0 {
+		cfg.N = 100
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = scenarios.All()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &ABResult{
+		Treatment: ArmStats{Name: treatment.Name()},
+		Control:   ArmStats{Name: control.Name()},
+	}
+	for i := 0; i < cfg.N; i++ {
+		sc := mix[rng.Intn(len(mix))]
+		seed := rng.Int63()
+		in := sc.Build(rand.New(rand.NewSource(seed)))
+		if rng.Intn(2) == 0 {
+			res.Treatment.add(treatment.Run(in, seed))
+		} else {
+			res.Control.add(control.Run(in, seed))
+		}
+	}
+	res.Welch = WelchT(res.Treatment.TTMMinutes, res.Control.TTMMinutes)
+	res.EffectSize = CohensD(res.Treatment.TTMMinutes, res.Control.TTMMinutes)
+	res.MannWhitney = MannWhitneyU(res.Treatment.TTMMinutes, res.Control.TTMMinutes)
+	res.PermP = PermutationTest(res.Treatment.TTMMinutes, res.Control.TTMMinutes, 2000, rng)
+
+	// Bootstrap CI on the difference of means.
+	diffs := make([]float64, 0, 2000)
+	bootRng := rand.New(rand.NewSource(cfg.Seed ^ 0xb007))
+	for i := 0; i < 2000; i++ {
+		diffs = append(diffs, resample(res.Treatment.TTMMinutes, bootRng)-resample(res.Control.TTMMinutes, bootRng))
+	}
+	res.DiffLo, res.DiffHi = Percentile(diffs, 2.5), Percentile(diffs, 97.5)
+	return res
+}
+
+func resample(xs []float64, rng *rand.Rand) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < len(xs); i++ {
+		sum += xs[rng.Intn(len(xs))]
+	}
+	return sum / float64(len(xs))
+}
+
+// RunMatrix evaluates several runners over the same incident stream
+// (paired, not randomized): every runner sees identical incidents. Used
+// by the comparative experiments (E2, E3, E9) where pairing removes
+// incident-mix variance entirely.
+func RunMatrix(n int, mix []scenarios.Scenario, seed int64, runners ...harness.Runner) map[string]*ArmStats {
+	if len(mix) == 0 {
+		mix = scenarios.All()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string]*ArmStats, len(runners))
+	for _, r := range runners {
+		out[r.Name()] = &ArmStats{Name: r.Name()}
+	}
+	for i := 0; i < n; i++ {
+		sc := mix[rng.Intn(len(mix))]
+		s := rng.Int63()
+		for _, r := range runners {
+			in := sc.Build(rand.New(rand.NewSource(s)))
+			out[r.Name()].add(r.Run(in, s))
+		}
+	}
+	return out
+}
+
+// MinutesOf converts a duration to float minutes; tiny readability
+// helper used by reports.
+func MinutesOf(d time.Duration) float64 { return d.Minutes() }

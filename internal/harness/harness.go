@@ -1,0 +1,257 @@
+// Package harness adapts the three predictor designs — the iterative
+// helper, the one-shot baseline, and the unassisted control OCE — to one
+// Runner interface the evaluation machinery (A/B tests, replay, benches)
+// drives uniformly.
+package harness
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/kb"
+	"repro/internal/llm"
+	"repro/internal/mitigation"
+	"repro/internal/oce"
+	"repro/internal/risk"
+	"repro/internal/scenarios"
+	"repro/internal/tools"
+)
+
+// Result is the uniform outcome of one incident handled by one runner.
+type Result struct {
+	Scenario   string
+	Mitigated  bool
+	Escalated  bool
+	Correct    bool // mitigated AND the applied plan satisfies ground truth
+	RootCause  bool // the runner identified the true root cause
+	TTM        time.Duration
+	Wrong      int // executed-but-failed mitigations
+	Secondary  int // mitigations that worsened a service
+	PlanErrors int
+	Rounds     int
+	ToolCalls  int
+	Tokens     int // LLM tokens (0 for non-LLM runners)
+	LLMCalls   int
+	Applied    mitigation.Plan
+}
+
+// EscalationPenalty is the modeled time a specialist team needs after a
+// hand-off; unresolved incidents carry it in TTM statistics so "escalate
+// fast" is not a winning strategy.
+const EscalationPenalty = 2 * time.Hour
+
+// PenalizedTTM returns TTM plus the escalation penalty when the incident
+// was not mitigated by the runner itself.
+func (r Result) PenalizedTTM() time.Duration {
+	if r.Mitigated {
+		return r.TTM
+	}
+	return r.TTM + EscalationPenalty
+}
+
+// Runner handles one incident instance end to end.
+type Runner interface {
+	Name() string
+	Run(in *scenarios.Instance, seed int64) Result
+}
+
+// newRegistry builds the per-incident toolbox.
+func newRegistry(in *scenarios.Instance, hist *kb.History, emb embed.Embedder) *tools.Registry {
+	store := embed.NewStore(emb)
+	if hist != nil {
+		for _, rec := range hist.All() {
+			store.Add(rec.ID, rec.Text())
+		}
+	}
+	return tools.NewDefaultRegistry(store, hist, in.Incident.Title+" "+in.Incident.Summary, in.Incident.Service)
+}
+
+// HelperRunner drives the paper's iterative helper.
+type HelperRunner struct {
+	Label     string
+	KBase     *kb.KB // the model's trained knowledge (snapshot for stale helpers)
+	Config    core.Config
+	Expertise float64 // OCE in the loop (default 0.9)
+	OCEKB     *kb.KB  // OCE's own vocabulary (defaults to KBase)
+
+	// Model knobs.
+	Hallucination float64
+	Recall        float64 // trained-rule recall; 0 keeps the default (1.0)
+	Window        int     // context window override; 0 keeps the default
+
+	// History powers the similar-incidents tool (optional).
+	History *kb.History
+}
+
+// Name implements Runner.
+func (h *HelperRunner) Name() string {
+	if h.Label != "" {
+		return h.Label
+	}
+	return "iterative-helper"
+}
+
+// Run implements Runner.
+func (h *HelperRunner) Run(in *scenarios.Instance, seed int64) Result {
+	model := llm.NewSimLLM(h.KBase, seed)
+	model.HallucinationRate = h.Hallucination
+	if h.Recall > 0 {
+		model.Recall = h.Recall
+	}
+	if h.Window > 0 {
+		model.Window = h.Window
+	}
+	reg := newRegistry(in, h.History, embed.NewDomainEmbedder(128))
+	_ = reg.Register("im", tools.NewNLQueryTool(model)) // verified NL query, §4.4
+	helper := &core.Helper{Model: model, Tools: reg, Quant: &risk.Assessor{}, Config: h.Config}
+	exp := h.Expertise
+	if exp == 0 {
+		exp = 0.9
+	}
+	oceKB := h.OCEKB
+	if oceKB == nil {
+		oceKB = h.KBase
+	}
+	watcher := core.NewOCE(exp, oceKB, rand.New(rand.NewSource(seed^0x5eed)))
+	out := helper.Run(in.World, in.Incident, watcher)
+
+	res := Result{
+		Scenario:   in.Scenario.Name(),
+		Mitigated:  out.Mitigated,
+		Escalated:  out.Escalated,
+		TTM:        out.TTM,
+		Wrong:      out.WrongMitigations,
+		Secondary:  out.SecondaryImpact,
+		PlanErrors: out.PlanErrors,
+		Rounds:     out.Rounds,
+		ToolCalls:  out.ToolCalls,
+		Tokens:     out.LLMUsage.Prompt + out.LLMUsage.Completion,
+		LLMCalls:   out.LLMUsage.Calls,
+		Applied:    out.Applied,
+	}
+	res.Correct = out.Mitigated && in.Succeeded(out.Applied)
+	truth := in.Incident.Truth
+	for _, c := range out.Confirmed {
+		if c == truth.RootCause {
+			res.RootCause = true
+		}
+	}
+	return res
+}
+
+// OneShotRunner drives the retrieval-based one-shot baseline.
+type OneShotRunner struct {
+	Label    string
+	History  *kb.History
+	KBase    *kb.KB
+	Embedder embed.Embedder // defaults to the domain embedder
+}
+
+// Name implements Runner.
+func (o *OneShotRunner) Name() string {
+	if o.Label != "" {
+		return o.Label
+	}
+	return "one-shot"
+}
+
+// Run implements Runner.
+func (o *OneShotRunner) Run(in *scenarios.Instance, seed int64) Result {
+	emb := o.Embedder
+	if emb == nil {
+		emb = embed.NewDomainEmbedder(128)
+	}
+	pred := baseline.Train(o.History, o.KBase, emb)
+	reg := newRegistry(in, o.History, emb)
+	out := pred.Execute(in.World, in.Incident, reg)
+	res := Result{
+		Scenario:  in.Scenario.Name(),
+		Mitigated: out.Mitigated,
+		Escalated: out.Escalated,
+		TTM:       out.TTM,
+		Wrong:     out.WrongMitigations,
+		Secondary: out.SecondaryImpact,
+		Rounds:    1,
+		Applied:   out.Applied,
+	}
+	res.Correct = out.Mitigated && in.Succeeded(out.Applied)
+	res.RootCause = out.Predicted == in.Incident.Truth.RootCause
+	return res
+}
+
+// ControlRunner drives the unassisted OCE (the A/B control arm).
+type ControlRunner struct {
+	Label     string
+	KBase     *kb.KB
+	Expertise float64 // default 0.8
+	History   *kb.History
+}
+
+// Name implements Runner.
+func (c *ControlRunner) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return "unassisted-oce"
+}
+
+// Run implements Runner.
+func (c *ControlRunner) Run(in *scenarios.Instance, seed int64) Result {
+	exp := c.Expertise
+	if exp == 0 {
+		exp = 0.8
+	}
+	eng := &oce.Engineer{Expertise: exp, KBase: c.KBase, Rng: rand.New(rand.NewSource(seed ^ 0xabcdef))}
+	reg := newRegistry(in, c.History, embed.NewDomainEmbedder(128))
+	out := eng.Solve(in.World, in.Incident, reg)
+	res := Result{
+		Scenario:  in.Scenario.Name(),
+		Mitigated: out.Mitigated,
+		Escalated: out.Escalated,
+		TTM:       out.TTM,
+		Wrong:     out.WrongMitigations,
+		Rounds:    out.Rounds,
+		ToolCalls: out.ToolCalls,
+		Applied:   out.Applied,
+	}
+	res.Correct = out.Mitigated && in.Succeeded(out.Applied)
+	return res
+}
+
+// RunTraced runs the iterative helper with an explicit model and returns
+// the uniform result, the rendered session trace (the audit log the CLIs
+// and the quickstart example display), and a generated postmortem.
+func RunTraced(model llm.Model, kbase *kb.KB, cfg core.Config, expertise float64, hist *kb.History, in *scenarios.Instance, seed int64) (Result, string, string) {
+	reg := newRegistry(in, hist, embed.NewDomainEmbedder(128))
+	_ = reg.Register("im", tools.NewNLQueryTool(model)) // verified NL query, §4.4
+	helper := &core.Helper{Model: model, Tools: reg, Quant: &risk.Assessor{}, Config: cfg}
+	if expertise == 0 {
+		expertise = 0.9
+	}
+	watcher := core.NewOCE(expertise, kbase, rand.New(rand.NewSource(seed^0x5eed)))
+	out := helper.Run(in.World, in.Incident, watcher)
+	res := Result{
+		Scenario:   in.Scenario.Name(),
+		Mitigated:  out.Mitigated,
+		Escalated:  out.Escalated,
+		TTM:        out.TTM,
+		Wrong:      out.WrongMitigations,
+		Secondary:  out.SecondaryImpact,
+		PlanErrors: out.PlanErrors,
+		Rounds:     out.Rounds,
+		ToolCalls:  out.ToolCalls,
+		Tokens:     out.LLMUsage.Prompt + out.LLMUsage.Completion,
+		LLMCalls:   out.LLMUsage.Calls,
+		Applied:    out.Applied,
+	}
+	res.Correct = out.Mitigated && in.Succeeded(out.Applied)
+	for _, c := range out.Confirmed {
+		if c == in.Incident.Truth.RootCause {
+			res.RootCause = true
+		}
+	}
+	return res, core.FormatTrace(out.Trace), core.Postmortem(in.Incident, out)
+}

@@ -1,0 +1,104 @@
+package incident
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kb"
+	"repro/internal/mitigation"
+	"repro/internal/telemetry"
+)
+
+func TestSymptomsFromAlerts(t *testing.T) {
+	alerts := []telemetry.Alert{
+		{Rule: "service-loss", Detail: "service web experiencing 5.0% packet loss (2/6 flows unrouted)"},
+		{Rule: "service-loss", Detail: "service db experiencing 2.0% packet loss (0/4 flows unrouted)"},
+		{Rule: "device-down", Detail: "device x unresponsive"},
+		{Rule: "link-util", Detail: "link y at 99%"},
+	}
+	syms := SymptomsFromAlerts(alerts)
+	want := map[string]bool{kb.CPacketLoss: true, kb.CServiceUnreachable: true}
+	if len(syms) != len(want) {
+		t.Fatalf("symptoms = %v", syms)
+	}
+	for _, s := range syms {
+		if !want[s] {
+			t.Errorf("unexpected symptom %s", s)
+		}
+	}
+	// No unrouted flows: no service_unreachable.
+	syms = SymptomsFromAlerts(alerts[1:2])
+	if len(syms) != 1 || syms[0] != kb.CPacketLoss {
+		t.Errorf("symptoms = %v", syms)
+	}
+	if got := SymptomsFromAlerts(nil); got != nil {
+		t.Errorf("no alerts should yield no symptoms, got %v", got)
+	}
+}
+
+func TestDigest(t *testing.T) {
+	if !strings.Contains(Digest(nil), "no alerts") {
+		t.Error("empty digest wording")
+	}
+	d := Digest([]telemetry.Alert{{Rule: "service-loss", Subject: "web", Detail: "detail"}})
+	if !strings.Contains(d, "service-loss") || !strings.Contains(d, "detail") {
+		t.Errorf("digest = %q", d)
+	}
+}
+
+func TestGroundTruthChainDepth(t *testing.T) {
+	g := &GroundTruth{}
+	if g.ChainDepth() != 0 {
+		t.Error("empty chain depth")
+	}
+	g.CausalChain = []string{"a", "b", "c"}
+	if g.ChainDepth() != 2 {
+		t.Errorf("depth = %d", g.ChainDepth())
+	}
+}
+
+func TestMitigationCorrectAlternatives(t *testing.T) {
+	g := &GroundTruth{RequiredMitigations: [][]mitigation.Action{
+		{{Kind: mitigation.RollbackChange, Target: "CHG-1"}},
+		{{Kind: mitigation.OverrideWAN, Target: "B4", Param: "healthy"}},
+	}}
+	if !g.MitigationCorrect(mitigation.Plan{Actions: []mitigation.Action{
+		{Kind: mitigation.RateLimitService, Target: "bulk", Param: "0.5"},
+		{Kind: mitigation.OverrideWAN, Target: "B4", Param: "healthy"},
+	}}) {
+		t.Error("alternative set not accepted")
+	}
+	if g.MitigationCorrect(mitigation.Plan{Actions: []mitigation.Action{
+		{Kind: mitigation.OverrideWAN, Target: "B4", Param: "failed"},
+	}}) {
+		t.Error("wrong param accepted")
+	}
+	if g.MitigationCorrect(mitigation.Plan{}) {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestNewAndRecord(t *testing.T) {
+	alerts := []telemetry.Alert{{Rule: "service-loss", Detail: "service s experiencing 9% packet loss (0/3 flows unrouted)"}}
+	truth := &GroundTruth{RootCause: kb.CLinkCorruption, CausalChain: []string{kb.CLinkCorruption, kb.CPacketLoss}}
+	inc := New("INC-1", "title", "summary", 2, 10*time.Minute, alerts, truth)
+	if !strings.Contains(inc.Summary, "auto-digest") {
+		t.Error("digest not embedded in summary")
+	}
+	if len(inc.Symptoms) != 1 || inc.Symptoms[0] != kb.CPacketLoss {
+		t.Errorf("symptoms = %v", inc.Symptoms)
+	}
+	if !strings.Contains(inc.String(), "INC-1") {
+		t.Error("String missing ID")
+	}
+	rec := inc.Record([]mitigation.Action{{Kind: mitigation.IsolateLink, Target: "l"}}, 45*time.Minute, "tag1")
+	if rec.RootCause != kb.CLinkCorruption || rec.TTMMinutes != 45 || len(rec.Tags) != 1 {
+		t.Errorf("record = %+v", rec)
+	}
+	// Record must not alias the incident's slices.
+	rec.Symptoms[0] = "mutated"
+	if inc.Symptoms[0] == "mutated" {
+		t.Error("Record aliases incident symptoms")
+	}
+}

@@ -1,0 +1,261 @@
+package kb
+
+import "repro/internal/mitigation"
+
+// Concept IDs: the shared vocabulary between incidents, telemetry, the
+// knowledge base and the helper. Symptom concepts are what alerts report;
+// cause concepts are what hypotheses assert.
+const (
+	CPacketLoss          = "packet_loss"
+	CLatencySpike        = "latency_spike"
+	CServiceUnreachable  = "service_unreachable"
+	CLinkOverload        = "link_overload"
+	CLinkDown            = "link_down"
+	CLinkCorruption      = "link_corruption"
+	CDeviceDown          = "device_down"
+	CDeviceOSCrash       = "device_os_crash"
+	CWANFailover         = "wan_failover"
+	CPrefixConflict      = "prefix_conflict"
+	CConfigInconsistency = "config_inconsistency"
+	CConfigPush          = "config_push"
+	CTrafficSurge        = "traffic_surge"
+	CMonitorFalseAlarm   = "monitor_false_alarm"
+	CProtocolBug         = "protocol_bug"
+	CProtocolRollout     = "protocol_rollout"
+	CMaintenance         = "maintenance_activity"
+)
+
+// Tool names referenced by concept test hints. The tools package
+// registers implementations under these names.
+const (
+	ToolPingMesh         = "pingmesh"
+	ToolLinkUtil         = "linkutil"
+	ToolDeviceHealth     = "devicehealth"
+	ToolCounters         = "counters"
+	ToolSyslog           = "syslog"
+	ToolControllerState  = "controller-state"
+	ToolPrefixTable      = "prefix-table"
+	ToolRecentChanges    = "recent-changes"
+	ToolMonitorCheck     = "monitor-crosscheck"
+	ToolSimilarIncidents = "similar-incidents"
+	ToolAskCustomer      = "ask-customer"
+)
+
+// Mitigation target placeholders bound by the planner from evidence.
+const (
+	PhLink     = "$LINK"
+	PhDevice   = "$DEVICE"
+	PhWAN      = "$WAN"
+	PhChange   = "$CHANGE"
+	PhProtocol = "$PROTOCOL"
+	PhService  = "$SERVICE"
+	PhMonitor  = "$MONITOR"
+)
+
+// Default builds the version-1 knowledge base: the concepts, causal rules,
+// TSGs and components a seasoned operator team has accumulated *before*
+// the fastpath protocol exists. ApplyFastpathUpdate layers on the delta a
+// team would register when rolling out that protocol.
+func Default() *KB {
+	k := New()
+
+	// --- Concepts -------------------------------------------------------
+	for _, c := range []Concept{
+		{ID: CPacketLoss, Description: "customers or probes observe packet loss", TestTool: ToolPingMesh},
+		{ID: CLatencySpike, Description: "end-to-end latency far above baseline", TestTool: ToolPingMesh},
+		{ID: CServiceUnreachable, Description: "a service's traffic is blackholed entirely", TestTool: ToolPingMesh},
+		{
+			ID: CLinkOverload, Description: "offered load exceeds a link's capacity", Prior: 0.12,
+			TestTool: ToolLinkUtil,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.RateLimitService, Target: PhService, Param: "0.5"},
+			},
+		},
+		{
+			ID: CLinkDown, Description: "a link lost carrier (fiber cut, optics)", Prior: 0.10,
+			TestTool: ToolSyslog,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.IsolateLink, Target: PhLink},
+			},
+		},
+		{
+			ID: CLinkCorruption, Description: "a link corrupts frames without going down (gray failure)", Prior: 0.08,
+			TestTool: ToolCounters,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.IsolateLink, Target: PhLink},
+			},
+		},
+		{
+			ID: CDeviceDown, Description: "a switch or router is unresponsive", Prior: 0.12,
+			TestTool: ToolDeviceHealth,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.RestartDevice, Target: PhDevice},
+			},
+		},
+		{
+			ID: CDeviceOSCrash, Description: "a device's network OS crashed or wedged", Prior: 0.05,
+			TestTool: ToolSyslog,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.RestartDevice, Target: PhDevice},
+			},
+		},
+		{
+			ID: CWANFailover, Description: "the traffic controller moved traffic off a WAN", Prior: 0.04,
+			TestTool: ToolControllerState,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.OverrideWAN, Target: PhWAN, Param: "healthy"},
+			},
+		},
+		{
+			ID: CPrefixConflict, Description: "a WAN's prefix table shows the same prefix observed by multiple clusters", Prior: 0.02,
+			TestTool: ToolPrefixTable,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.RollbackChange, Target: PhChange},
+			},
+		},
+		{
+			ID: CConfigInconsistency, Description: "a config push left inconsistent state across clusters", Prior: 0.06,
+			TestTool: ToolRecentChanges,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.RollbackChange, Target: PhChange},
+			},
+		},
+		{ID: CConfigPush, Description: "a configuration change was recently deployed", Prior: 0.10, TestTool: ToolRecentChanges},
+		{
+			ID: CTrafficSurge, Description: "a service's demand spiked far above provisioned capacity", Prior: 0.10,
+			TestTool: ToolLinkUtil,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.RateLimitService, Target: PhService, Param: "0.5"},
+			},
+		},
+		{
+			ID: CMonitorFalseAlarm, Description: "a monitoring pipeline is malfunctioning and fabricating signals", Prior: 0.06,
+			TestTool: ToolMonitorCheck,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.RepairMonitor, Target: PhMonitor},
+			},
+		},
+		{
+			ID: CProtocolBug, Description: "a deployed protocol has a latent defect triggered by specific traffic", Prior: 0.02,
+			TestTool: ToolSyslog,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.DisableProtocol, Target: PhProtocol},
+				{Kind: mitigation.RestartDevice, Target: PhDevice},
+			},
+		},
+		{ID: CProtocolRollout, Description: "a new protocol was recently rolled out", Prior: 0.03, TestTool: ToolRecentChanges},
+		{
+			ID: CMaintenance, Description: "planned maintenance is in progress", Prior: 0.08,
+			TestTool: ToolRecentChanges,
+			Mitigations: []mitigation.Action{
+				{Kind: mitigation.RollbackChange, Target: PhChange},
+			},
+		},
+	} {
+		k.AddConcept(c)
+	}
+
+	// --- Causal rules (version 1) ---------------------------------------
+	for _, r := range []Rule{
+		{Cause: CLinkOverload, Effect: CPacketLoss, Strength: 0.90, Team: "netinfra", Note: "overloaded links drop the excess"},
+		{Cause: CLinkDown, Effect: CPacketLoss, Strength: 0.55, Team: "netinfra", Note: "reroute absorbs most single-link failures; loss when capacity is short"},
+		{Cause: CLinkCorruption, Effect: CPacketLoss, Strength: 0.85, Team: "netinfra", Note: "FCS errors drop frames silently"},
+		{Cause: CDeviceDown, Effect: CPacketLoss, Strength: 0.70, Team: "netinfra"},
+		{Cause: CDeviceDown, Effect: CServiceUnreachable, Strength: 0.40, Team: "netinfra", Note: "blackhole when no alternate path"},
+		{Cause: CDeviceOSCrash, Effect: CDeviceDown, Strength: 0.95, Team: "netinfra"},
+		{Cause: CTrafficSurge, Effect: CLinkOverload, Strength: 0.80, Team: "capacity"},
+		{Cause: CWANFailover, Effect: CLinkOverload, Strength: 0.75, Team: "wan", Note: "fallback WAN has less headroom"},
+		{Cause: CWANFailover, Effect: CLatencySpike, Strength: 0.55, Team: "wan"},
+		{Cause: CLinkOverload, Effect: CLatencySpike, Strength: 0.60, Team: "netinfra"},
+		{Cause: CLinkDown, Effect: CLatencySpike, Strength: 0.50, Team: "netinfra", Note: "reroute around dead links lengthens paths"},
+		{Cause: CPrefixConflict, Effect: CWANFailover, Strength: 0.70, Team: "wan", Note: "controller treats inconsistent prefix observations as WAN failure"},
+		{Cause: CConfigInconsistency, Effect: CPrefixConflict, Strength: 0.85, Team: "wan"},
+		{Cause: CConfigPush, Effect: CConfigInconsistency, Strength: 0.50, Team: "wan", Note: "staged pushes leave transient inconsistency"},
+		{Cause: CMaintenance, Effect: CConfigInconsistency, Strength: 0.35, Team: "wan"},
+		{Cause: CMaintenance, Effect: CLinkDown, Strength: 0.30, Team: "netinfra"},
+		{Cause: CConfigPush, Effect: CDeviceOSCrash, Strength: 0.20, Team: "netinfra", Note: "bad config can crash agents"},
+		{Cause: CMonitorFalseAlarm, Effect: CPacketLoss, Strength: 0.30, Team: "monitoring", Note: "apparent loss only: pipeline fabricates records"},
+		{Cause: CMonitorFalseAlarm, Effect: CLatencySpike, Strength: 0.25, Team: "monitoring"},
+	} {
+		k.AddRule(r)
+	}
+
+	// --- TSGs ------------------------------------------------------------
+	k.AddTSG(&TSG{
+		ID: "tsg-device-down", Title: "Unresponsive device runbook", Symptom: CDeviceDown, Team: "netinfra",
+		Steps: []TSGStep{
+			{Kind: TSGQuery, Desc: "confirm device is down", Tool: ToolDeviceHealth},
+			{Kind: TSGAction, Desc: "restart the device", Action: mitigation.Action{Kind: mitigation.RestartDevice, Target: PhDevice}},
+			{Kind: TSGVerify, Desc: "verify loss subsided"},
+		},
+	})
+	k.AddTSG(&TSG{
+		ID: "tsg-gray-link", Title: "Gray link (corruption) runbook", Symptom: CPacketLoss, Team: "netinfra",
+		Steps: []TSGStep{
+			{Kind: TSGQuery, Desc: "find links with discards but low utilization", Tool: ToolCounters},
+			{Kind: TSGAction, Desc: "isolate the corrupting link", Action: mitigation.Action{Kind: mitigation.IsolateLink, Target: PhLink}},
+			{Kind: TSGVerify, Desc: "verify loss subsided"},
+		},
+	})
+	k.AddTSG(&TSG{
+		ID: "tsg-hot-links", Title: "Congestion runbook", Symptom: CLinkOverload, Team: "capacity",
+		Steps: []TSGStep{
+			{Kind: TSGQuery, Desc: "list hottest links", Tool: ToolLinkUtil},
+			{Kind: TSGAction, Desc: "rate limit the dominant service", Action: mitigation.Action{Kind: mitigation.RateLimitService, Target: PhService, Param: "0.5"}},
+			{Kind: TSGVerify, Desc: "verify utilization subsided"},
+		},
+	})
+
+	// --- Components -------------------------------------------------------
+	for _, c := range []Component{
+		{Name: "clos-fabric", Kind: "network", Team: "netinfra", Notes: "per-region data center fabric"},
+		{Name: "B2", Kind: "wan", Team: "wan", Notes: "low-capacity fallback WAN"},
+		{Name: "B4", Kind: "wan", Team: "wan", Notes: "high-capacity bulk WAN"},
+		{Name: "prefix-pipeline", Kind: "control", Team: "wan", DependsOn: []string{"B2", "B4"}},
+		{Name: "traffic-controller", Kind: "control", Team: "wan", DependsOn: []string{"prefix-pipeline"}, Notes: "assigns inter-region traffic to WANs"},
+		{Name: "pingmesh", Kind: "monitoring", Team: "monitoring", DependsOn: []string{"clos-fabric"}},
+		{Name: "bulk-transfer", Kind: "service", Team: "storage", DependsOn: []string{"B4", "traffic-controller"}},
+		{Name: "directconnect", Kind: "service", Team: "edge", DependsOn: []string{"B4", "clos-fabric"}, Notes: "low-latency customer tunnels"},
+	} {
+		k.AddComponent(c)
+	}
+
+	return k
+}
+
+// FastpathProtocol is the novel protocol from the Tokyo-style scenario.
+const FastpathProtocol = "fastpath"
+
+// ApplyFastpathUpdate registers the knowledge delta a team lands when it
+// rolls out the fastpath protocol: the component, the causal rules
+// describing how the new protocol *can* fail, and a kill-switch TSG. This
+// is the paper's adaptivity mechanism — operators "only need to update
+// this helper with the new behavior of the system and not its impact":
+// no end-to-end incident sample is added. It returns the new KB version.
+func ApplyFastpathUpdate(k *KB) int {
+	v := k.Bump()
+	k.AddComponent(Component{
+		Name: FastpathProtocol, Kind: "protocol", Team: "wan",
+		DependsOn: []string{"B4"},
+		Notes:     "fast-reroute protocol deployed on WAN routers; reacts to failures in ms",
+	})
+	k.AddRule(Rule{
+		Cause: CProtocolRollout, Effect: CProtocolBug, Strength: 0.40, Team: "wan",
+		Note: "newly deployed protocols carry latent defects", AddedVersion: v,
+	})
+	k.AddRule(Rule{
+		Cause: CProtocolBug, Effect: CDeviceOSCrash, Strength: 0.80, Team: "wan",
+		Note: "fastpath runs in the network OS fast path; a defect wedges the device", AddedVersion: v,
+	})
+	k.AddTSG(&TSG{
+		ID: "tsg-fastpath-kill", Title: "Fastpath kill switch", Symptom: CProtocolBug, Team: "wan",
+		Version: 1,
+		Steps: []TSGStep{
+			{Kind: TSGQuery, Desc: "look for fastpath fatal exceptions", Tool: ToolSyslog},
+			{Kind: TSGAction, Desc: "disable fastpath fleet-wide", Action: mitigation.Action{Kind: mitigation.DisableProtocol, Target: FastpathProtocol}},
+			{Kind: TSGAction, Desc: "restart wedged devices", Action: mitigation.Action{Kind: mitigation.RestartDevice, Target: PhDevice}},
+			{Kind: TSGVerify, Desc: "verify loss subsided and devices stay up"},
+		},
+	})
+	return v
+}

@@ -1,0 +1,92 @@
+package kb
+
+import (
+	"sort"
+
+	"repro/internal/mitigation"
+)
+
+// IncidentRecord is one resolved incident as stored in the provider's
+// incident database: the text operators wrote, the symptoms and root
+// cause expressed in the concept vocabulary, the mitigation applied, and
+// the original time-to-mitigation. One-shot predictors train on these;
+// the replay harness (§3) replays them.
+type IncidentRecord struct {
+	ID         string
+	Title      string
+	Summary    string
+	Symptoms   []string // concept IDs observed at open time
+	RootCause  string   // concept ID operators settled on
+	Mitigation []mitigation.Action
+	TTMMinutes float64
+	Severity   int // 0..3 (info..critical)
+	Tags       []string
+}
+
+// Text returns the searchable text of the record (title + summary), the
+// string embedding models index.
+func (r IncidentRecord) Text() string { return r.Title + ". " + r.Summary }
+
+// History is the incident database.
+type History struct {
+	records []IncidentRecord
+	byID    map[string]int
+}
+
+// NewHistory returns an empty incident database.
+func NewHistory() *History {
+	return &History{byID: make(map[string]int)}
+}
+
+// Add stores a record, replacing any record with the same ID.
+func (h *History) Add(r IncidentRecord) {
+	if i, ok := h.byID[r.ID]; ok {
+		h.records[i] = r
+		return
+	}
+	h.byID[r.ID] = len(h.records)
+	h.records = append(h.records, r)
+}
+
+// Len reports the number of records.
+func (h *History) Len() int { return len(h.records) }
+
+// All returns every record sorted by ID.
+func (h *History) All() []IncidentRecord {
+	out := append([]IncidentRecord(nil), h.records...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the record with the given ID.
+func (h *History) ByID(id string) (IncidentRecord, bool) {
+	i, ok := h.byID[id]
+	if !ok {
+		return IncidentRecord{}, false
+	}
+	return h.records[i], true
+}
+
+// WithRootCause returns records whose root cause is the given concept.
+func (h *History) WithRootCause(concept string) []IncidentRecord {
+	var out []IncidentRecord
+	for _, r := range h.All() {
+		if r.RootCause == concept {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WithMitigation returns records whose applied mitigation satisfies every
+// requirement in need — the conditional TTM estimator (§3) conditions on
+// this set.
+func (h *History) WithMitigation(need []mitigation.Action) []IncidentRecord {
+	var out []IncidentRecord
+	for _, r := range h.All() {
+		if (mitigation.Plan{Actions: r.Mitigation}).Satisfies(need) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package kb
+
+import (
+	"testing"
+
+	"repro/internal/mitigation"
+)
+
+func TestDefaultCorpusWellFormed(t *testing.T) {
+	k := Default()
+	if k.Version() != 1 {
+		t.Fatalf("version = %d, want 1", k.Version())
+	}
+	if len(k.Concepts()) < 15 {
+		t.Fatalf("only %d concepts", len(k.Concepts()))
+	}
+	if len(k.Rules()) < 15 {
+		t.Fatalf("only %d rules", len(k.Rules()))
+	}
+	// Every rule endpoint resolves (AddRule enforces; double-check).
+	for _, r := range k.Rules() {
+		if _, ok := k.ConceptByID(r.Cause); !ok {
+			t.Errorf("rule %s cause %q unknown", r.ID, r.Cause)
+		}
+		if _, ok := k.ConceptByID(r.Effect); !ok {
+			t.Errorf("rule %s effect %q unknown", r.ID, r.Effect)
+		}
+	}
+}
+
+func TestCausesOfSortedByStrength(t *testing.T) {
+	k := Default()
+	causes := k.CausesOf(CPacketLoss)
+	if len(causes) < 4 {
+		t.Fatalf("packet_loss has %d causes", len(causes))
+	}
+	for i := 1; i < len(causes); i++ {
+		if causes[i-1].Strength < causes[i].Strength {
+			t.Fatal("CausesOf not sorted by descending strength")
+		}
+	}
+	// link_overload (0.9) must outrank monitor_false_alarm (0.3).
+	if causes[0].Cause != CLinkOverload {
+		t.Errorf("top cause = %s, want %s", causes[0].Cause, CLinkOverload)
+	}
+}
+
+func TestEffectsOf(t *testing.T) {
+	k := Default()
+	effects := k.EffectsOf(CConfigPush)
+	found := false
+	for _, r := range effects {
+		if r.Effect == CConfigInconsistency {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("config_push -> config_inconsistency missing")
+	}
+}
+
+func TestAddRuleValidation(t *testing.T) {
+	k := Default()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("unknown cause", func() {
+		k.AddRule(Rule{Cause: "nope", Effect: CPacketLoss, Strength: 0.5})
+	})
+	mustPanic("unknown effect", func() {
+		k.AddRule(Rule{Cause: CLinkDown, Effect: "nope", Strength: 0.5})
+	})
+	mustPanic("bad strength", func() {
+		k.AddRule(Rule{Cause: CLinkDown, Effect: CPacketLoss, Strength: 1.5})
+	})
+}
+
+func TestRemoveRule(t *testing.T) {
+	k := Default()
+	before := len(k.CausesOf(CPacketLoss))
+	k.RemoveRule("rule:link_down->packet_loss")
+	after := len(k.CausesOf(CPacketLoss))
+	if after != before-1 {
+		t.Fatalf("causes %d -> %d, want one fewer", before, after)
+	}
+	k.RemoveRule("rule:does-not-exist") // must not panic
+}
+
+func TestSnapshotExcludesNewRules(t *testing.T) {
+	k := Default()
+	v1 := k.Version()
+	ApplyFastpathUpdate(k)
+	if k.Version() != v1+1 {
+		t.Fatalf("version after update = %d", k.Version())
+	}
+
+	stale := k.Snapshot(v1)
+	if len(stale.CausesOf(CDeviceOSCrash)) != len(Default().CausesOf(CDeviceOSCrash)) {
+		t.Error("stale snapshot leaked post-update rules")
+	}
+	// The updated KB can backward-chain device_os_crash -> protocol_bug.
+	fresh := false
+	for _, r := range k.CausesOf(CDeviceOSCrash) {
+		if r.Cause == CProtocolBug {
+			fresh = true
+		}
+	}
+	if !fresh {
+		t.Error("updated KB missing protocol_bug -> device_os_crash")
+	}
+	stale2 := false
+	for _, r := range stale.CausesOf(CDeviceOSCrash) {
+		if r.Cause == CProtocolBug {
+			stale2 = true
+		}
+	}
+	if stale2 {
+		t.Error("stale snapshot knows about protocol_bug")
+	}
+}
+
+func TestTeamNamespaces(t *testing.T) {
+	k := Default()
+	wan := k.TeamRules("wan")
+	if len(wan) == 0 {
+		t.Fatal("wan team owns no rules")
+	}
+	for _, r := range wan {
+		if r.Team != "wan" {
+			t.Errorf("rule %s leaked into wan namespace", r.ID)
+		}
+	}
+	// One team's additions don't perturb another's.
+	netinfraBefore := len(k.TeamRules("netinfra"))
+	k.AddRule(Rule{ID: "wan-extra", Cause: CMaintenance, Effect: CLatencySpike, Strength: 0.2, Team: "wan"})
+	if len(k.TeamRules("netinfra")) != netinfraBefore {
+		t.Error("wan team addition changed netinfra namespace")
+	}
+}
+
+func TestTSGLookup(t *testing.T) {
+	k := Default()
+	if _, ok := k.TSGByID("tsg-device-down"); !ok {
+		t.Fatal("tsg-device-down missing")
+	}
+	guides := k.TSGForSymptom(CPacketLoss)
+	if len(guides) == 0 {
+		t.Fatal("no TSG for packet_loss")
+	}
+	for _, g := range guides {
+		if g.Version == 0 {
+			t.Errorf("TSG %s has no version", g.ID)
+		}
+	}
+}
+
+func TestComponentsAndDependents(t *testing.T) {
+	k := Default()
+	if _, ok := k.ComponentByName("traffic-controller"); !ok {
+		t.Fatal("traffic-controller component missing")
+	}
+	deps := k.Dependents("B4")
+	names := map[string]bool{}
+	for _, c := range deps {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"bulk-transfer", "directconnect", "prefix-pipeline"} {
+		if !names[want] {
+			t.Errorf("Dependents(B4) missing %s (got %v)", want, names)
+		}
+	}
+}
+
+func TestMitigationsTemplates(t *testing.T) {
+	k := Default()
+	ms := k.Mitigations(CLinkCorruption)
+	if len(ms) != 1 || ms[0].Kind != mitigation.IsolateLink || ms[0].Target != PhLink {
+		t.Fatalf("link_corruption mitigations = %v", ms)
+	}
+	if k.Mitigations("unknown") != nil {
+		t.Error("unknown concept should have no mitigations")
+	}
+	// Mutating the returned slice must not corrupt the KB.
+	ms[0].Target = "hacked"
+	if k.Mitigations(CLinkCorruption)[0].Target != PhLink {
+		t.Error("Mitigations returned aliased storage")
+	}
+}
+
+func TestFastpathUpdateAddsTSG(t *testing.T) {
+	k := Default()
+	ApplyFastpathUpdate(k)
+	tsg, ok := k.TSGByID("tsg-fastpath-kill")
+	if !ok {
+		t.Fatal("fastpath TSG missing after update")
+	}
+	hasKill := false
+	for _, s := range tsg.Steps {
+		if s.Kind == TSGAction && s.Action.Kind == mitigation.DisableProtocol && s.Action.Target == FastpathProtocol {
+			hasKill = true
+		}
+	}
+	if !hasKill {
+		t.Error("fastpath TSG lacks kill-switch step")
+	}
+}
+
+func TestHistoryStore(t *testing.T) {
+	h := NewHistory()
+	h.Add(IncidentRecord{ID: "i1", Title: "loss in east", RootCause: CLinkCorruption,
+		Mitigation: []mitigation.Action{{Kind: mitigation.IsolateLink, Target: "l1"}}, TTMMinutes: 30})
+	h.Add(IncidentRecord{ID: "i2", Title: "congestion", RootCause: CLinkOverload,
+		Mitigation: []mitigation.Action{{Kind: mitigation.RateLimitService, Target: "bulk", Param: "0.5"}}, TTMMinutes: 20})
+	h.Add(IncidentRecord{ID: "i1", Title: "loss in east (updated)", RootCause: CLinkCorruption, TTMMinutes: 25})
+
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (replace by ID)", h.Len())
+	}
+	if r, _ := h.ByID("i1"); r.TTMMinutes != 25 {
+		t.Error("Add did not replace record")
+	}
+	if got := h.WithRootCause(CLinkOverload); len(got) != 1 || got[0].ID != "i2" {
+		t.Errorf("WithRootCause = %+v", got)
+	}
+	if got := h.WithMitigation([]mitigation.Action{{Kind: mitigation.RateLimitService, Target: "bulk"}}); len(got) != 1 {
+		t.Errorf("WithMitigation = %+v", got)
+	}
+	if _, ok := h.ByID("zzz"); ok {
+		t.Error("ByID on missing record succeeded")
+	}
+	if (IncidentRecord{Title: "a", Summary: "b"}).Text() != "a. b" {
+		t.Error("Text format changed")
+	}
+}
+
+func TestKBHistoryAttachedAndSharedAcrossSnapshots(t *testing.T) {
+	k := Default()
+	k.History().Add(IncidentRecord{ID: "x", Title: "t"})
+	s := k.Snapshot(1)
+	if s.History().Len() != 1 {
+		t.Error("snapshot should share the incident history store")
+	}
+}

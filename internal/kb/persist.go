@@ -1,0 +1,101 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/mitigation"
+)
+
+// JSON persistence for the incident history: a production deployment
+// accumulates incidents across runs, and operators exchange corpora
+// between teams. Records round-trip losslessly.
+
+// jsonRecord is the wire form of an IncidentRecord.
+type jsonRecord struct {
+	ID         string       `json:"id"`
+	Title      string       `json:"title"`
+	Summary    string       `json:"summary,omitempty"`
+	Symptoms   []string     `json:"symptoms,omitempty"`
+	RootCause  string       `json:"root_cause,omitempty"`
+	Mitigation []jsonAction `json:"mitigation,omitempty"`
+	TTMMinutes float64      `json:"ttm_minutes"`
+	Severity   int          `json:"severity"`
+	Tags       []string     `json:"tags,omitempty"`
+}
+
+type jsonAction struct {
+	Kind   string `json:"kind"`
+	Target string `json:"target,omitempty"`
+	Param  string `json:"param,omitempty"`
+}
+
+// SaveJSON writes all records as a JSON array.
+func (h *History) SaveJSON(w io.Writer) error {
+	out := make([]jsonRecord, 0, h.Len())
+	for _, r := range h.All() {
+		jr := jsonRecord{
+			ID: r.ID, Title: r.Title, Summary: r.Summary,
+			Symptoms: r.Symptoms, RootCause: r.RootCause,
+			TTMMinutes: r.TTMMinutes, Severity: r.Severity, Tags: r.Tags,
+		}
+		for _, a := range r.Mitigation {
+			jr.Mitigation = append(jr.Mitigation, jsonAction{Kind: string(a.Kind), Target: a.Target, Param: a.Param})
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadJSON reads records from a JSON array produced by SaveJSON,
+// adding them to the history (same-ID records are replaced).
+func (h *History) LoadJSON(r io.Reader) error {
+	var in []jsonRecord
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("kb: decoding history: %w", err)
+	}
+	for _, jr := range in {
+		if jr.ID == "" {
+			return fmt.Errorf("kb: history record with empty id")
+		}
+		rec := IncidentRecord{
+			ID: jr.ID, Title: jr.Title, Summary: jr.Summary,
+			Symptoms: jr.Symptoms, RootCause: jr.RootCause,
+			TTMMinutes: jr.TTMMinutes, Severity: jr.Severity, Tags: jr.Tags,
+		}
+		for _, a := range jr.Mitigation {
+			rec.Mitigation = append(rec.Mitigation, mitigation.Action{
+				Kind: mitigation.ActionKind(a.Kind), Target: a.Target, Param: a.Param,
+			})
+		}
+		h.Add(rec)
+	}
+	return nil
+}
+
+// ExportDOT writes the causal rule graph in Graphviz DOT format: one
+// node per concept (symptom-shaped concepts drawn as doublecircles), one
+// edge per rule labeled with its strength and owning team. Operators use
+// the rendering to review their team's slice of the knowledge base.
+func (k *KB) ExportDOT(w io.Writer) error {
+	var b []byte
+	buf := func(s string) { b = append(b, s...) }
+	buf("digraph kb {\n  rankdir=LR;\n  node [fontsize=10];\n")
+	for _, id := range k.Concepts() {
+		c := k.concepts[id]
+		shape := "box"
+		if len(k.byEffect[id]) > 0 && len(k.byCause[id]) == 0 {
+			shape = "doublecircle" // pure symptom: only ever an effect
+		}
+		buf(fmt.Sprintf("  %q [shape=%s, tooltip=%q];\n", id, shape, c.Description))
+	}
+	for _, r := range k.Rules() {
+		buf(fmt.Sprintf("  %q -> %q [label=\"%.2f (%s)\"];\n", r.Cause, r.Effect, r.Strength, r.Team))
+	}
+	buf("}\n")
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,91 @@
+package kb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mitigation"
+)
+
+func TestHistoryJSONRoundTrip(t *testing.T) {
+	h := NewHistory()
+	h.Add(IncidentRecord{
+		ID: "i1", Title: "loss in east", Summary: "sum",
+		Symptoms:  []string{CPacketLoss, CServiceUnreachable},
+		RootCause: CLinkCorruption,
+		Mitigation: []mitigation.Action{
+			{Kind: mitigation.IsolateLink, Target: "l1"},
+			{Kind: mitigation.RateLimitService, Target: "bulk", Param: "0.5"},
+		},
+		TTMMinutes: 42.5, Severity: 3, Tags: []string{"gray-link"},
+	})
+	h.Add(IncidentRecord{ID: "i2", Title: "minimal"})
+
+	var buf bytes.Buffer
+	if err := h.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewHistory()
+	if err := loaded.LoadJSON(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d records", loaded.Len())
+	}
+	r, ok := loaded.ByID("i1")
+	if !ok {
+		t.Fatal("i1 missing")
+	}
+	if r.TTMMinutes != 42.5 || r.Severity != 3 || r.RootCause != CLinkCorruption {
+		t.Fatalf("record = %+v", r)
+	}
+	if len(r.Mitigation) != 2 || r.Mitigation[1].Param != "0.5" {
+		t.Fatalf("mitigation = %v", r.Mitigation)
+	}
+	if len(r.Symptoms) != 2 || len(r.Tags) != 1 {
+		t.Fatalf("lists = %v %v", r.Symptoms, r.Tags)
+	}
+}
+
+func TestHistoryLoadJSONErrors(t *testing.T) {
+	h := NewHistory()
+	if err := h.LoadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := h.LoadJSON(strings.NewReader(`[{"title":"no id"}]`)); err == nil {
+		t.Fatal("record without id accepted")
+	}
+}
+
+func TestHistoryLoadJSONReplacesByID(t *testing.T) {
+	h := NewHistory()
+	h.Add(IncidentRecord{ID: "x", Title: "old", TTMMinutes: 10})
+	if err := h.LoadJSON(strings.NewReader(`[{"id":"x","title":"new","ttm_minutes":20,"severity":1}]`)); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := h.ByID("x")
+	if r.Title != "new" || r.TTMMinutes != 20 {
+		t.Fatalf("record = %+v", r)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestExportDOT(t *testing.T) {
+	k := Default()
+	var buf bytes.Buffer
+	if err := k.ExportDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph kb", `"link_overload" -> "packet_loss"`, "0.90 (netinfra)",
+		`"packet_loss" [shape=doublecircle`, "}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}

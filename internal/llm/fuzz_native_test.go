@@ -1,0 +1,61 @@
+package llm
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+)
+
+// Native fuzz targets (run as seed-corpus regressions under plain
+// `go test`; explore with `go test -fuzz=FuzzSimLLMComplete ./internal/llm`).
+
+func FuzzSimLLMComplete(f *testing.F) {
+	f.Add("TASK: form_hypotheses\nBEAM: 3\nSYMPTOMS: packet_loss")
+	f.Add("TASK: plan_test\nHYPOTHESIS: link_overload")
+	f.Add("TASK: interpret_test\nHYPOTHESIS: x\nFINDING: x=true")
+	f.Add("TASK: plan_mitigation\nROOTCAUSE: link_corruption\nBINDING: $LINK=a--b")
+	f.Add("TASK: assess_risk\nACTION: isolate-link|a--b|")
+	f.Add("TASK: text_to_query\nQUESTION: which links are hot?")
+	f.Add("TASK: form_hypotheses\nRULE: a -> b @ 0.5\nRULE: ->\nBEAM: -3")
+	f.Add("garbage\x00with\x01bytes")
+	f.Fuzz(func(t *testing.T, prompt string) {
+		m := NewSimLLM(kb.Default(), 1)
+		m.HallucinationRate = 0.5
+		resp, err := m.Complete(Request{Messages: []Message{{Role: RoleUser, Content: prompt}}})
+		if err != nil {
+			return // unknown/missing TASK errors are contractually fine
+		}
+		if resp.Usage.PromptTokens < 0 || resp.Usage.CompletionTokens < 0 {
+			t.Fatal("negative token usage")
+		}
+		// Whatever the model said must be parseable without panics.
+		ParseHypotheses(resp.Content)
+		ParseTestPlan(resp.Content)
+		ParseVerdict(resp.Content)
+		ParseActions(resp.Content)
+		ParseRiskOpinion(resp.Content)
+		ParseQuery(resp.Content)
+	})
+}
+
+func FuzzTruncateTokens(f *testing.F) {
+	f.Add("hello world this is a test", 3)
+	f.Add("", 0)
+	f.Add("one\ntwo\nthree four five", 2)
+	f.Fuzz(func(t *testing.T, s string, max int) {
+		if max > 1<<20 {
+			max = 1 << 20
+		}
+		out, truncated := TruncateTokens(s, max)
+		if len(out) > len(s) {
+			t.Fatal("truncation grew the text")
+		}
+		if truncated && max > 0 && CountTokens(out) > max {
+			// One final line of words is kept at word granularity; the
+			// 4/3 rounding may exceed max by at most 1.
+			if CountTokens(out) > max+1 {
+				t.Fatalf("truncated to %d tokens, budget %d", CountTokens(out), max)
+			}
+		}
+	})
+}

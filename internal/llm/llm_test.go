@@ -1,0 +1,360 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kb"
+	"repro/internal/mitigation"
+)
+
+func newModel(t *testing.T) *SimLLM {
+	t.Helper()
+	return NewSimLLM(kb.Default(), 1)
+}
+
+func TestCountTokensRatio(t *testing.T) {
+	// 24K words ~= 32K tokens per the paper's ratio.
+	words := strings.Repeat("w ", 24000)
+	got := CountTokens(words)
+	if got < 31000 || got > 33000 {
+		t.Fatalf("CountTokens(24k words) = %d, want ~32k", got)
+	}
+	if CountTokens("") != 0 {
+		t.Error("empty string should be 0 tokens")
+	}
+}
+
+func TestTruncateTokens(t *testing.T) {
+	text := "HEADER: keep\nLINE: one two three four five six\nTAIL: late context"
+	cut, truncated := TruncateTokens(text, 8)
+	if !truncated {
+		t.Fatal("expected truncation")
+	}
+	if !strings.HasPrefix(cut, "HEADER: keep") {
+		t.Errorf("head lost: %q", cut)
+	}
+	if strings.Contains(cut, "TAIL") {
+		t.Errorf("tail survived truncation: %q", cut)
+	}
+	same, tr := TruncateTokens("short", 100)
+	if tr || same != "short" {
+		t.Error("no-op truncation misbehaved")
+	}
+}
+
+func TestFormHypothesesBackwardChains(t *testing.T) {
+	m := newModel(t)
+	resp, err := m.Complete(BuildFormHypotheses(PromptContext{Symptoms: []string{kb.CPacketLoss}}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyps := ParseHypotheses(resp.Content)
+	if len(hyps) == 0 || len(hyps) > 4 {
+		t.Fatalf("got %d hypotheses", len(hyps))
+	}
+	// Strongest cause of packet_loss is link_overload.
+	if hyps[0].Concept != kb.CLinkOverload {
+		t.Errorf("top hypothesis = %s, want %s", hyps[0].Concept, kb.CLinkOverload)
+	}
+	for _, h := range hyps {
+		if h.Confidence <= 0 || h.Confidence > 1 {
+			t.Errorf("confidence %v out of range", h.Confidence)
+		}
+		if h.Reason == "" {
+			t.Errorf("hypothesis %s lacks explanation", h.Concept)
+		}
+	}
+}
+
+func TestFormHypothesesChainsFromConfirmed(t *testing.T) {
+	m := newModel(t)
+	ctx := PromptContext{
+		Symptoms:  []string{kb.CPacketLoss},
+		Confirmed: []string{kb.CLinkOverload, kb.CWANFailover},
+	}
+	resp, err := m.Complete(BuildFormHypotheses(ctx, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyps := ParseHypotheses(resp.Content)
+	found := false
+	for _, h := range hyps {
+		if h.Concept == kb.CPrefixConflict {
+			found = true
+		}
+		if h.Concept == kb.CLinkOverload || h.Concept == kb.CWANFailover {
+			t.Errorf("re-proposed already-confirmed %s", h.Concept)
+		}
+	}
+	if !found {
+		t.Errorf("expected prefix_conflict to explain wan_failover; got %+v", hyps)
+	}
+}
+
+func TestFormHypothesesInContextRule(t *testing.T) {
+	// The stale model cannot explain device_os_crash via the protocol;
+	// with the in-context rule it can (the paper's in-context adaptation
+	// path).
+	m := newModel(t)
+	ctx := PromptContext{
+		Symptoms:  []string{kb.CPacketLoss},
+		Confirmed: []string{kb.CDeviceDown, kb.CDeviceOSCrash},
+	}
+	resp, _ := m.Complete(BuildFormHypotheses(ctx, 5))
+	for _, h := range ParseHypotheses(resp.Content) {
+		if h.Concept == kb.CProtocolBug {
+			t.Fatal("stale model should not know protocol_bug")
+		}
+	}
+	ctx.Rules = []InContextRule{{Cause: kb.CProtocolBug, Effect: kb.CDeviceOSCrash, Strength: 0.8}}
+	resp, _ = m.Complete(BuildFormHypotheses(ctx, 5))
+	found := false
+	for _, h := range ParseHypotheses(resp.Content) {
+		if h.Concept == kb.CProtocolBug {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("in-context rule not used")
+	}
+}
+
+func TestFineTunePicksUpNewKnowledge(t *testing.T) {
+	base := kb.Default()
+	m := NewSimLLM(base.Snapshot(1), 1)
+	updated := kb.Default()
+	kb.ApplyFastpathUpdate(updated)
+	cost := m.FineTune(updated)
+	if cost <= 0 {
+		t.Fatal("fine-tune reported no cost")
+	}
+	ctx := PromptContext{Symptoms: []string{kb.CPacketLoss}, Confirmed: []string{kb.CDeviceDown, kb.CDeviceOSCrash}}
+	resp, _ := m.Complete(BuildFormHypotheses(ctx, 5))
+	found := false
+	for _, h := range ParseHypotheses(resp.Content) {
+		if h.Concept == kb.CProtocolBug {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fine-tuned model missing new knowledge")
+	}
+}
+
+func TestPlanTest(t *testing.T) {
+	m := newModel(t)
+	resp, err := m.Complete(BuildPlanTest(PromptContext{}, kb.CLinkOverload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, ok := ParseTestPlan(resp.Content)
+	if !ok {
+		t.Fatalf("no test plan in %q", resp.Content)
+	}
+	if tp.Tool != kb.ToolLinkUtil {
+		t.Errorf("tool = %s, want %s", tp.Tool, kb.ToolLinkUtil)
+	}
+	if tp.Args["top"] != "10" {
+		t.Errorf("args = %v", tp.Args)
+	}
+	// Unknown concept: no test.
+	resp, err = m.Complete(BuildPlanTest(PromptContext{}, "cosmic_ray_bitflip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ParseTestPlan(resp.Content); ok {
+		t.Error("fabricated concept should yield no test plan")
+	}
+}
+
+func TestInterpretTest(t *testing.T) {
+	m := newModel(t)
+	resp, _ := m.Complete(BuildInterpretTest(PromptContext{}, kb.CLinkOverload, kb.ToolLinkUtil,
+		[]string{"link_overload=true link=B2-a--B2-b util=1.62"}))
+	v, ok := ParseVerdict(resp.Content)
+	if !ok || !v.Supported || v.Confidence < 0.8 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	resp, _ = m.Complete(BuildInterpretTest(PromptContext{}, kb.CLinkOverload, kb.ToolLinkUtil,
+		[]string{"link_overload=false maxutil=0.41"}))
+	v, _ = ParseVerdict(resp.Content)
+	if v.Supported {
+		t.Fatal("explicit false finding interpreted as support")
+	}
+	resp, _ = m.Complete(BuildInterpretTest(PromptContext{}, kb.CLinkOverload, kb.ToolLinkUtil, nil))
+	v, _ = ParseVerdict(resp.Content)
+	if v.Supported {
+		t.Fatal("absent findings interpreted as support")
+	}
+}
+
+func TestPlanMitigationBindsTargets(t *testing.T) {
+	m := newModel(t)
+	ctx := PromptContext{Bindings: map[string]string{kb.PhLink: "r1-tor--r1-agg"}}
+	resp, _ := m.Complete(BuildPlanMitigation(ctx, kb.CLinkCorruption))
+	acts := ParseActions(resp.Content)
+	if len(acts) != 1 {
+		t.Fatalf("actions = %+v", acts)
+	}
+	a := acts[0].Action
+	if a.Kind != mitigation.IsolateLink || a.Target != "r1-tor--r1-agg" {
+		t.Errorf("action = %v", a)
+	}
+	// Multi-target binding expands.
+	ctx = PromptContext{Bindings: map[string]string{
+		kb.PhProtocol: "fastpath", kb.PhDevice: "d1,d2",
+	}}
+	resp, _ = m.Complete(BuildPlanMitigation(ctx, kb.CProtocolBug))
+	acts = ParseActions(resp.Content)
+	if len(acts) != 3 { // disable-protocol + 2 restarts
+		t.Fatalf("actions = %+v", acts)
+	}
+}
+
+func TestPlanMitigationUnknownCauseEscalates(t *testing.T) {
+	m := newModel(t)
+	resp, _ := m.Complete(BuildPlanMitigation(PromptContext{}, "cosmic_ray_bitflip"))
+	acts := ParseActions(resp.Content)
+	if len(acts) != 1 || acts[0].Action.Kind != mitigation.Escalate {
+		t.Fatalf("actions = %+v", acts)
+	}
+}
+
+func TestAssessRisk(t *testing.T) {
+	m := newModel(t)
+	low, _ := m.Complete(BuildAssessRisk(PromptContext{}, []mitigation.Action{
+		{Kind: mitigation.RepairMonitor, Target: "pingmesh"},
+	}))
+	high, _ := m.Complete(BuildAssessRisk(PromptContext{}, []mitigation.Action{
+		{Kind: mitigation.OverrideWAN, Target: "B4", Param: "healthy"},
+		{Kind: mitigation.IsolateDevice, Target: "B4-us-east-r0"},
+	}))
+	rl, ok1 := ParseRiskOpinion(low.Content)
+	rh, ok2 := ParseRiskOpinion(high.Content)
+	if !ok1 || !ok2 {
+		t.Fatal("missing risk opinions")
+	}
+	if rl.Score >= rh.Score {
+		t.Errorf("risk ordering wrong: repair=%v override+isolate=%v", rl.Score, rh.Score)
+	}
+	if rh.Level == "low" {
+		t.Errorf("drastic plan rated low risk: %+v", rh)
+	}
+	empty, _ := m.Complete(BuildAssessRisk(PromptContext{}, nil))
+	re, _ := ParseRiskOpinion(empty.Content)
+	if re.Score != 0 {
+		t.Error("empty plan should be zero risk")
+	}
+}
+
+func TestHallucinationInjection(t *testing.T) {
+	m := newModel(t)
+	m.HallucinationRate = 1.0
+	resp, _ := m.Complete(BuildFormHypotheses(PromptContext{Symptoms: []string{kb.CPacketLoss}}, 3))
+	hyps := ParseHypotheses(resp.Content)
+	if _, known := kb.Default().ConceptByID(hyps[0].Concept); known {
+		t.Errorf("expected fabricated top hypothesis, got %s", hyps[0].Concept)
+	}
+	// Verdicts flip.
+	resp, _ = m.Complete(BuildInterpretTest(PromptContext{}, kb.CLinkOverload, kb.ToolLinkUtil,
+		[]string{"link_overload=true util=1.5"}))
+	v, _ := ParseVerdict(resp.Content)
+	if v.Supported {
+		t.Error("hallucination should flip a supported verdict")
+	}
+	// Mitigation targets corrupt.
+	ctx := PromptContext{Bindings: map[string]string{kb.PhLink: "r1-tor-p0-0--r1-agg-p0-0"}}
+	resp, _ = m.Complete(BuildPlanMitigation(ctx, kb.CLinkCorruption))
+	acts := ParseActions(resp.Content)
+	if acts[0].Action.Target == "r1-tor-p0-0--r1-agg-p0-0" {
+		t.Error("hallucination should corrupt the target")
+	}
+}
+
+func TestContextWindowTruncationDegradesInContextLearning(t *testing.T) {
+	m := newModel(t)
+	m.Window = 60 // tiny window
+	ctx := PromptContext{
+		Symptoms:  []string{kb.CPacketLoss},
+		Confirmed: []string{kb.CDeviceDown, kb.CDeviceOSCrash},
+		// Pad evidence so the RULE line would fit only in a big window.
+		Evidence: []string{},
+		Rules:    []InContextRule{{Cause: kb.CProtocolBug, Effect: kb.CDeviceOSCrash, Strength: 0.8}},
+	}
+	// Rules render before evidence; stuff the prompt via many symptoms
+	// instead: simulate with long evidence placed before rules by
+	// building the request manually.
+	req := BuildFormHypotheses(ctx, 5)
+	long := strings.Repeat("filler context words ", 200)
+	req.Messages[1].Content = strings.Replace(req.Messages[1].Content, "RULE:", "EVIDENCE: "+long+"\nRULE:", 1)
+	resp, err := m.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Fatal("expected truncation")
+	}
+	for _, h := range ParseHypotheses(resp.Content) {
+		if h.Concept == kb.CProtocolBug {
+			t.Fatal("truncated in-context rule still visible to model")
+		}
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	m := newModel(t)
+	before := m.Meter
+	resp, err := m.Complete(BuildFormHypotheses(PromptContext{Symptoms: []string{kb.CPacketLoss}}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Meter.Calls != before.Calls+1 {
+		t.Error("call not metered")
+	}
+	if m.Meter.Prompt <= before.Prompt || m.Meter.Completion <= before.Completion {
+		t.Error("tokens not metered")
+	}
+	if m.Meter.ComputeUnit <= 0 {
+		t.Error("quadratic compute cost not metered")
+	}
+	if resp.Latency < m.LatencyBase {
+		t.Error("latency below base")
+	}
+	if m.Meter.DollarCost(m.Pricing) <= 0 {
+		t.Error("dollar cost zero")
+	}
+	var agg Meter
+	agg.Add(m.Meter)
+	if agg.Calls != m.Meter.Calls || agg.String() == "" {
+		t.Error("meter aggregation broken")
+	}
+}
+
+func TestCompleteErrors(t *testing.T) {
+	m := newModel(t)
+	if _, err := m.Complete(Request{Messages: []Message{{Role: RoleUser, Content: "hello"}}}); err == nil {
+		t.Error("missing TASK should error")
+	}
+	if _, err := m.Complete(Request{Messages: []Message{{Role: RoleUser, Content: "TASK: dance"}}}); err == nil {
+		t.Error("unknown TASK should error")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		m := NewSimLLM(kb.Default(), 7)
+		m.HallucinationRate = 0.3
+		var out strings.Builder
+		for i := 0; i < 5; i++ {
+			r, _ := m.Complete(BuildFormHypotheses(PromptContext{Symptoms: []string{kb.CPacketLoss}}, 3))
+			out.WriteString(r.Content)
+		}
+		return out.String()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different outputs")
+	}
+	_ = time.Second
+}

@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFatTreeCounts(t *testing.T) {
+	for _, k := range []int{2, 4, 6, 8} {
+		n := NewNetwork()
+		cfg := DefaultFatTreeConfig("r")
+		cfg.K = k
+		ft := BuildFatTree(n, cfg)
+		half := k / 2
+		if len(ft.Cores) != half*half {
+			t.Errorf("k=%d: cores = %d, want %d", k, len(ft.Cores), half*half)
+		}
+		if len(ft.Aggs) != k*half || len(ft.Edges) != k*half {
+			t.Errorf("k=%d: aggs/edges = %d/%d, want %d", k, len(ft.Aggs), len(ft.Edges), k*half)
+		}
+		if ft.NumHosts() != k*k*k/4 {
+			t.Errorf("k=%d: hosts = %d, want %d", k, ft.NumHosts(), k*k*k/4)
+		}
+		// Link count: hosts + edge-agg (k pods * half*half) + agg-core
+		// (k pods * half * half).
+		wantLinks := ft.NumHosts() + k*half*half + k*half*half
+		if n.NumLinks() != wantLinks {
+			t.Errorf("k=%d: links = %d, want %d", k, n.NumLinks(), wantLinks)
+		}
+	}
+}
+
+func TestFatTreeInvalidK(t *testing.T) {
+	for _, k := range []int{0, 1, 3, -2} {
+		k := k
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d accepted", k)
+				}
+			}()
+			cfg := DefaultFatTreeConfig("r")
+			cfg.K = k
+			BuildFatTree(NewNetwork(), cfg)
+		}()
+	}
+}
+
+func TestFatTreeAllPairsReachableWithEqualCost(t *testing.T) {
+	n := NewNetwork()
+	ft := BuildFatTree(n, DefaultFatTreeConfig("r"))
+	// Cross-pod pairs have (k/2)^2 equal-cost 6-hop paths in a k=4 tree
+	// (host-edge-agg-core-agg-edge-host): 4 paths, within the ECMP cap.
+	d := RouteDAGFor(n, ft.Hosts[0], ft.Hosts[len(ft.Hosts)-1], nil)
+	if d == nil {
+		t.Fatal("cross-pod hosts unreachable")
+	}
+	if d.Hops != 6 {
+		t.Errorf("cross-pod hops = %d, want 6", d.Hops)
+	}
+	// All 4 cores participate (full ECMP spread).
+	coresUsed := 0
+	for _, id := range d.TransitNodes() {
+		if n.Node(id).Kind == KindSpine {
+			coresUsed++
+		}
+	}
+	if coresUsed != 4 {
+		t.Errorf("cores on DAG = %d, want 4", coresUsed)
+	}
+	// Same-edge pair: 2 hops via the shared edge switch.
+	d2 := RouteDAGFor(n, ft.Hosts[0], ft.Hosts[1], nil)
+	if d2 == nil || d2.Hops != 2 {
+		t.Fatalf("same-edge DAG = %+v", d2)
+	}
+}
+
+func TestFatTreeFullBisectionUnderECMP(t *testing.T) {
+	// The fat-tree's claim: with every host sending at line rate across
+	// pods, ECMP keeps all links at or under capacity (rearrangeably
+	// non-blocking; fluid ECMP achieves it for a uniform shift pattern).
+	n := NewNetwork()
+	cfg := DefaultFatTreeConfig("r")
+	ft := BuildFatTree(n, cfg)
+	hosts := ft.Hosts
+	half := len(hosts) / 2
+	var flows []*Flow
+	// Pair host i in the first half with host i in the second half, both
+	// directions, each at full host line rate.
+	for i := 0; i < half; i++ {
+		flows = append(flows,
+			&Flow{ID: f2id("a", i), Src: hosts[i], Dst: hosts[half+i], DemandGbps: cfg.HostLinkGbps, Service: "bisect"},
+			&Flow{ID: f2id("b", i), Src: hosts[half+i], Dst: hosts[i], DemandGbps: cfg.HostLinkGbps, Service: "bisect"},
+		)
+	}
+	rep := RouteTraffic(n, flows, nil)
+	if loss := rep.OverallLossRate(); loss > 1e-9 {
+		t.Fatalf("bisection traffic lost %.4f%%", loss*100)
+	}
+	worst := 0.0
+	for _, ls := range rep.LinkStats {
+		if ls.Utilization > worst {
+			worst = ls.Utilization
+		}
+	}
+	if worst > 1+1e-9 {
+		t.Fatalf("worst link utilization %v > 1 under bisection load", worst)
+	}
+	if math.Abs(worst-1) > 0.01 {
+		t.Logf("note: worst utilization %.3f (host links saturated)", worst)
+	}
+}
+
+func f2id(tag string, i int) string {
+	return "bisect-" + tag + "-" + string(rune('A'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func TestFatTreeSurvivesCoreFailure(t *testing.T) {
+	n := NewNetwork()
+	ft := BuildFatTree(n, DefaultFatTreeConfig("r"))
+	n.Node(ft.Cores[0]).Healthy = false
+	d := RouteDAGFor(n, ft.Hosts[0], ft.Hosts[len(ft.Hosts)-1], nil)
+	if d == nil {
+		t.Fatal("core failure partitioned the fat-tree")
+	}
+	for _, id := range d.TransitNodes() {
+		if id == ft.Cores[0] {
+			t.Fatal("routing through a dead core")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package netsim
+
+import "fmt"
+
+// Fault is an injectable failure. Scenarios compose faults into incident
+// scripts; mitigation tools and fault resolution revert them.
+type Fault interface {
+	ID() string
+	Description() string
+	Apply(w *World)
+	Revert(w *World)
+}
+
+// LinkDownFault fails a link (fiber cut, dead transceiver).
+type LinkDownFault struct {
+	Link LinkID
+}
+
+// ID implements Fault.
+func (f *LinkDownFault) ID() string { return "link-down:" + string(f.Link) }
+
+// Description implements Fault.
+func (f *LinkDownFault) Description() string { return fmt.Sprintf("link %s is down", f.Link) }
+
+// Apply implements Fault.
+func (f *LinkDownFault) Apply(w *World) {
+	if l := w.Net.Link(f.Link); l != nil {
+		l.Down = true
+		w.Logf(l.A, SevError, "link %s to %s: carrier lost", f.Link, l.B)
+	}
+}
+
+// Revert implements Fault.
+func (f *LinkDownFault) Revert(w *World) {
+	if l := w.Net.Link(f.Link); l != nil {
+		l.Down = false
+		w.Logf(l.A, SevInfo, "link %s restored", f.Link)
+	}
+}
+
+// DeviceDownFault crashes a device.
+type DeviceDownFault struct {
+	Node NodeID
+}
+
+// ID implements Fault.
+func (f *DeviceDownFault) ID() string { return "device-down:" + string(f.Node) }
+
+// Description implements Fault.
+func (f *DeviceDownFault) Description() string { return fmt.Sprintf("device %s is down", f.Node) }
+
+// Apply implements Fault.
+func (f *DeviceDownFault) Apply(w *World) {
+	if nd := w.Net.Node(f.Node); nd != nil {
+		nd.Healthy = false
+		w.Logf(f.Node, SevCritical, "device unresponsive: watchdog reset loop")
+	}
+}
+
+// Revert implements Fault.
+func (f *DeviceDownFault) Revert(w *World) {
+	if nd := w.Net.Node(f.Node); nd != nil {
+		nd.Healthy = true
+		w.Logf(f.Node, SevInfo, "device recovered")
+	}
+}
+
+// LinkCorruptionFault introduces frame corruption on a link (optical
+// degradation, bad cable) without taking it down — the classic gray
+// failure.
+type LinkCorruptionFault struct {
+	Link LinkID
+	Rate float64
+}
+
+// ID implements Fault.
+func (f *LinkCorruptionFault) ID() string { return "link-corrupt:" + string(f.Link) }
+
+// Description implements Fault.
+func (f *LinkCorruptionFault) Description() string {
+	return fmt.Sprintf("link %s corrupting %.2f%% of frames", f.Link, f.Rate*100)
+}
+
+// Apply implements Fault.
+func (f *LinkCorruptionFault) Apply(w *World) {
+	if l := w.Net.Link(f.Link); l != nil {
+		l.CorruptRate = f.Rate
+		w.Logf(l.A, SevWarning, "link %s: FCS error rate rising", f.Link)
+	}
+}
+
+// Revert implements Fault.
+func (f *LinkCorruptionFault) Revert(w *World) {
+	if l := w.Net.Link(f.Link); l != nil {
+		l.CorruptRate = 0
+	}
+}
+
+// TrafficSurgeFault multiplies the demand of every flow of a service —
+// a tenant launch event, a DDoS, or a retry storm.
+type TrafficSurgeFault struct {
+	Service string
+	Factor  float64
+}
+
+// ID implements Fault.
+func (f *TrafficSurgeFault) ID() string { return "surge:" + f.Service }
+
+// Description implements Fault.
+func (f *TrafficSurgeFault) Description() string {
+	return fmt.Sprintf("traffic surge: service %s at %.1fx demand", f.Service, f.Factor)
+}
+
+// Apply implements Fault.
+func (f *TrafficSurgeFault) Apply(w *World) {
+	for _, fl := range w.Flows() {
+		if fl.Service == f.Service {
+			fl.DemandGbps *= f.Factor
+		}
+	}
+}
+
+// Revert implements Fault.
+func (f *TrafficSurgeFault) Revert(w *World) {
+	if f.Factor == 0 {
+		return
+	}
+	for _, fl := range w.Flows() {
+		if fl.Service == f.Service {
+			fl.DemandGbps /= f.Factor
+		}
+	}
+}
+
+// ConfigInconsistencyFault reproduces Casc-1's event 1: a transient
+// configuration inconsistency during a network upgrade makes multiple
+// clusters observe a WAN with the same IP prefixes, which the buggy
+// controller misreads as WAN failure.
+type ConfigInconsistencyFault struct {
+	WAN      string
+	Prefix   string
+	Clusters []string // clusters that each observe the prefix
+}
+
+// ID implements Fault.
+func (f *ConfigInconsistencyFault) ID() string {
+	return "config-inconsistency:" + f.WAN + ":" + f.Prefix
+}
+
+// Description implements Fault.
+func (f *ConfigInconsistencyFault) Description() string {
+	return fmt.Sprintf("config inconsistency: prefix %s observed on %s by %d clusters", f.Prefix, f.WAN, len(f.Clusters))
+}
+
+// Apply implements Fault.
+func (f *ConfigInconsistencyFault) Apply(w *World) {
+	for _, cl := range f.Clusters {
+		if w.Ctl != nil {
+			w.Ctl.Announce(PrefixAnnouncement{Prefix: f.Prefix, WAN: f.WAN, Cluster: cl})
+		}
+	}
+	if w.Ctl != nil {
+		w.Logf(w.Ctl.NodeID, SevWarning, "prefix table churn on %s: %s observed by %d clusters", f.WAN, f.Prefix, len(f.Clusters))
+	}
+}
+
+// Revert implements Fault.
+func (f *ConfigInconsistencyFault) Revert(w *World) {
+	if w.Ctl != nil {
+		w.Ctl.WithdrawAll(f.WAN, f.Prefix)
+		w.Logf(w.Ctl.NodeID, SevInfo, "prefix table for %s converged", f.WAN)
+	}
+}
+
+// MonitorBrokenFault breaks a telemetry monitor by name; the telemetry
+// package serves stale or empty data for broken monitors. This models the
+// "monitoring pipeline is broken" hypothesis class from the paper's
+// running example.
+type MonitorBrokenFault struct {
+	Monitor string
+}
+
+// ID implements Fault.
+func (f *MonitorBrokenFault) ID() string { return "monitor-broken:" + f.Monitor }
+
+// Description implements Fault.
+func (f *MonitorBrokenFault) Description() string {
+	return fmt.Sprintf("monitor %s is malfunctioning", f.Monitor)
+}
+
+// Apply implements Fault.
+func (f *MonitorBrokenFault) Apply(w *World) { w.BrokenMonitors[f.Monitor] = true }
+
+// Revert implements Fault.
+func (f *MonitorBrokenFault) Revert(w *World) { delete(w.BrokenMonitors, f.Monitor) }
+
+// ProtocolBugFault reproduces the AWS Direct Connect Tokyo incident: a
+// newly deployed protocol has a latent defect triggered by a specific
+// packet pattern. Any device running the protocol that forwards a flow
+// carrying the trigger attribute wedges (OS failure). Applying the fault
+// installs the trigger; reverting it models shipping the software fix.
+// Wedged devices stay wedged until operators restart them.
+type ProtocolBugFault struct {
+	Protocol  string
+	AttrKey   string
+	AttrValue string
+}
+
+// ID implements Fault.
+func (f *ProtocolBugFault) ID() string { return "protocol-bug:" + f.Protocol }
+
+// Description implements Fault.
+func (f *ProtocolBugFault) Description() string {
+	return fmt.Sprintf("latent defect in protocol %s triggered by %s=%s", f.Protocol, f.AttrKey, f.AttrValue)
+}
+
+// Apply implements Fault.
+func (f *ProtocolBugFault) Apply(w *World) {
+	w.AddTrigger(&protocolBugTrigger{fault: f})
+}
+
+// Revert implements Fault.
+func (f *ProtocolBugFault) Revert(w *World) {
+	w.RemoveTrigger("trigger:" + f.ID())
+}
+
+type protocolBugTrigger struct {
+	fault *ProtocolBugFault
+}
+
+func (t *protocolBugTrigger) ID() string { return "trigger:" + t.fault.ID() }
+
+func (t *protocolBugTrigger) Fire(w *World, rep *TrafficReport) bool {
+	changed := false
+	for _, fs := range rep.FlowStats {
+		if !fs.Routed || fs.Flow.Attr(t.fault.AttrKey) != t.fault.AttrValue {
+			continue
+		}
+		// Endpoints don't run the transit protocol; only transit
+		// devices wedge.
+		for _, id := range fs.DAG.TransitNodes() {
+			nd := w.Net.Node(id)
+			if nd == nil || !nd.Usable() || !nd.ProtocolEnabled(t.fault.Protocol) {
+				continue
+			}
+			nd.Healthy = false
+			changed = true
+			w.Logf(id, SevCritical, "network OS fatal exception in %s packet handler; device wedged", t.fault.Protocol)
+		}
+	}
+	return changed
+}

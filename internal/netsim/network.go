@@ -1,0 +1,203 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Network is the device/link graph. It is not safe for concurrent
+// mutation; experiments run single-threaded against a simulated clock,
+// and the evaluation harnesses clone Networks per trial instead of
+// sharing them.
+type Network struct {
+	nodes map[NodeID]*Node
+	links map[LinkID]*Link
+	adj   map[NodeID][]LinkID // sorted for determinism
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		nodes: make(map[NodeID]*Node),
+		links: make(map[LinkID]*Link),
+		adj:   make(map[NodeID][]LinkID),
+	}
+}
+
+// AddNode inserts a node. Unset health defaults to healthy. It returns the
+// inserted node so builders can tweak attributes. AddNode panics on
+// duplicate IDs: topology construction bugs should fail loudly.
+func (n *Network) AddNode(node Node) *Node {
+	if node.ID == "" {
+		panic("netsim: node with empty ID")
+	}
+	if _, ok := n.nodes[node.ID]; ok {
+		panic(fmt.Sprintf("netsim: duplicate node %q", node.ID))
+	}
+	node.Healthy = true
+	if node.Protocols == nil {
+		node.Protocols = make(map[string]bool)
+	}
+	if node.Attrs == nil {
+		node.Attrs = make(map[string]string)
+	}
+	stored := node
+	n.nodes[node.ID] = &stored
+	return &stored
+}
+
+// AddLink inserts an undirected link between existing nodes and returns it.
+// The link ID is derived from the endpoints via MakeLinkID.
+func (n *Network) AddLink(a, b NodeID, capacityGbps, propDelayMs float64) *Link {
+	if _, ok := n.nodes[a]; !ok {
+		panic(fmt.Sprintf("netsim: link endpoint %q does not exist", a))
+	}
+	if _, ok := n.nodes[b]; !ok {
+		panic(fmt.Sprintf("netsim: link endpoint %q does not exist", b))
+	}
+	id := MakeLinkID(a, b)
+	if _, ok := n.links[id]; ok {
+		panic(fmt.Sprintf("netsim: duplicate link %q", id))
+	}
+	l := &Link{ID: id, A: a, B: b, CapacityGbps: capacityGbps, PropDelayMs: propDelayMs}
+	n.links[id] = l
+	n.adj[a] = insertSorted(n.adj[a], id)
+	n.adj[b] = insertSorted(n.adj[b], id)
+	return l
+}
+
+func insertSorted(ids []LinkID, id LinkID) []LinkID {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	ids = append(ids, "")
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// Node returns the node with the given ID, or nil if absent.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// Link returns the link with the given ID, or nil if absent.
+func (n *Network) Link(id LinkID) *Link { return n.links[id] }
+
+// LinkBetween returns the link connecting a and b, or nil if none exists.
+func (n *Network) LinkBetween(a, b NodeID) *Link { return n.links[MakeLinkID(a, b)] }
+
+// NumNodes reports the number of nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumLinks reports the number of links.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// Nodes returns all nodes sorted by ID. The slice is fresh; the pointed-to
+// nodes are live.
+func (n *Network) Nodes() []*Node {
+	out := make([]*Node, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		out = append(out, nd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Links returns all links sorted by ID. The slice is fresh; the pointed-to
+// links are live.
+func (n *Network) Links() []*Link {
+	out := make([]*Link, 0, len(n.links))
+	for _, l := range n.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NodesByKind returns all nodes of the given kind, sorted by ID.
+func (n *Network) NodesByKind(kind NodeKind) []*Node {
+	var out []*Node
+	for _, nd := range n.Nodes() {
+		if nd.Kind == kind {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// NodesInRegion returns all nodes in the given region, sorted by ID.
+func (n *Network) NodesInRegion(region string) []*Node {
+	var out []*Node
+	for _, nd := range n.Nodes() {
+		if nd.Region == region {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// Regions returns the sorted set of region names present in the network.
+func (n *Network) Regions() []string {
+	seen := make(map[string]bool)
+	for _, nd := range n.nodes {
+		if nd.Region != "" {
+			seen[nd.Region] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IncidentLinks returns the IDs of links adjacent to id, sorted.
+func (n *Network) IncidentLinks(id NodeID) []LinkID {
+	out := make([]LinkID, len(n.adj[id]))
+	copy(out, n.adj[id])
+	return out
+}
+
+// usableNeighbors yields (neighbor, link) pairs reachable from id over
+// usable links to usable nodes, in deterministic order. allow filters the
+// nodes considered; nil allows every node.
+func (n *Network) usableNeighbors(id NodeID, allow func(*Node) bool) []neighbor {
+	var out []neighbor
+	for _, lid := range n.adj[id] {
+		l := n.links[lid]
+		if !l.Usable() {
+			continue
+		}
+		other := n.nodes[l.Other(id)]
+		if !other.Usable() {
+			continue
+		}
+		if allow != nil && !allow(other) {
+			continue
+		}
+		out = append(out, neighbor{node: other.ID, link: lid})
+	}
+	return out
+}
+
+type neighbor struct {
+	node NodeID
+	link LinkID
+}
+
+// Clone returns a deep copy of the network. Risk assessment relies on
+// cloning to evaluate "what if we applied this mitigation" without
+// touching live state.
+func (n *Network) Clone() *Network {
+	c := NewNetwork()
+	for id, nd := range n.nodes {
+		c.nodes[id] = nd.clone()
+	}
+	for id, l := range n.links {
+		c.links[id] = l.clone()
+	}
+	for id, ids := range n.adj {
+		cp := make([]LinkID, len(ids))
+		copy(cp, ids)
+		c.adj[id] = cp
+	}
+	return c
+}

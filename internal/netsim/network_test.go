@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	c.Advance(5 * time.Minute)
+	c.Advance(30 * time.Second)
+	if got, want := c.Now(), 5*time.Minute+30*time.Second; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset, Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-time.Second)
+}
+
+func TestMakeLinkIDCanonical(t *testing.T) {
+	if MakeLinkID("a", "b") != MakeLinkID("b", "a") {
+		t.Fatal("link ID not canonical under endpoint order")
+	}
+	if MakeLinkID("a", "b") == MakeLinkID("a", "c") {
+		t.Fatal("distinct links share an ID")
+	}
+}
+
+func TestAddNodeDefaults(t *testing.T) {
+	n := NewNetwork()
+	nd := n.AddNode(Node{ID: "sw1", Kind: KindToR, Region: "r1"})
+	if !nd.Healthy {
+		t.Error("new node not healthy by default")
+	}
+	if nd.Protocols == nil || nd.Attrs == nil {
+		t.Error("maps not initialized")
+	}
+	if !nd.Usable() {
+		t.Error("healthy non-isolated node should be usable")
+	}
+	nd.Isolated = true
+	if nd.Usable() {
+		t.Error("isolated node should not be usable")
+	}
+}
+
+func TestAddNodeDuplicatePanics(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode(Node{ID: "x"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddNode did not panic")
+		}
+	}()
+	n.AddNode(Node{ID: "x"})
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode(Node{ID: "a"})
+	n.AddNode(Node{ID: "b"})
+	l := n.AddLink("a", "b", 100, 1)
+	if l.ID != MakeLinkID("a", "b") {
+		t.Errorf("link ID = %q", l.ID)
+	}
+	if n.LinkBetween("b", "a") != l {
+		t.Error("LinkBetween not symmetric")
+	}
+	if got := l.Other("a"); got != "b" {
+		t.Errorf("Other(a) = %q, want b", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("link to missing node did not panic")
+		}
+	}()
+	n.AddLink("a", "zzz", 1, 1)
+}
+
+func TestLinkOtherPanicsOnNonEndpoint(t *testing.T) {
+	l := Link{ID: "a--b", A: "a", B: "b"}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint did not panic")
+		}
+	}()
+	l.Other("c")
+}
+
+func TestNetworkQueries(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode(Node{ID: "t1", Kind: KindToR, Region: "east"})
+	n.AddNode(Node{ID: "t2", Kind: KindToR, Region: "west"})
+	n.AddNode(Node{ID: "s1", Kind: KindSpine, Region: "east"})
+	n.AddLink("t1", "s1", 100, 1)
+	n.AddLink("t2", "s1", 100, 1)
+
+	if got := len(n.NodesByKind(KindToR)); got != 2 {
+		t.Errorf("NodesByKind(ToR) = %d, want 2", got)
+	}
+	if got := len(n.NodesInRegion("east")); got != 2 {
+		t.Errorf("NodesInRegion(east) = %d, want 2", got)
+	}
+	regions := n.Regions()
+	if len(regions) != 2 || regions[0] != "east" || regions[1] != "west" {
+		t.Errorf("Regions() = %v", regions)
+	}
+	if got := len(n.IncidentLinks("s1")); got != 2 {
+		t.Errorf("IncidentLinks(s1) = %d, want 2", got)
+	}
+	if n.NumNodes() != 3 || n.NumLinks() != 2 {
+		t.Errorf("counts = %d/%d, want 3/2", n.NumNodes(), n.NumLinks())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode(Node{ID: "a"})
+	n.AddNode(Node{ID: "b"})
+	n.AddLink("a", "b", 100, 1)
+	n.Node("a").Protocols["bgp"] = true
+
+	c := n.Clone()
+	c.Node("a").Healthy = false
+	c.Node("a").Protocols["bgp"] = false
+	c.Link(MakeLinkID("a", "b")).Down = true
+
+	if !n.Node("a").Healthy {
+		t.Error("clone mutation leaked into original node health")
+	}
+	if !n.Node("a").Protocols["bgp"] {
+		t.Error("clone mutation leaked into original protocols map")
+	}
+	if n.Link(MakeLinkID("a", "b")).Down {
+		t.Error("clone mutation leaked into original link")
+	}
+}
+
+func TestNodesSortedDeterministically(t *testing.T) {
+	n := NewNetwork()
+	for _, id := range []NodeID{"z", "m", "a", "q"} {
+		n.AddNode(Node{ID: id})
+	}
+	nodes := n.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].ID >= nodes[i].ID {
+			t.Fatalf("Nodes() not sorted: %v before %v", nodes[i-1].ID, nodes[i].ID)
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	cases := map[NodeKind]string{
+		KindHost: "host", KindToR: "tor", KindAgg: "agg", KindSpine: "spine",
+		KindGateway: "gateway", KindWANRouter: "wan-router", KindController: "controller",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if NodeKind(99).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}

@@ -1,0 +1,286 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lineNet builds a -- b -- c -- d.
+func lineNet() *Network {
+	n := NewNetwork()
+	for _, id := range []NodeID{"a", "b", "c", "d"} {
+		n.AddNode(Node{ID: id})
+	}
+	n.AddLink("a", "b", 100, 1)
+	n.AddLink("b", "c", 100, 1)
+	n.AddLink("c", "d", 100, 1)
+	return n
+}
+
+// diamondNet builds a -- {b,c} -- d (two equal-cost paths).
+func diamondNet() *Network {
+	n := NewNetwork()
+	for _, id := range []NodeID{"a", "b", "c", "d"} {
+		n.AddNode(Node{ID: id})
+	}
+	n.AddLink("a", "b", 100, 1)
+	n.AddLink("a", "c", 100, 1)
+	n.AddLink("b", "d", 100, 1)
+	n.AddLink("c", "d", 100, 1)
+	return n
+}
+
+func TestECMPPathsLine(t *testing.T) {
+	n := lineNet()
+	paths := ECMPPaths(n, "a", "d", nil)
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	p := paths[0]
+	if p.Hops() != 3 {
+		t.Errorf("hops = %d, want 3", p.Hops())
+	}
+	want := []NodeID{"a", "b", "c", "d"}
+	for i, id := range want {
+		if p.Nodes[i] != id {
+			t.Fatalf("path = %v, want %v", p.Nodes, want)
+		}
+	}
+	if p.DelayMs != 3 {
+		t.Errorf("delay = %v, want 3", p.DelayMs)
+	}
+}
+
+func TestECMPPathsDiamond(t *testing.T) {
+	n := diamondNet()
+	paths := ECMPPaths(n, "a", "d", nil)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if p.Hops() != 2 {
+			t.Errorf("path %v has %d hops, want 2", p.Nodes, p.Hops())
+		}
+	}
+}
+
+func TestECMPPathsSelf(t *testing.T) {
+	n := lineNet()
+	paths := ECMPPaths(n, "a", "a", nil)
+	if len(paths) != 1 || paths[0].Hops() != 0 {
+		t.Fatalf("self path = %+v", paths)
+	}
+}
+
+func TestECMPPathsUnreachable(t *testing.T) {
+	n := lineNet()
+	n.Link(MakeLinkID("b", "c")).Down = true
+	if got := ECMPPaths(n, "a", "d", nil); got != nil {
+		t.Fatalf("expected no path across down link, got %d", len(got))
+	}
+	if Reachable(n, "a", "d", nil) {
+		t.Error("Reachable should be false")
+	}
+	if !Reachable(n, "a", "b", nil) {
+		t.Error("a-b should remain reachable")
+	}
+}
+
+func TestECMPPathsRespectsNodeHealth(t *testing.T) {
+	n := diamondNet()
+	n.Node("b").Healthy = false
+	paths := ECMPPaths(n, "a", "d", nil)
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1 (via c)", len(paths))
+	}
+	if paths[0].Nodes[1] != "c" {
+		t.Errorf("path = %v, want transit c", paths[0].Nodes)
+	}
+}
+
+func TestECMPPathsFilterSparesEndpoints(t *testing.T) {
+	n := lineNet()
+	// Filter rejects everything, but src/dst must still be allowed;
+	// transit b and c are rejected so a->d has no path, a->b does.
+	deny := func(*Node) bool { return false }
+	if got := ECMPPaths(n, "a", "d", deny); got != nil {
+		t.Errorf("filter should block transit: got %d paths", len(got))
+	}
+	if got := ECMPPaths(n, "a", "b", deny); len(got) != 1 {
+		t.Errorf("adjacent nodes need no transit: got %d paths", len(got))
+	}
+}
+
+func TestECMPPathsCap(t *testing.T) {
+	// src connected to dst via 12 parallel two-hop paths; ECMP must cap.
+	n := NewNetwork()
+	n.AddNode(Node{ID: "s"})
+	n.AddNode(Node{ID: "d"})
+	for i := 0; i < 12; i++ {
+		mid := NodeID(rune('a' + i))
+		n.AddNode(Node{ID: "m" + mid})
+		n.AddLink("s", "m"+mid, 10, 1)
+		n.AddLink("m"+mid, "d", 10, 1)
+	}
+	paths := ECMPPaths(n, "s", "d", nil)
+	if len(paths) != MaxECMPPaths {
+		t.Fatalf("got %d paths, want cap %d", len(paths), MaxECMPPaths)
+	}
+}
+
+func TestShortestPathPrefersLowDelay(t *testing.T) {
+	n := NewNetwork()
+	for _, id := range []NodeID{"a", "b", "c", "d"} {
+		n.AddNode(Node{ID: id})
+	}
+	n.AddLink("a", "b", 100, 10) // a-b-d: delay 20 but 2 hops
+	n.AddLink("b", "d", 100, 10)
+	n.AddLink("a", "c", 100, 1) // a-c-d: delay 2
+	n.AddLink("c", "d", 100, 1)
+	p, ok := ShortestPath(n, "a", "d", nil)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if p.DelayMs != 2 {
+		t.Errorf("delay = %v, want 2 (via c)", p.DelayMs)
+	}
+	if p.Nodes[1] != "c" {
+		t.Errorf("path = %v, want via c", p.Nodes)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode(Node{ID: "a"})
+	n.AddNode(Node{ID: "b"})
+	if _, ok := ShortestPath(n, "a", "b", nil); ok {
+		t.Fatal("disconnected nodes reported reachable")
+	}
+}
+
+func TestClosAllPairsReachable(t *testing.T) {
+	n := NewNetwork()
+	BuildClos(n, DefaultClosConfig("r1"))
+	hosts := n.NodesByKind(KindHost)
+	if len(hosts) != 4*4*2 {
+		t.Fatalf("host count = %d, want 32", len(hosts))
+	}
+	// Sample pairs (full mesh is slow in -short runs).
+	for i := 0; i < len(hosts); i += 5 {
+		for j := len(hosts) - 1; j > i; j -= 7 {
+			if !Reachable(n, hosts[i].ID, hosts[j].ID, nil) {
+				t.Fatalf("%s cannot reach %s", hosts[i].ID, hosts[j].ID)
+			}
+		}
+	}
+}
+
+func TestClosCrossPodUsesSpine(t *testing.T) {
+	n := NewNetwork()
+	BuildClos(n, DefaultClosConfig("r1"))
+	paths := ECMPPaths(n, "r1-host-p0-t0-h0", "r1-host-p1-t0-h0", nil)
+	if len(paths) == 0 {
+		t.Fatal("no cross-pod path")
+	}
+	for _, p := range paths {
+		hasSpine := false
+		for _, id := range p.Nodes {
+			if n.Node(id).Kind == KindSpine {
+				hasSpine = true
+			}
+		}
+		if !hasSpine {
+			t.Fatalf("cross-pod path %v avoids spines", p.Nodes)
+		}
+	}
+}
+
+func TestBackboneConnectsRegions(t *testing.T) {
+	n := NewNetwork()
+	bb := BuildBackbone(n, DefaultBackboneConfig())
+	if len(bb.WANNames) != 2 {
+		t.Fatalf("WANs = %v", bb.WANNames)
+	}
+	src := NodeID("us-east-host-p0-t0-h0")
+	dst := NodeID("eu-north-host-p0-t0-h0")
+	if !Reachable(n, src, dst, nil) {
+		t.Fatal("cross-region hosts unreachable")
+	}
+	// Restricting transit to each WAN individually must still connect.
+	for _, wan := range bb.WANNames {
+		wan := wan
+		filter := func(nd *Node) bool {
+			return nd.Kind != KindWANRouter || nd.WANName == wan
+		}
+		if !Reachable(n, src, dst, filter) {
+			t.Fatalf("regions unreachable over WAN %s alone", wan)
+		}
+	}
+}
+
+// Property: every ECMP path returned is loop-free, starts at src, ends at
+// dst, and each consecutive pair is joined by the reported link.
+func TestECMPPathsWellFormedProperty(t *testing.T) {
+	n := NewNetwork()
+	BuildBackbone(n, DefaultBackboneConfig())
+	hosts := n.NodesByKind(KindHost)
+	rng := rand.New(rand.NewSource(7))
+
+	check := func(i, j uint8) bool {
+		src := hosts[int(i)%len(hosts)].ID
+		dst := hosts[int(j)%len(hosts)].ID
+		for _, p := range ECMPPaths(n, src, dst, nil) {
+			if p.Nodes[0] != src || p.Nodes[len(p.Nodes)-1] != dst {
+				return false
+			}
+			seen := map[NodeID]bool{}
+			for _, id := range p.Nodes {
+				if seen[id] {
+					return false // loop
+				}
+				seen[id] = true
+			}
+			if len(p.Links) != len(p.Nodes)-1 {
+				return false
+			}
+			for k, lid := range p.Links {
+				l := n.Link(lid)
+				if l == nil {
+					return false
+				}
+				a, b := p.Nodes[k], p.Nodes[k+1]
+				if !(l.A == a && l.B == b) && !(l.A == b && l.B == a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: routing is deterministic — repeated calls return identical
+// path sets.
+func TestECMPPathsDeterministic(t *testing.T) {
+	n := NewNetwork()
+	BuildClos(n, DefaultClosConfig("r1"))
+	a, b := NodeID("r1-host-p0-t0-h0"), NodeID("r1-host-p3-t3-h1")
+	first := ECMPPaths(n, a, b, nil)
+	for trial := 0; trial < 5; trial++ {
+		again := ECMPPaths(n, a, b, nil)
+		if len(again) != len(first) {
+			t.Fatalf("path count changed: %d vs %d", len(again), len(first))
+		}
+		for i := range first {
+			for k := range first[i].Nodes {
+				if first[i].Nodes[k] != again[i].Nodes[k] {
+					t.Fatalf("path %d differs between calls", i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockHooksFireInOrder(t *testing.T) {
+	c := NewClock()
+	var got []time.Duration
+	c.OnAdvance(func(now time.Duration) { got = append(got, now) })
+	c.Advance(1 * time.Minute)
+	c.Advance(2 * time.Minute)
+	if len(got) != 2 || got[0] != 1*time.Minute || got[1] != 3*time.Minute {
+		t.Fatalf("hook times = %v", got)
+	}
+}
+
+func TestScheduleFiresOnceAtDueTime(t *testing.T) {
+	w := buildBackboneWorld()
+	fired := 0
+	w.ScheduleAt(w.Clock.Now()+10*time.Minute, func(*World) { fired++ })
+	w.Clock.Advance(5 * time.Minute)
+	if fired != 0 {
+		t.Fatal("event fired early")
+	}
+	w.Clock.Advance(5 * time.Minute)
+	if fired != 1 {
+		t.Fatalf("fired = %d at due time", fired)
+	}
+	w.Clock.Advance(30 * time.Minute)
+	if fired != 1 {
+		t.Fatalf("fired = %d, event re-fired", fired)
+	}
+}
+
+func TestScheduleMaintainsTimeOrder(t *testing.T) {
+	w := buildBackboneWorld()
+	var order []int
+	// Register out of order; one big advance must run them due-time order.
+	w.ScheduleAt(w.Clock.Now()+30*time.Minute, func(*World) { order = append(order, 3) })
+	w.ScheduleAt(w.Clock.Now()+10*time.Minute, func(*World) { order = append(order, 1) })
+	w.ScheduleAt(w.Clock.Now()+20*time.Minute, func(*World) { order = append(order, 2) })
+	w.Clock.Advance(1 * time.Hour)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSchedulePastDueFiresImmediatelyOnNextAdvance(t *testing.T) {
+	w := buildBackboneWorld()
+	w.Clock.Advance(1 * time.Hour)
+	fired := false
+	w.ScheduleAt(30*time.Minute, func(*World) { fired = true }) // already past
+	w.Clock.Advance(1 * time.Second)
+	if !fired {
+		t.Fatal("past-due event did not fire")
+	}
+}
+
+func TestCloneDoesNotInheritSchedule(t *testing.T) {
+	w := buildBackboneWorld()
+	fired := 0
+	w.ScheduleAt(w.Clock.Now()+5*time.Minute, func(*World) { fired++ })
+	c := w.Clone()
+	c.Clock.Advance(1 * time.Hour)
+	if fired != 0 {
+		t.Fatal("clone advanced the original's scheduled events")
+	}
+	w.Clock.Advance(1 * time.Hour)
+	if fired != 1 {
+		t.Fatalf("original fired %d", fired)
+	}
+}
+
+func TestScheduleEventInvalidatesReport(t *testing.T) {
+	w := buildBackboneWorld()
+	before := w.Recompute().OverallLossRate()
+	if before > 0.001 {
+		t.Fatal("precondition: healthy")
+	}
+	lid := w.Net.Links()[0].ID
+	// Find a loaded B2-or-B4 independent link: use the config fault instead.
+	w.ScheduleAt(w.Clock.Now()+5*time.Minute, func(ww *World) {
+		ww.Inject(&ConfigInconsistencyFault{WAN: "B4", Prefix: regionPrefix(0), Clusters: []string{"us-west", "eu-north"}})
+	})
+	w.Clock.Advance(10 * time.Minute)
+	if loss := w.Report().OverallLossRate(); loss < 0.05 {
+		t.Fatalf("scheduled fault not visible in report: loss=%v", loss)
+	}
+	_ = lid
+}
+
+func TestBuildBackboneRequiresTwoRegions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-region backbone accepted")
+		}
+	}()
+	BuildBackbone(NewNetwork(), BackboneConfig{Regions: []string{"only"}})
+}
+
+func TestBuildClosValidatesConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-pod Clos accepted")
+		}
+	}()
+	BuildClos(NewNetwork(), ClosConfig{Region: "r"})
+}

@@ -1,0 +1,438 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Flow is a unidirectional aggregate demand between two endpoints. Flows
+// carry a Service label (telemetry and risk assessment aggregate by it)
+// and free-form attributes; scenario triggers key off attributes (e.g.
+// the novel-protocol incident wedges devices that forward flows carrying
+// a particular header pattern).
+type Flow struct {
+	ID         string
+	Src, Dst   NodeID
+	DemandGbps float64
+	Service    string
+	Attrs      map[string]string
+}
+
+// Attr returns the flow attribute for key, or "".
+func (f *Flow) Attr(key string) string {
+	if f.Attrs == nil {
+		return ""
+	}
+	return f.Attrs[key]
+}
+
+// DirLink identifies one direction of an undirected link: Forward means
+// traffic flowing from endpoint A toward B.
+type DirLink struct {
+	Link    LinkID
+	Forward bool
+}
+
+// RouteDAG is the exact per-hop ECMP routing of one flow: every node on a
+// minimum-hop path from Src to Dst, annotated with the fraction of the
+// flow transiting it, assuming each hop splits equally across all
+// next-hops that lie on a shortest path (how hardware ECMP behaves in
+// aggregate).
+type RouteDAG struct {
+	Src, Dst NodeID
+	Hops     int
+	NodeFrac map[NodeID]float64
+	LinkFrac map[DirLink]float64
+
+	// nextHops caches, per node, the shortest-path successors; the
+	// delivery and latency dynamic programs reuse it.
+	nextHops map[NodeID][]neighbor
+}
+
+// TransitNodes returns nodes (excluding src and dst) that carry a positive
+// fraction of the flow, sorted by ID. Triggers use this to decide which
+// devices "saw" a flow.
+func (d *RouteDAG) TransitNodes() []NodeID {
+	var out []NodeID
+	for id, f := range d.NodeFrac {
+		if f > 0 && id != d.Src && id != d.Dst {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RouteDAGFor computes the ECMP routing DAG for src->dst over usable
+// nodes/links, restricted to transit nodes accepted by allow. It returns
+// nil when dst is unreachable.
+func RouteDAGFor(n *Network, src, dst NodeID, allow NodeFilter) *RouteDAG {
+	srcNode, dstNode := n.Node(src), n.Node(dst)
+	if srcNode == nil || dstNode == nil || !srcNode.Usable() || !dstNode.Usable() {
+		return nil
+	}
+	if src == dst {
+		return &RouteDAG{Src: src, Dst: dst, NodeFrac: map[NodeID]float64{src: 1}, LinkFrac: map[DirLink]float64{}}
+	}
+	inner := func(nd *Node) bool {
+		if nd.ID == src || nd.ID == dst {
+			return true
+		}
+		return allow == nil || allow(nd)
+	}
+
+	// BFS from dst: distTo[v] = hop distance v -> dst.
+	distTo := map[NodeID]int{dst: 0}
+	frontier := []NodeID{dst}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, id := range frontier {
+			for _, nb := range n.usableNeighbors(id, inner) {
+				if _, seen := distTo[nb.node]; seen {
+					continue
+				}
+				distTo[nb.node] = distTo[id] + 1
+				next = append(next, nb.node)
+			}
+		}
+		frontier = next
+	}
+	total, ok := distTo[src]
+	if !ok {
+		return nil
+	}
+
+	d := &RouteDAG{
+		Src: src, Dst: dst, Hops: total,
+		NodeFrac: map[NodeID]float64{src: 1},
+		LinkFrac: map[DirLink]float64{},
+		nextHops: map[NodeID][]neighbor{},
+	}
+	// Process nodes level by level from src toward dst, splitting each
+	// node's fraction equally across shortest-path successors.
+	level := []NodeID{src}
+	for hop := total; hop > 0; hop-- {
+		nextSet := map[NodeID]bool{}
+		for _, u := range level {
+			fu := d.NodeFrac[u]
+			var succ []neighbor
+			for _, nb := range n.usableNeighbors(u, inner) {
+				if dv, ok := distTo[nb.node]; ok && dv == hop-1 {
+					succ = append(succ, nb)
+				}
+			}
+			d.nextHops[u] = succ
+			if fu == 0 || len(succ) == 0 {
+				continue
+			}
+			share := fu / float64(len(succ))
+			for _, nb := range succ {
+				d.NodeFrac[nb.node] += share
+				l := n.Link(nb.link)
+				d.LinkFrac[DirLink{Link: nb.link, Forward: l.A == u}] += share
+				nextSet[nb.node] = true
+			}
+		}
+		level = level[:0]
+		for id := range nextSet {
+			level = append(level, id)
+		}
+		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
+	}
+	return d
+}
+
+// deliveredFraction runs the delivery dynamic program: the probability a
+// unit of traffic injected at src reaches dst given per-directed-link
+// loss rates.
+func (d *RouteDAG) deliveredFraction(n *Network, loss func(DirLink) float64) float64 {
+	memo := map[NodeID]float64{d.Dst: 1}
+	var dp func(u NodeID) float64
+	dp = func(u NodeID) float64 {
+		if v, ok := memo[u]; ok {
+			return v
+		}
+		succ := d.nextHops[u]
+		if len(succ) == 0 {
+			memo[u] = 0
+			return 0
+		}
+		var sum float64
+		for _, nb := range succ {
+			l := n.Link(nb.link)
+			dl := DirLink{Link: nb.link, Forward: l.A == u}
+			sum += (1 - loss(dl)) * dp(nb.node)
+		}
+		v := sum / float64(len(succ))
+		memo[u] = v
+		return v
+	}
+	return dp(d.Src)
+}
+
+// expectedDelayMs runs the latency dynamic program: mean path propagation
+// delay under equal per-hop splitting.
+func (d *RouteDAG) expectedDelayMs(n *Network) float64 {
+	memo := map[NodeID]float64{d.Dst: 0}
+	var dp func(u NodeID) float64
+	dp = func(u NodeID) float64 {
+		if v, ok := memo[u]; ok {
+			return v
+		}
+		succ := d.nextHops[u]
+		if len(succ) == 0 {
+			memo[u] = 0
+			return 0
+		}
+		var sum float64
+		for _, nb := range succ {
+			sum += n.Link(nb.link).PropDelayMs + dp(nb.node)
+		}
+		v := sum / float64(len(succ))
+		memo[u] = v
+		return v
+	}
+	return dp(d.Src)
+}
+
+// DirLoad tracks directed load on an undirected link: AB is traffic
+// flowing from endpoint A toward B, BA the reverse.
+type DirLoad struct {
+	AB, BA float64
+}
+
+// Max returns the larger directional load.
+func (d DirLoad) Max() float64 {
+	if d.AB >= d.BA {
+		return d.AB
+	}
+	return d.BA
+}
+
+// LinkStats is the per-link outcome of routing a traffic matrix.
+type LinkStats struct {
+	Link        LinkID
+	Load        DirLoad
+	Utilization float64 // max directional load / capacity
+	LossRate    float64 // loss fraction on the hotter direction
+	LossAB      float64 // loss fraction A->B (overload + corruption)
+	LossBA      float64 // loss fraction B->A
+}
+
+// FlowStats is the per-flow outcome.
+type FlowStats struct {
+	Flow      *Flow
+	Routed    bool
+	DAG       *RouteDAG
+	LossRate  float64 // 0..1 fraction of demand not delivered
+	LatencyMs float64 // expected path delay under ECMP splitting
+}
+
+// Delivered reports the goodput of the flow in Gbps.
+func (s *FlowStats) Delivered() float64 {
+	if !s.Routed {
+		return 0
+	}
+	return s.Flow.DemandGbps * (1 - s.LossRate)
+}
+
+// ServiceStats aggregates flow outcomes per service label.
+type ServiceStats struct {
+	Service    string
+	Demand     float64
+	Delivered  float64
+	LossRate   float64 // demand-weighted
+	MaxLatency float64
+	Flows      int
+	Unrouted   int
+}
+
+// TrafficReport is the result of routing a traffic matrix over the
+// network: the ground truth telemetry monitors sample from.
+type TrafficReport struct {
+	LinkStats      map[LinkID]*LinkStats
+	FlowStats      []*FlowStats
+	ServiceStats   map[string]*ServiceStats
+	TotalDemand    float64
+	TotalDelivered float64
+}
+
+// OverallLossRate reports the demand-weighted loss fraction across all flows.
+func (r *TrafficReport) OverallLossRate() float64 {
+	if r.TotalDemand == 0 {
+		return 0
+	}
+	return 1 - r.TotalDelivered/r.TotalDemand
+}
+
+// HotLinks returns links with utilization of at least threshold, sorted by
+// descending utilization (ties by ID).
+func (r *TrafficReport) HotLinks(threshold float64) []*LinkStats {
+	var out []*LinkStats
+	for _, ls := range r.LinkStats {
+		if ls.Utilization >= threshold {
+			out = append(out, ls)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Utilization != out[j].Utilization {
+			return out[i].Utilization > out[j].Utilization
+		}
+		return out[i].Link < out[j].Link
+	})
+	return out
+}
+
+// PathSelector decides the transit constraint for a flow; the WAN traffic
+// controller implements it to steer inter-region flows onto a chosen WAN.
+// A nil selector places no constraint.
+type PathSelector interface {
+	// FilterFor returns the transit-node filter to route flow f under,
+	// or nil for no constraint.
+	FilterFor(f *Flow) NodeFilter
+}
+
+// RouteTraffic routes every flow over its ECMP DAG subject to the
+// selector's per-flow constraints, accumulates directed link load, and
+// derives loss from capacity overload plus link corruption.
+//
+// The loss model is the standard fluid approximation: a directed link
+// with offered load L on capacity C drops fraction max(0, (L-C)/L); a
+// flow's delivered fraction is computed exactly over its ECMP DAG.
+func RouteTraffic(n *Network, flows []*Flow, sel PathSelector) *TrafficReport {
+	rep := &TrafficReport{
+		LinkStats:    make(map[LinkID]*LinkStats, n.NumLinks()),
+		ServiceStats: make(map[string]*ServiceStats),
+	}
+	for _, l := range n.Links() {
+		rep.LinkStats[l.ID] = &LinkStats{Link: l.ID}
+	}
+
+	// Pass 1: route each flow, accumulate directed loads.
+	for _, f := range flows {
+		var filter NodeFilter
+		if sel != nil {
+			filter = sel.FilterFor(f)
+		}
+		fs := &FlowStats{Flow: f}
+		fs.DAG = RouteDAGFor(n, f.Src, f.Dst, filter)
+		fs.Routed = fs.DAG != nil
+		rep.FlowStats = append(rep.FlowStats, fs)
+		if !fs.Routed {
+			continue
+		}
+		for dl, frac := range fs.DAG.LinkFrac {
+			ls := rep.LinkStats[dl.Link]
+			if dl.Forward {
+				ls.Load.AB += f.DemandGbps * frac
+			} else {
+				ls.Load.BA += f.DemandGbps * frac
+			}
+		}
+	}
+
+	// Pass 2: per-link utilization and directed loss.
+	dirLoss := make(map[DirLink]float64, 2*len(rep.LinkStats))
+	for lid, ls := range rep.LinkStats {
+		l := n.Link(lid)
+		if l.CapacityGbps > 0 {
+			ls.Utilization = ls.Load.Max() / l.CapacityGbps
+		}
+		ab := clamp01(overloadLoss(ls.Load.AB, l.CapacityGbps) + l.CorruptRate)
+		ba := clamp01(overloadLoss(ls.Load.BA, l.CapacityGbps) + l.CorruptRate)
+		dirLoss[DirLink{Link: lid, Forward: true}] = ab
+		dirLoss[DirLink{Link: lid, Forward: false}] = ba
+		ls.LossAB, ls.LossBA = ab, ba
+		ls.LossRate = ab
+		if ba > ab {
+			ls.LossRate = ba
+		}
+	}
+	lossFn := func(dl DirLink) float64 { return dirLoss[dl] }
+
+	// Pass 3: per-flow delivery and aggregates.
+	for _, fs := range rep.FlowStats {
+		rep.TotalDemand += fs.Flow.DemandGbps
+		svc := rep.ServiceStats[fs.Flow.Service]
+		if svc == nil {
+			svc = &ServiceStats{Service: fs.Flow.Service}
+			rep.ServiceStats[fs.Flow.Service] = svc
+		}
+		svc.Flows++
+		svc.Demand += fs.Flow.DemandGbps
+		if !fs.Routed {
+			fs.LossRate = 1
+			svc.Unrouted++
+			continue
+		}
+		fs.LossRate = clamp01(1 - fs.DAG.deliveredFraction(n, lossFn))
+		fs.LatencyMs = fs.DAG.expectedDelayMs(n)
+		rep.TotalDelivered += fs.Delivered()
+		svc.Delivered += fs.Delivered()
+		if fs.LatencyMs > svc.MaxLatency {
+			svc.MaxLatency = fs.LatencyMs
+		}
+	}
+	for _, svc := range rep.ServiceStats {
+		if svc.Demand > 0 {
+			svc.LossRate = 1 - svc.Delivered/svc.Demand
+		}
+	}
+	return rep
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func overloadLoss(load, capacity float64) float64 {
+	if capacity <= 0 || load <= capacity {
+		return 0
+	}
+	return (load - capacity) / load
+}
+
+// UniformMeshFlows builds a flow per ordered pair of the given endpoints,
+// each with the same demand and service label. Useful for synthetic
+// background traffic in tests and workloads.
+func UniformMeshFlows(endpoints []NodeID, demandGbps float64, service string) []*Flow {
+	var flows []*Flow
+	for i, a := range endpoints {
+		for j, b := range endpoints {
+			if i == j {
+				continue
+			}
+			flows = append(flows, &Flow{
+				ID:         fmt.Sprintf("%s:%s->%s", service, a, b),
+				Src:        a,
+				Dst:        b,
+				DemandGbps: demandGbps,
+				Service:    service,
+			})
+		}
+	}
+	return flows
+}
+
+// ProbeLossOverDAG evaluates the loss a zero-demand probe would observe
+// traversing dag, given the per-link loss rates already computed in rep.
+// Telemetry probes (PingMesh) use it so probing does not perturb load.
+func ProbeLossOverDAG(dag *RouteDAG, n *Network, rep *TrafficReport) float64 {
+	loss := func(dl DirLink) float64 {
+		ls := rep.LinkStats[dl.Link]
+		if ls == nil {
+			return 0
+		}
+		if dl.Forward {
+			return ls.LossAB
+		}
+		return ls.LossBA
+	}
+	return clamp01(1 - dag.deliveredFraction(n, loss))
+}

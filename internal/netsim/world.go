@@ -1,0 +1,358 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Severity grades syslog events.
+type Severity int
+
+// Syslog severities, lowest to highest.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+	SevCritical
+)
+
+// String returns the conventional severity name.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "INFO"
+	case SevWarning:
+		return "WARN"
+	case SevError:
+		return "ERROR"
+	case SevCritical:
+		return "CRIT"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// SyslogEvent is one device log line. The syslog monitor exposes these to
+// the helper's tools.
+type SyslogEvent struct {
+	At       time.Duration
+	Node     NodeID
+	Severity Severity
+	Message  string
+	Tags     map[string]string
+}
+
+// Trigger is a latent condition that converts traffic state into device
+// state — e.g. the novel-protocol bug that wedges any device forwarding a
+// flow with a particular header pattern. Triggers fire during Recompute's
+// fixed-point iteration.
+type Trigger interface {
+	ID() string
+	// Fire inspects the routing outcome and mutates the world (device
+	// health, logs). It reports whether it changed routable state, in
+	// which case routing is recomputed and triggers run again.
+	Fire(w *World, rep *TrafficReport) bool
+}
+
+// World ties the network, controller, traffic, change log and fault state
+// into one simulation. All experiment harnesses operate on a World.
+type World struct {
+	Net      *Network
+	Clock    *Clock
+	Ctl      *Controller
+	Backbone *Backbone
+	Changes  *ChangeLog
+
+	// BrokenMonitors names telemetry monitors currently malfunctioning;
+	// the telemetry package consults it when sampling.
+	BrokenMonitors map[string]bool
+
+	// ServiceBaseline records each service's provisioned demand in Gbps,
+	// snapshotted at deployment time. Monitors compare live demand
+	// against it to tell a genuine surge from rerouted load.
+	ServiceBaseline map[string]float64
+
+	// LatencyBaseline records each service's worst path latency (ms) in
+	// the healthy deployment; latency SLO checks compare against it.
+	LatencyBaseline map[string]float64
+
+	// Attachments carries cross-layer handles (e.g. the telemetry
+	// recorder) without netsim depending on the layers above. Clones do
+	// not inherit attachments.
+	Attachments map[string]any
+
+	flows    []*Flow
+	events   []SyslogEvent
+	triggers map[string]Trigger
+	faults   map[string]Fault
+	report   *TrafficReport
+
+	schedule []scheduledEvent
+}
+
+// scheduledEvent is a pending timed world mutation.
+type scheduledEvent struct {
+	at    time.Duration
+	apply func(*World)
+}
+
+// NewWorld assembles a world. Controller and backbone may be nil for
+// single-fabric simulations.
+func NewWorld(net *Network, ctl *Controller, bb *Backbone) *World {
+	w := &World{
+		Net:             net,
+		Clock:           NewClock(),
+		Ctl:             ctl,
+		Backbone:        bb,
+		Changes:         NewChangeLog(),
+		BrokenMonitors:  make(map[string]bool),
+		ServiceBaseline: make(map[string]float64),
+		LatencyBaseline: make(map[string]float64),
+		Attachments:     make(map[string]any),
+		triggers:        make(map[string]Trigger),
+		faults:          make(map[string]Fault),
+	}
+	w.Clock.OnAdvance(w.runSchedule)
+	return w
+}
+
+// ScheduleAt queues a world mutation to run when the simulated clock
+// first reaches (or passes) at. Scenarios use this for evolving
+// incidents — faults that flare, toggle or resolve while responders
+// work.
+func (w *World) ScheduleAt(at time.Duration, apply func(*World)) {
+	w.schedule = append(w.schedule, scheduledEvent{at: at, apply: apply})
+	sort.SliceStable(w.schedule, func(i, j int) bool { return w.schedule[i].at < w.schedule[j].at })
+}
+
+// runSchedule fires every due event; registered as a clock hook.
+func (w *World) runSchedule(now time.Duration) {
+	fired := 0
+	for _, ev := range w.schedule {
+		if ev.at > now {
+			break
+		}
+		ev.apply(w)
+		fired++
+	}
+	if fired > 0 {
+		w.schedule = w.schedule[fired:]
+		w.report = nil
+	}
+}
+
+// SnapshotBaselines records the current per-service demand and worst
+// path latency as the provisioned baselines. It computes traffic if
+// needed.
+func (w *World) SnapshotBaselines() {
+	w.ServiceBaseline = make(map[string]float64)
+	for _, f := range w.flows {
+		w.ServiceBaseline[f.Service] += f.DemandGbps
+	}
+	w.LatencyBaseline = make(map[string]float64)
+	for svc, ss := range w.Report().ServiceStats {
+		w.LatencyBaseline[svc] = ss.MaxLatency
+	}
+}
+
+// ServiceDemand reports the current total demand of a service.
+func (w *World) ServiceDemand(service string) float64 {
+	var total float64
+	for _, f := range w.flows {
+		if f.Service == service {
+			total += f.DemandGbps
+		}
+	}
+	return total
+}
+
+// AddFlows appends traffic demands and invalidates the cached report.
+func (w *World) AddFlows(flows ...*Flow) {
+	w.flows = append(w.flows, flows...)
+	w.report = nil
+}
+
+// RemoveFlowsByService drops all flows with the given service label and
+// reports how many were removed.
+func (w *World) RemoveFlowsByService(service string) int {
+	kept := w.flows[:0]
+	removed := 0
+	for _, f := range w.flows {
+		if f.Service == service {
+			removed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	w.flows = kept
+	w.report = nil
+	return removed
+}
+
+// Flows returns the live flow set (callers must not mutate demand without
+// calling Invalidate).
+func (w *World) Flows() []*Flow { return w.flows }
+
+// Invalidate discards the cached traffic report; the next Report call
+// recomputes. Mutations performed through faults and tools call this.
+func (w *World) Invalidate() { w.report = nil }
+
+// Logf appends a syslog event at the current simulated time.
+func (w *World) Logf(node NodeID, sev Severity, format string, args ...any) {
+	w.events = append(w.events, SyslogEvent{
+		At:       w.Clock.Now(),
+		Node:     node,
+		Severity: sev,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns all syslog events in time order.
+func (w *World) Events() []SyslogEvent {
+	out := append([]SyslogEvent(nil), w.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// EventsSince returns events at or after t.
+func (w *World) EventsSince(t time.Duration) []SyslogEvent {
+	var out []SyslogEvent
+	for _, e := range w.Events() {
+		if e.At >= t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// AddTrigger installs a latent trigger.
+func (w *World) AddTrigger(t Trigger) {
+	w.triggers[t.ID()] = t
+	w.report = nil
+}
+
+// RemoveTrigger uninstalls a trigger by ID.
+func (w *World) RemoveTrigger(id string) {
+	delete(w.triggers, id)
+	w.report = nil
+}
+
+// maxRecomputeRounds bounds the trigger fixed-point: each round a trigger
+// may wedge more devices (as in the Tokyo incident, where traffic moving
+// off a failed device wedged the next one).
+const maxRecomputeRounds = 8
+
+// Recompute routes all traffic under the controller's current policy,
+// fires triggers, and iterates to a fixed point. It returns (and caches)
+// the final traffic report.
+func (w *World) Recompute() *TrafficReport {
+	for round := 0; ; round++ {
+		if w.Ctl != nil {
+			w.Ctl.Evaluate()
+		}
+		var sel PathSelector
+		if w.Ctl != nil {
+			sel = w.Ctl
+		}
+		rep := RouteTraffic(w.Net, w.flows, sel)
+		changed := false
+		// Deterministic trigger order.
+		ids := make([]string, 0, len(w.triggers))
+		for id := range w.triggers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if w.triggers[id].Fire(w, rep) {
+				changed = true
+			}
+		}
+		if !changed || round >= maxRecomputeRounds {
+			w.report = rep
+			return rep
+		}
+	}
+}
+
+// Report returns the cached traffic report, recomputing if state changed
+// since the last computation.
+func (w *World) Report() *TrafficReport {
+	if w.report == nil {
+		return w.Recompute()
+	}
+	return w.report
+}
+
+// Inject applies a fault and records it as active.
+func (w *World) Inject(f Fault) {
+	f.Apply(w)
+	w.faults[f.ID()] = f
+	w.report = nil
+}
+
+// Resolve reverts an active fault by ID; it is a no-op for unknown IDs.
+func (w *World) Resolve(id string) {
+	f, ok := w.faults[id]
+	if !ok {
+		return
+	}
+	f.Revert(w)
+	delete(w.faults, id)
+	w.report = nil
+}
+
+// ActiveFaults lists IDs of unresolved faults, sorted.
+func (w *World) ActiveFaults() []string {
+	out := make([]string, 0, len(w.faults))
+	for id := range w.faults {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FaultActive reports whether the fault with the given ID is unresolved.
+func (w *World) FaultActive(id string) bool { _, ok := w.faults[id]; return ok }
+
+// Clone returns a deep what-if copy of the world: network, controller,
+// flows, broken monitors and triggers are copied; the clock, change log
+// and syslog are shared-by-value snapshots (risk assessment only reads
+// them). Mutating the clone never affects the original — the risk
+// assessor relies on this to evaluate candidate mitigations safely.
+func (w *World) Clone() *World {
+	var ctl *Controller
+	if w.Ctl != nil {
+		ctl = w.Ctl.Clone()
+	}
+	c := NewWorld(w.Net.Clone(), ctl, w.Backbone)
+	c.Clock.Advance(w.Clock.Now())
+	for _, f := range w.flows {
+		cf := *f
+		cf.Attrs = make(map[string]string, len(f.Attrs))
+		for k, v := range f.Attrs {
+			cf.Attrs[k] = v
+		}
+		c.flows = append(c.flows, &cf)
+	}
+	for m := range w.BrokenMonitors {
+		c.BrokenMonitors[m] = true
+	}
+	for svc, d := range w.ServiceBaseline {
+		c.ServiceBaseline[svc] = d
+	}
+	for svc, d := range w.LatencyBaseline {
+		c.LatencyBaseline[svc] = d
+	}
+	for id, t := range w.triggers {
+		c.triggers[id] = t
+	}
+	for id, f := range w.faults {
+		c.faults[id] = f
+	}
+	for _, r := range w.Changes.All() {
+		c.Changes.Add(r)
+	}
+	c.events = append(c.events, w.events...)
+	return c
+}

@@ -1,0 +1,270 @@
+// Package oce models an on-call engineer troubleshooting *without* the
+// helper: the control arm of the paper's §3 A/B evaluation.
+//
+// The unassisted OCE follows the same natural thought process the
+// helper's framework shadows — hypothesize, test with tools, reassess —
+// but at human speed and with expertise-dependent branching quality:
+// veterans order hypotheses well and read tool output reliably; novices
+// wander. Operators adapt quickly to infrastructure changes (§2), so the
+// unassisted OCE reasons over the *current* knowledge base, including
+// updates helpers may not have picked up yet.
+package oce
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/incident"
+	"repro/internal/kb"
+	"repro/internal/mitigation"
+	"repro/internal/netsim"
+	"repro/internal/tools"
+)
+
+// Engineer is one simulated on-call engineer.
+type Engineer struct {
+	// Expertise in [0,1] controls hypothesis ordering quality, reading
+	// accuracy and think-time.
+	Expertise float64
+
+	// KBase is what the engineer knows (their training).
+	KBase *kb.KB
+
+	Rng *rand.Rand
+}
+
+// Human timing constants: everything an unassisted human does is slower
+// than the helper's automated path.
+const (
+	thinkTimeBase    = 5 * time.Minute // forming the next hypothesis
+	readTimeBase     = 3 * time.Minute // digesting tool output
+	planTime         = 6 * time.Minute // writing up a mitigation plan
+	toolOverheadMult = 1.5             // humans navigate dashboards slower than APIs
+	maxRounds        = 14
+	stallLimit       = 3
+)
+
+// Outcome mirrors the helper's outcome for apples-to-apples comparison.
+type Outcome struct {
+	Mitigated        bool
+	Escalated        bool
+	TTM              time.Duration
+	Rounds           int
+	ToolCalls        int
+	WrongMitigations int
+	Applied          mitigation.Plan
+}
+
+// Solve troubleshoots the incident unassisted and returns the outcome.
+func (e *Engineer) Solve(w *netsim.World, inc *incident.Incident, reg *tools.Registry) *Outcome {
+	out := &Outcome{}
+	confirmed := []string{}
+	rejected := map[string]bool{}
+	attempted := map[string]bool{}
+	bindings := map[string]string{}
+	stalls := 0
+	repasses := 0
+
+	frontier := func() []string {
+		if len(confirmed) > 0 {
+			return confirmed[len(confirmed)-1:]
+		}
+		return inc.Symptoms
+	}
+
+	for round := 1; round <= maxRounds; round++ {
+		out.Rounds = round
+		w.Clock.Advance(e.thinkTime())
+
+		h, ok := e.nextHypothesis(frontier(), confirmed, rejected, inc.Symptoms, inc.Summary)
+		if !ok {
+			// Dead end: park the newest confirmation and search wider,
+			// or count a stall when nothing is left to park.
+			if len(confirmed) > 0 {
+				last := confirmed[len(confirmed)-1]
+				confirmed = confirmed[:len(confirmed)-1]
+				rejected[last] = true
+				continue
+			}
+			stalls++
+			if stalls >= stallLimit {
+				// Impact still live with everything rejected: humans go
+				// around again once (intermittent signals).
+				v := &mitigation.Verifier{World: w}
+				if repasses < 1 && len(rejected) > 0 && !v.Mitigated() {
+					repasses++
+					stalls = 0
+					rejected = map[string]bool{}
+					continue
+				}
+				break
+			}
+			continue
+		}
+
+		supported, tested := e.test(w, reg, h, bindings, out)
+		if !tested || !supported {
+			rejected[h] = true
+			continue
+		}
+		stalls = 0
+		confirmed = append(confirmed, h)
+
+		if attempted[h] {
+			continue
+		}
+		plan, ok := e.plan(h, bindings)
+		if !ok {
+			attempted[h] = true
+			continue
+		}
+		w.Clock.Advance(planTime)
+		ex := &mitigation.Executor{World: w, Clocked: true, Actor: "control-oce"}
+		if err := ex.ExecutePlan(plan); err != nil {
+			attempted[h] = true
+			continue
+		}
+		out.Applied.Actions = append(out.Applied.Actions, plan.Actions...)
+		w.Clock.Advance(2 * time.Minute)
+		v := &mitigation.Verifier{World: w}
+		if v.Mitigated() {
+			// Stability window, as in the helper's verification.
+			w.Clock.Advance(6 * time.Minute)
+			if v.Mitigated() {
+				out.Mitigated = true
+				out.TTM = w.Clock.Now() - inc.OpenedAt
+				return out
+			}
+		}
+		out.WrongMitigations++
+		attempted[h] = true
+	}
+
+	// Escalate to a specialist team.
+	ex := &mitigation.Executor{World: w, Clocked: true, Actor: "control-oce"}
+	_ = ex.Execute(mitigation.Action{Kind: mitigation.Escalate, Target: "SWAT"})
+	out.Escalated = true
+	out.TTM = w.Clock.Now() - inc.OpenedAt
+	return out
+}
+
+// thinkTime is longer for less experienced engineers.
+func (e *Engineer) thinkTime() time.Duration {
+	mult := 1 + (1-e.Expertise)*1.5
+	jitter := 0.75 + 0.5*e.Rng.Float64()
+	return time.Duration(float64(thinkTimeBase) * mult * jitter)
+}
+
+// nextHypothesis picks the next candidate cause. Experts pick the
+// strongest edge; novices sample noisily.
+func (e *Engineer) nextHypothesis(frontier, confirmed []string, rejected map[string]bool, symptoms []string, digest string) (string, bool) {
+	exclude := map[string]bool{}
+	for _, c := range confirmed {
+		exclude[c] = true
+	}
+	for _, c := range symptoms {
+		exclude[c] = true
+	}
+	type cand struct {
+		concept string
+		score   float64
+	}
+	var cands []cand
+	for _, f := range frontier {
+		for _, r := range e.KBase.CausesOf(f) {
+			if exclude[r.Cause] || rejected[r.Cause] {
+				continue
+			}
+			prior := 0.1
+			if c, ok := e.KBase.ConceptByID(r.Cause); ok {
+				prior += c.Prior
+			}
+			score := r.Strength * (0.4 + prior)
+			// Engineers read the alert digest first: causes it names
+			// jump the queue (e.g. a device-down alert).
+			if strings.Contains(digest, strings.ReplaceAll(r.Cause, "_", "-")) || strings.Contains(digest, r.Cause) {
+				score *= 1.5
+			}
+			// Noise shrinks with expertise: novices misorder branches.
+			score *= 1 + (1-e.Expertise)*(e.Rng.Float64()-0.5)
+			cands = append(cands, cand{r.Cause, score})
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].concept < cands[j].concept
+	})
+	return cands[0].concept, true
+}
+
+// test runs the concept's standard check manually.
+func (e *Engineer) test(w *netsim.World, reg *tools.Registry, concept string, bindings map[string]string, out *Outcome) (supported, tested bool) {
+	c, ok := e.KBase.ConceptByID(concept)
+	if !ok || c.TestTool == "" {
+		return false, false
+	}
+	tool, ok := reg.Get(c.TestTool)
+	if !ok {
+		return false, false
+	}
+	w.Clock.Advance(time.Duration(float64(tool.Latency()) * toolOverheadMult))
+	res, err := tool.Invoke(w, nil)
+	out.ToolCalls++
+	if err != nil {
+		return false, false
+	}
+	w.Clock.Advance(e.readTime())
+	for k, v := range res.Bindings {
+		bindings[k] = v
+	}
+	truth := false
+	for _, f := range res.Findings {
+		if strings.Contains(f, concept+"=true") {
+			truth = true
+			break
+		}
+	}
+	// Misreading: mostly experts read correctly.
+	if e.Rng.Float64() > 0.85+0.14*e.Expertise {
+		truth = !truth
+	}
+	return truth, true
+}
+
+func (e *Engineer) readTime() time.Duration {
+	mult := 1 + (1 - e.Expertise)
+	return time.Duration(float64(readTimeBase) * mult)
+}
+
+// plan instantiates the concept's mitigation template with bindings.
+func (e *Engineer) plan(concept string, bindings map[string]string) (mitigation.Plan, bool) {
+	templates := e.KBase.Mitigations(concept)
+	if len(templates) == 0 {
+		return mitigation.Plan{}, false
+	}
+	var plan mitigation.Plan
+	for _, t := range templates {
+		targets := []string{t.Target}
+		if bound, ok := bindings[t.Target]; ok {
+			targets = strings.Split(bound, ",")
+		}
+		for _, target := range targets {
+			if strings.HasPrefix(target, "$") {
+				return mitigation.Plan{}, false // unbound; keep digging
+			}
+			param := t.Param
+			if bound, ok := bindings[param]; ok {
+				param = bound
+			}
+			plan.Actions = append(plan.Actions, mitigation.Action{Kind: t.Kind, Target: target, Param: param})
+		}
+	}
+	return plan, true
+}

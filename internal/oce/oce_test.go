@@ -1,0 +1,99 @@
+package oce
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/kb"
+	"repro/internal/scenarios"
+	"repro/internal/tools"
+)
+
+func solve(t *testing.T, sc scenarios.Scenario, expertise float64, seed int64) (*scenarios.Instance, *Outcome) {
+	t.Helper()
+	in := sc.Build(rand.New(rand.NewSource(seed)))
+	kbase := kb.Default()
+	kb.ApplyFastpathUpdate(kbase) // humans know current infrastructure
+	reg := tools.NewDefaultRegistry(embed.NewStore(embed.NewDomainEmbedder(64)), kbase.History(), in.Incident.Title, in.Incident.Service)
+	e := &Engineer{Expertise: expertise, KBase: kbase, Rng: rand.New(rand.NewSource(seed + 99))}
+	return in, e.Solve(in.World, in.Incident, reg)
+}
+
+func TestExpertSolvesRoutineIncidents(t *testing.T) {
+	for _, sc := range scenarios.Routine() {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			solved := 0
+			for seed := int64(0); seed < 5; seed++ {
+				in, out := solve(t, sc, 0.9, seed)
+				if out.Mitigated && in.Succeeded(out.Applied) {
+					solved++
+				}
+			}
+			if solved < 4 {
+				t.Errorf("expert solved only %d/5 %s incidents", solved, sc.Name())
+			}
+		})
+	}
+}
+
+func TestExpertSolvesCascadeSlowly(t *testing.T) {
+	in, out := solve(t, &scenarios.Cascade{Stage: 5}, 0.95, 3)
+	if !out.Mitigated || !in.Succeeded(out.Applied) {
+		t.Fatalf("expert failed cascade: %+v", out)
+	}
+	if out.TTM < 20*time.Minute {
+		t.Errorf("unassisted cascade TTM %v suspiciously fast", out.TTM)
+	}
+	if out.Rounds < 2 {
+		t.Errorf("cascade solved in %d rounds; expected multi-round deduction", out.Rounds)
+	}
+}
+
+func TestNoviceSlowerThanExpert(t *testing.T) {
+	var expert, novice time.Duration
+	n := 6
+	for seed := int64(0); seed < int64(n); seed++ {
+		_, oe := solve(t, &scenarios.GrayLink{}, 0.95, seed)
+		_, on := solve(t, &scenarios.GrayLink{}, 0.2, seed)
+		expert += oe.TTM
+		novice += on.TTM
+	}
+	if novice <= expert {
+		t.Errorf("novice mean TTM %v <= expert %v", novice/time.Duration(n), expert/time.Duration(n))
+	}
+}
+
+func TestTTMAccountedOnEscalation(t *testing.T) {
+	// An engineer with an empty KB can only stall and escalate.
+	in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(7)))
+	empty := kb.New()
+	empty.AddConcept(kb.Concept{ID: kb.CPacketLoss})
+	reg := tools.NewDefaultRegistry(embed.NewStore(embed.NewDomainEmbedder(64)), empty.History(), "q", "web")
+	e := &Engineer{Expertise: 0.9, KBase: empty, Rng: rand.New(rand.NewSource(8))}
+	out := e.Solve(in.World, in.Incident, reg)
+	if out.Mitigated || !out.Escalated {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.TTM <= 0 {
+		t.Error("escalation TTM missing")
+	}
+}
+
+func TestHumanTimingScalesWithExpertise(t *testing.T) {
+	fast := &Engineer{Expertise: 1, Rng: rand.New(rand.NewSource(1))}
+	slow := &Engineer{Expertise: 0, Rng: rand.New(rand.NewSource(1))}
+	if fast.readTime() >= slow.readTime() {
+		t.Error("read time should grow as expertise falls")
+	}
+	var fsum, ssum time.Duration
+	for i := 0; i < 50; i++ {
+		fsum += fast.thinkTime()
+		ssum += slow.thinkTime()
+	}
+	if fsum >= ssum {
+		t.Error("think time should grow as expertise falls")
+	}
+}

@@ -1,0 +1,162 @@
+// Package ops simulates fleet-level incident operations: incidents
+// arrive as a Poisson process, the incident manager assigns each to the
+// next available on-call engineer, and the simulation measures what
+// customers actually experience — queueing delay plus time to
+// mitigation — under load.
+//
+// The paper evaluates helpers per incident; this layer exposes the
+// fleet-level consequence of faster mitigation that §1 motivates
+// ("Providers view Time to Mitigation as the main indicator of
+// efficiency"): responder pools are finite, so per-incident TTM
+// compounds into queueing delay. A helper that halves TTM more than
+// halves the customer-visible resolution time once the pool runs hot,
+// and raises the arrival rate at which the pool saturates.
+package ops
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/harness"
+	"repro/internal/scenarios"
+)
+
+// Config parameterizes a fleet simulation.
+type Config struct {
+	// OCEs is the responder pool size (default 3).
+	OCEs int
+	// ArrivalsPerHour is the mean incident arrival rate (default 2).
+	ArrivalsPerHour float64
+	// Incidents is how many arrivals to simulate (default 100).
+	Incidents int
+	// Mix is the scenario mix (default scenarios.All()).
+	Mix []scenarios.Scenario
+	// Runner handles each incident.
+	Runner harness.Runner
+	Seed   int64
+}
+
+// IncidentOutcome is one arrival's fleet-level record.
+type IncidentOutcome struct {
+	Scenario  string
+	ArrivedAt time.Duration
+	StartedAt time.Duration
+	// Queue is how long the incident waited for a free responder.
+	Queue time.Duration
+	// Handling is the responder's busy time (TTM, or time-to-escalation).
+	Handling time.Duration
+	// Total is the customer-experienced time: queue + penalized TTM.
+	Total  time.Duration
+	Result harness.Result
+}
+
+// Report aggregates a fleet simulation.
+type Report struct {
+	Outcomes []IncidentOutcome
+
+	MeanQueue time.Duration
+	P95Queue  time.Duration
+	MeanTotal time.Duration
+	P95Total  time.Duration
+
+	// Utilization is the pool's busy fraction over the makespan.
+	Utilization float64
+
+	// MitigatedRate is the fraction the runner mitigated itself.
+	MitigatedRate float64
+}
+
+// Simulate runs the fleet model: exponential interarrivals, first-free
+// assignment, busy responders hold their incident until mitigation or
+// hand-off.
+func Simulate(cfg Config) *Report {
+	if cfg.OCEs <= 0 {
+		cfg.OCEs = 3
+	}
+	if cfg.ArrivalsPerHour <= 0 {
+		cfg.ArrivalsPerHour = 2
+	}
+	if cfg.Incidents <= 0 {
+		cfg.Incidents = 100
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = scenarios.All()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	freeAt := make([]time.Duration, cfg.OCEs)
+	rep := &Report{}
+	var now time.Duration
+	var busySum time.Duration
+	mitigated := 0
+
+	for i := 0; i < cfg.Incidents; i++ {
+		// Exponential interarrival.
+		gap := time.Duration(rng.ExpFloat64() / cfg.ArrivalsPerHour * float64(time.Hour))
+		now += gap
+
+		sc := mix[rng.Intn(len(mix))]
+		seed := rng.Int63()
+		in := sc.Build(rand.New(rand.NewSource(seed)))
+		res := cfg.Runner.Run(in, seed)
+
+		// Assign to the earliest-free responder.
+		idx := 0
+		for j := 1; j < cfg.OCEs; j++ {
+			if freeAt[j] < freeAt[idx] {
+				idx = j
+			}
+		}
+		start := now
+		if freeAt[idx] > start {
+			start = freeAt[idx]
+		}
+		handling := res.TTM // responder is busy until mitigation or hand-off
+		freeAt[idx] = start + handling
+		busySum += handling
+
+		out := IncidentOutcome{
+			Scenario:  sc.Name(),
+			ArrivedAt: now,
+			StartedAt: start,
+			Queue:     start - now,
+			Handling:  handling,
+			Total:     (start - now) + res.PenalizedTTM(),
+			Result:    res,
+		}
+		if res.Mitigated {
+			mitigated++
+		}
+		rep.Outcomes = append(rep.Outcomes, out)
+	}
+
+	// Aggregates.
+	n := len(rep.Outcomes)
+	if n == 0 {
+		return rep
+	}
+	queues := make([]float64, n)
+	totals := make([]float64, n)
+	var qSum, tSum time.Duration
+	var makespan time.Duration
+	for i, o := range rep.Outcomes {
+		queues[i] = o.Queue.Minutes()
+		totals[i] = o.Total.Minutes()
+		qSum += o.Queue
+		tSum += o.Total
+		if end := o.StartedAt + o.Handling; end > makespan {
+			makespan = end
+		}
+	}
+	rep.MeanQueue = qSum / time.Duration(n)
+	rep.MeanTotal = tSum / time.Duration(n)
+	rep.P95Queue = time.Duration(eval.Percentile(queues, 95) * float64(time.Minute))
+	rep.P95Total = time.Duration(eval.Percentile(totals, 95) * float64(time.Minute))
+	if makespan > 0 {
+		rep.Utilization = float64(busySum) / (float64(makespan) * float64(cfg.OCEs))
+	}
+	rep.MitigatedRate = float64(mitigated) / float64(n)
+	return rep
+}

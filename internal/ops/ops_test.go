@@ -1,0 +1,99 @@
+package ops
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/kb"
+	"repro/internal/scenarios"
+)
+
+func currentKB() *kb.KB {
+	k := kb.Default()
+	kb.ApplyFastpathUpdate(k)
+	return k
+}
+
+func TestSimulateBasics(t *testing.T) {
+	kbase := currentKB()
+	rep := Simulate(Config{
+		OCEs: 3, ArrivalsPerHour: 2, Incidents: 40, Seed: 1,
+		Runner: &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig()},
+	})
+	if len(rep.Outcomes) != 40 {
+		t.Fatalf("outcomes = %d", len(rep.Outcomes))
+	}
+	for _, o := range rep.Outcomes {
+		if o.StartedAt < o.ArrivedAt {
+			t.Fatal("incident started before it arrived")
+		}
+		if o.Queue != o.StartedAt-o.ArrivedAt {
+			t.Fatal("queue accounting inconsistent")
+		}
+		if o.Total < o.Queue {
+			t.Fatal("total < queue")
+		}
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1 {
+		t.Fatalf("utilization = %v", rep.Utilization)
+	}
+	if rep.MitigatedRate < 0.9 {
+		t.Fatalf("helper fleet mitigated only %v", rep.MitigatedRate)
+	}
+	if rep.P95Total < rep.MeanTotal/2 {
+		t.Fatal("percentile plumbing broken")
+	}
+}
+
+// TestQueueingGrowsWithLoad: the same pool under higher arrival rates
+// must show (weakly) higher utilization and queueing.
+func TestQueueingGrowsWithLoad(t *testing.T) {
+	kbase := currentKB()
+	runner := &harness.ControlRunner{KBase: kbase}
+	low := Simulate(Config{OCEs: 2, ArrivalsPerHour: 0.5, Incidents: 60, Seed: 2, Runner: runner})
+	high := Simulate(Config{OCEs: 2, ArrivalsPerHour: 6, Incidents: 60, Seed: 2, Runner: runner})
+	if high.MeanQueue <= low.MeanQueue {
+		t.Errorf("queueing did not grow with load: %v vs %v", high.MeanQueue, low.MeanQueue)
+	}
+	if high.Utilization <= low.Utilization {
+		t.Errorf("utilization did not grow with load: %v vs %v", high.Utilization, low.Utilization)
+	}
+}
+
+// TestHelperFleetSurvivesLoadControlDrowns is the fleet-level headline:
+// at an arrival rate where the unassisted pool saturates, the
+// helper-assisted pool keeps customer-visible resolution time bounded.
+func TestHelperFleetSurvivesLoadControlDrowns(t *testing.T) {
+	kbase := currentKB()
+	cfg := Config{OCEs: 2, ArrivalsPerHour: 4, Incidents: 80, Seed: 3}
+
+	cfg.Runner = &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig()}
+	assisted := Simulate(cfg)
+	cfg.Runner = &harness.ControlRunner{KBase: kbase}
+	control := Simulate(cfg)
+
+	if assisted.MeanTotal >= control.MeanTotal {
+		t.Fatalf("assisted fleet not faster: %v vs %v", assisted.MeanTotal, control.MeanTotal)
+	}
+	// The gap must exceed the per-incident TTM gap: queueing amplifies.
+	if control.MeanQueue < assisted.MeanQueue*2 {
+		t.Errorf("expected queue amplification: control %v vs assisted %v",
+			control.MeanQueue, assisted.MeanQueue)
+	}
+}
+
+func TestSimulateDefaultsAndDeterminism(t *testing.T) {
+	kbase := currentKB()
+	runner := &harness.ControlRunner{KBase: kbase}
+	a := Simulate(Config{Runner: runner, Seed: 4, Incidents: 20, Mix: []scenarios.Scenario{&scenarios.GrayLink{}}})
+	b := Simulate(Config{Runner: runner, Seed: 4, Incidents: 20, Mix: []scenarios.Scenario{&scenarios.GrayLink{}}})
+	if a.MeanTotal != b.MeanTotal || a.MeanQueue != b.MeanQueue {
+		t.Fatal("fleet simulation not deterministic")
+	}
+	if a.Outcomes[0].Scenario != "gray-link" {
+		t.Fatal("mix not honored")
+	}
+	_ = time.Minute
+}

@@ -1,0 +1,147 @@
+package scenarios
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Incident reports are written by different people under stress: the
+// same failure class gets described with different vocabulary every
+// time. The phrase tables below inject that lexical variety, which is
+// what separates a network-aware embedding model from a generic one
+// (experiment E8) — and what makes the one-shot baseline's retrieval
+// realistically imperfect.
+
+type phraseSet struct {
+	titles    []string
+	summaries []string
+}
+
+var phrases = map[string]phraseSet{
+	"device-failure": {
+		titles: []string{
+			"Packet loss in {region}",
+			"Connectivity failures reported in {region}",
+			"Customers seeing drops and timeouts in {region}",
+			"Blackholed traffic in {region} fabric",
+		},
+		summaries: []string{
+			"Customers report connection failures in {region}. Multiple services affected.",
+			"Support tickets spiking: flows blackholed in {region}, several tenants impacted.",
+			"Traffic discards observed in {region}; health checks failing for multiple services.",
+			"Widespread timeouts in {region}; suspect infrastructure issue.",
+		},
+	},
+	"gray-link": {
+		titles: []string{
+			"Elevated packet loss for web traffic in {region}",
+			"Web tier seeing retransmissions in {region}",
+			"Intermittent drops with checksum errors in {region}",
+			"Gray failure suspected in {region} fabric",
+		},
+		summaries: []string{
+			"Web tier reports retransmissions and checksum failures in {region}. No device down.",
+			"TCP retransmit rate climbing in {region}; FCS error counters non-zero; all devices report healthy.",
+			"Intermittent frame corruption suspected in {region}: drops without congestion.",
+			"Customers in {region} see sporadic packet discards; CRC errors rising on the fabric.",
+		},
+	},
+	"congestion": {
+		titles: []string{
+			"Bulk transfer throughput collapse",
+			"Severe congestion on inter-region links",
+			"Replication falling behind: links saturated",
+			"Hot links: bulk traffic far above provisioned capacity",
+		},
+		summaries: []string{
+			"Replication jobs falling behind across regions; goodput far below demand.",
+			"Inter-region links saturated; bulk transfer throughput collapsed; queues overflowing.",
+			"Utilization alarms on multiple links; bulk demand spiked above provisioned baseline.",
+			"Storage replication SLO at risk: cross-region goodput collapsed under heavy load.",
+		},
+	},
+	"false-alarm": {
+		titles: []string{
+			"PingMesh loss across all regions",
+			"Monitoring reports uniform loss everywhere",
+			"Telemetry alarm: probe loss on every region pair",
+			"Suspicious monitoring alert: global probe failures",
+		},
+		summaries: []string{
+			"PingMesh shows uniform ~10% loss on every region pair simultaneously. Customer impact unconfirmed.",
+			"Probe dashboards report identical loss everywhere at once; no customer tickets filed yet.",
+			"Monitoring pipeline alarming on all region pairs; counters and customer signals quiet.",
+			"Telemetry claims global packet loss; pattern looks synthetic, impact unverified.",
+		},
+	},
+	"cascade": {
+		titles: []string{
+			"Severe cross-region packet loss",
+			"Inter-region traffic collapsing after failover",
+			"Backbone overload: B2 saturated, B4 empty",
+			"Major incident: WAN capacity shortfall",
+		},
+		summaries: []string{
+			"Inter-region traffic experiencing heavy loss. B4 carries no traffic; B2 utilization is extreme.",
+			"Bulk and customer traffic crossing regions is drowning; the fallback WAN is saturated while the bulk WAN sits idle.",
+			"Controller shifted everything off B4; B2 links far over capacity; drops across all cross-region services.",
+			"Severe loss on cross-region flows following an apparent WAN failover; upgrade work was in progress.",
+		},
+	},
+	"gray-link-flap": {
+		titles: []string{
+			"Intermittent packet loss in {region}",
+			"Flapping errors on the {region} fabric",
+			"Sporadic drops come and go in {region}",
+			"Transient corruption suspected in {region}",
+		},
+		summaries: []string{
+			"Loss in {region} appears in bursts, then vanishes for minutes; dashboards disagree depending on when you look.",
+			"Customers report intermittent retransmissions in {region}; error counters rise and fall with no deploy in sight.",
+			"On-and-off frame corruption in {region}; each time someone checks, the signal has moved.",
+			"Bursty checksum errors in {region}; repeated spot checks keep coming back clean.",
+		},
+	},
+	"maintenance-overlap": {
+		titles: []string{
+			"Latency spikes on cross-region traffic ({region})",
+			"RTT blowout between regions ({region})",
+			"Cross-region slowness reported ({region})",
+			"Latency SLO breach on the backbone ({region})",
+		},
+		summaries: []string{
+			"Cross-region RTT roughly doubled on the {region} span; no packet loss observed.",
+			"Customers report slow replication across {region}; throughput intact, delay way above baseline.",
+			"Backbone latency far above baseline on {region}; links report carrier loss in the span.",
+			"Inter-region delay spiked on {region}; dashboards show multiple links dark on the direct span.",
+		},
+	},
+	"novel-protocol": {
+		titles: []string{
+			"Direct connect latency spikes and loss",
+			"Customer tunnels flapping: WAN devices resetting",
+			"Intermittent outages on low-latency tunnels",
+			"Recurring device resets on the bulk WAN",
+		},
+		summaries: []string{
+			"Customer tenant-42 reports intermittent outages on low-latency tunnels. WAN devices resetting.",
+			"Low-latency tunnel customers seeing repeated drops; several backbone routers wedged with watchdog resets.",
+			"Direct connect traffic degraded; devices crash, recover after restart, then crash again.",
+			"Recurring WAN device failures correlated with one customer's traffic; tunnels flapping.",
+		},
+	},
+}
+
+// phraseFor picks a title and summary variant for the class, replacing
+// {region} with the given region.
+func phraseFor(rng *rand.Rand, class, region string) (title, summary string) {
+	ps, ok := phrases[class]
+	if !ok || len(ps.titles) == 0 {
+		return "", ""
+	}
+	title = ps.titles[rng.Intn(len(ps.titles))]
+	summary = ps.summaries[rng.Intn(len(ps.summaries))]
+	title = strings.ReplaceAll(title, "{region}", region)
+	summary = strings.ReplaceAll(summary, "{region}", region)
+	return title, summary
+}

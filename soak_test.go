@@ -1,0 +1,90 @@
+package aiops
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/kb"
+	"repro/internal/llm"
+	"repro/internal/mitigation"
+	"repro/internal/scenarios"
+)
+
+// TestSoakInvariants drives a large randomized stream of incidents —
+// random scenario, random hallucination rate, random OCE expertise,
+// random context window — through the helper and asserts the invariants
+// that must hold no matter how degraded the model is:
+//
+//  1. every session terminates (mitigated or escalated) within bounds;
+//  2. TTM is positive and finite;
+//  3. "mitigated" is never reported with live impact (the verifier and
+//     the stability window guarantee it);
+//  4. with the quantitative risk gate on, no executed plan ever makes a
+//     service measurably worse (zero secondary impact);
+//  5. token accounting is monotone and positive whenever the model ran.
+//
+// This is the repository's failure-injection harness: the model is the
+// unreliable component, and the framework must convert its failures into
+// time, never into damage.
+func TestSoakInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	kbase := kb.Default()
+	kb.ApplyFastpathUpdate(kbase)
+	all := scenarios.All()
+	rng := rand.New(rand.NewSource(20260706))
+
+	const n = 150
+	mitigated, escalated := 0, 0
+	for i := 0; i < n; i++ {
+		sc := all[rng.Intn(len(all))]
+		seed := rng.Int63()
+		in := sc.Build(rand.New(rand.NewSource(seed)))
+
+		r := &harness.HelperRunner{
+			KBase:         kbase,
+			Config:        core.DefaultConfig(),
+			Hallucination: rng.Float64() * 0.4,
+			Expertise:     0.3 + rng.Float64()*0.7,
+		}
+		if rng.Intn(3) == 0 {
+			r.Window = 256 + rng.Intn(4096)
+		}
+		res := r.Run(in, seed)
+
+		if !res.Mitigated && !res.Escalated {
+			t.Fatalf("incident %d (%s): session ended in limbo", i, sc.Name())
+		}
+		if res.TTM <= 0 {
+			t.Fatalf("incident %d (%s): TTM = %v", i, sc.Name(), res.TTM)
+		}
+		if res.TTM.Hours() > 24 {
+			t.Fatalf("incident %d (%s): TTM = %v, runaway session", i, sc.Name(), res.TTM)
+		}
+		if res.Mitigated {
+			mitigated++
+			// The live world must verify clean when the helper claims
+			// mitigation (invariant 3).
+			v := &mitigation.Verifier{World: in.World}
+			if !v.Mitigated() {
+				t.Fatalf("incident %d (%s): claimed mitigated but world has live impact", i, sc.Name())
+			}
+		} else {
+			escalated++
+		}
+		if res.Secondary != 0 {
+			t.Fatalf("incident %d (%s): secondary impact %d with risk gates on", i, sc.Name(), res.Secondary)
+		}
+		if res.LLMCalls > 0 && res.Tokens <= 0 {
+			t.Fatalf("incident %d: %d LLM calls but %d tokens", i, res.LLMCalls, res.Tokens)
+		}
+	}
+	t.Logf("soak: %d mitigated, %d escalated of %d", mitigated, escalated, n)
+	if mitigated < n/2 {
+		t.Fatalf("degraded helpers mitigated only %d/%d", mitigated, n)
+	}
+	_ = llm.DefaultPricing()
+}
