@@ -80,6 +80,7 @@ type System struct {
 	window        int
 	generic       bool // use the generic embedder instead of the domain one
 	seed          int64
+	workers       int // parallel trial workers for ABTest/Replay (<= 0: GOMAXPROCS)
 }
 
 // Option configures a System.
@@ -111,6 +112,11 @@ func WithContextWindow(tokens int) Option { return func(s *System) { s.window = 
 // WithGenericEmbeddings makes retrieval use the generic (non-network)
 // embedder — the §4.4 contrast.
 func WithGenericEmbeddings() Option { return func(s *System) { s.generic = true } }
+
+// WithWorkers bounds the parallel trial pool ABTest and Replay run on
+// (<= 0, the default, means one worker per CPU). Worker count never
+// changes results — only wall-clock time.
+func WithWorkers(n int) Option { return func(s *System) { s.workers = n } }
 
 // New builds a System with current knowledge (base corpus + the fastpath
 // rollout update) and an empty incident history.
@@ -205,7 +211,7 @@ func (s *System) Unassisted(in *Instance, seed int64) Result {
 // ABTest runs §3's randomized trial: n incidents randomly assigned to the
 // helper-assisted arm or the unassisted control arm.
 func (s *System) ABTest(n int, seed int64) *ABResult {
-	return eval.ABTest(eval.ABConfig{N: n, Seed: seed},
+	return eval.ABTest(eval.ABConfig{N: n, Seed: seed, Workers: s.workers},
 		s.helperRunner(),
 		&harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history},
 	)
@@ -218,7 +224,7 @@ func (s *System) Replay(n int, seed int64) *ReplayReport {
 	c := replayer.Generate(replayer.Options{N: n, Seed: seed, KBase: s.kbase})
 	runner := s.helperRunner()
 	runner.History = c.History
-	return replayer.Replay(c, runner)
+	return replayer.ReplayParallel(c, runner, s.workers)
 }
 
 // Trace runs the helper on the incident and returns the full module-by-

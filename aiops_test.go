@@ -7,6 +7,7 @@ import (
 )
 
 func TestSystemEndToEnd(t *testing.T) {
+	t.Parallel()
 	sys := New(WithSeed(1))
 	if len(sys.ScenarioNames()) < 8 {
 		t.Fatalf("scenario names: %v", sys.ScenarioNames())
@@ -25,6 +26,7 @@ func TestSystemEndToEnd(t *testing.T) {
 }
 
 func TestSystemTrace(t *testing.T) {
+	t.Parallel()
 	sys := New(WithSeed(2))
 	in, _ := sys.Spawn("cascade-5", 2)
 	res, trace := sys.Trace(in, 2)
@@ -39,6 +41,7 @@ func TestSystemTrace(t *testing.T) {
 }
 
 func TestSystemOneShotAndControl(t *testing.T) {
+	t.Parallel()
 	sys := New(WithSeed(3))
 	sys.GenerateHistory(60, 3)
 	if sys.History().Len() != 60 {
@@ -57,6 +60,7 @@ func TestSystemOneShotAndControl(t *testing.T) {
 }
 
 func TestSystemStaleKnowledgeOption(t *testing.T) {
+	t.Parallel()
 	stale := New(WithStaleKnowledge(), WithSeed(4))
 	in, _ := stale.Spawn("novel-protocol", 4)
 	res := stale.Assist(in, 4)
@@ -72,6 +76,7 @@ func TestSystemStaleKnowledgeOption(t *testing.T) {
 }
 
 func TestSystemABAndReplay(t *testing.T) {
+	t.Parallel()
 	sys := New(WithSeed(5))
 	ab := sys.ABTest(40, 5)
 	if ab.Treatment.N+ab.Control.N != 40 {
@@ -84,6 +89,7 @@ func TestSystemABAndReplay(t *testing.T) {
 }
 
 func TestSystemOptionKnobs(t *testing.T) {
+	t.Parallel()
 	sys := New(
 		WithHallucination(0.9),
 		WithContextWindow(64),
@@ -103,6 +109,7 @@ func TestSystemOptionKnobs(t *testing.T) {
 }
 
 func TestSystemFleet(t *testing.T) {
+	t.Parallel()
 	sys := New(WithSeed(8))
 	a := sys.Fleet(2, 4, 30, 8)
 	c := sys.FleetUnassisted(2, 4, 30, 8)
@@ -112,6 +119,7 @@ func TestSystemFleet(t *testing.T) {
 }
 
 func TestSystemHistoryPersistence(t *testing.T) {
+	t.Parallel()
 	sys := New(WithSeed(9))
 	sys.GenerateHistory(10, 9)
 	var buf bytes.Buffer
@@ -128,6 +136,7 @@ func TestSystemHistoryPersistence(t *testing.T) {
 }
 
 func TestSystemPostmortem(t *testing.T) {
+	t.Parallel()
 	sys := New(WithSeed(10))
 	in, _ := sys.Spawn("cascade-5", 10)
 	res, pm := sys.Postmortem(in, 10)

@@ -21,10 +21,11 @@ func main() {
 		n       = flag.Int("n", 200, "incidents in the trial")
 		seed    = flag.Int64("seed", 1, "random seed")
 		history = flag.Int("history", 150, "historical incidents to pre-load")
+		workers = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
 	)
 	flag.Parse()
 
-	sys := aiops.New(aiops.WithSeed(*seed))
+	sys := aiops.New(aiops.WithSeed(*seed), aiops.WithWorkers(*workers))
 	sys.GenerateHistory(*history, *seed^0x1157)
 	res := sys.ABTest(*n, *seed)
 

@@ -21,10 +21,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment ids (e1..e11) or 'all'")
-		trials = flag.Int("trials", 20, "incidents per experiment cell")
-		seed   = flag.Int64("seed", 42, "base random seed")
-		html   = flag.String("html", "", "also write a self-contained HTML report to this path")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (e1..e11) or 'all'")
+		trials  = flag.Int("trials", 20, "incidents per experiment cell")
+		seed    = flag.Int64("seed", 42, "base random seed")
+		html    = flag.String("html", "", "also write a self-contained HTML report to this path")
+		workers = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
 	)
 	flag.Parse()
 
@@ -34,7 +35,7 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	p := experiments.Params{Trials: *trials, Seed: *seed}
+	p := experiments.Params{Trials: *trials, Seed: *seed, Workers: *workers}
 	report := eval.NewHTMLReport("AI-driven Network Incident Management — experiment tables", *seed, *trials)
 	ran := 0
 	for _, e := range experiments.Registry {

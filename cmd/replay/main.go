@@ -19,12 +19,13 @@ import (
 
 func main() {
 	var (
-		n    = flag.Int("n", 150, "historical incidents to generate and replay")
-		seed = flag.Int64("seed", 1, "random seed")
+		n       = flag.Int("n", 150, "historical incidents to generate and replay")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
 	)
 	flag.Parse()
 
-	sys := aiops.New(aiops.WithSeed(*seed))
+	sys := aiops.New(aiops.WithSeed(*seed), aiops.WithWorkers(*workers))
 	rep := sys.Replay(*n, *seed)
 
 	t := eval.NewTable("historical replay through the helper", "metric", "value")

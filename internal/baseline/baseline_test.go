@@ -27,6 +27,7 @@ func registryFor(in *scenarios.Instance, hist *kb.History) *tools.Registry {
 }
 
 func TestOneShotSolvesRoutineIncidents(t *testing.T) {
+	t.Parallel()
 	corpus := routineCorpus(1)
 	kbase := kb.Default()
 	pred := baseline.Train(corpus.History, kbase, embed.NewDomainEmbedder(128))
@@ -56,6 +57,7 @@ func TestOneShotSolvesRoutineIncidents(t *testing.T) {
 }
 
 func TestOneShotFailsDeepAndNovelIncidents(t *testing.T) {
+	t.Parallel()
 	corpus := routineCorpus(2)
 	kbase := kb.Default()
 	kb.ApplyFastpathUpdate(kbase)
@@ -77,6 +79,7 @@ func TestOneShotFailsDeepAndNovelIncidents(t *testing.T) {
 }
 
 func TestOneShotEmptyHistoryEscalates(t *testing.T) {
+	t.Parallel()
 	kbase := kb.Default()
 	pred := baseline.Train(kb.NewHistory(), kbase, embed.NewDomainEmbedder(64))
 	in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(3)))
@@ -90,6 +93,7 @@ func TestOneShotEmptyHistoryEscalates(t *testing.T) {
 }
 
 func TestOneShotPredictVotes(t *testing.T) {
+	t.Parallel()
 	hist := kb.NewHistory()
 	for i := 0; i < 3; i++ {
 		hist.Add(kb.IncidentRecord{
@@ -116,6 +120,7 @@ func TestOneShotPredictVotes(t *testing.T) {
 }
 
 func TestRunTSGScriptAndLLMEquivalentOutcome(t *testing.T) {
+	t.Parallel()
 	kbase := kb.Default()
 	tsg, _ := kbase.TSGByID("tsg-device-down")
 
@@ -148,6 +153,7 @@ func TestRunTSGScriptAndLLMEquivalentOutcome(t *testing.T) {
 }
 
 func TestTSGCostDoesNotAmortize(t *testing.T) {
+	t.Parallel()
 	m := baseline.DefaultCostModel()
 	// A year of operation: monthly TSG revisions, 20 incidents/month,
 	// ~2000 tokens per automated run.

@@ -37,6 +37,7 @@ func runScenario(t *testing.T, sc scenarios.Scenario, kbase *kb.KB, seed int64, 
 // current KB the iterative helper mitigates every scenario class with a
 // ground-truth-correct plan.
 func TestHelperSolvesEveryKnownScenario(t *testing.T) {
+	t.Parallel()
 	kbase := kb.Default()
 	kb.ApplyFastpathUpdate(kbase) // current knowledge, incl. fastpath
 	for _, sc := range scenarios.All() {
@@ -68,6 +69,7 @@ func TestHelperSolvesEveryKnownScenario(t *testing.T) {
 // TestHelperFindsRootCauseOnCascade: the deduction chain must reach the
 // cascade's root cause concept, not just mitigate.
 func TestHelperFindsCascadeChain(t *testing.T) {
+	t.Parallel()
 	kbase := kb.Default()
 	in, out := runScenario(t, &scenarios.Cascade{Stage: 5}, kbase, 1, DefaultConfig())
 	if !out.Mitigated {
@@ -90,6 +92,7 @@ func TestHelperFindsCascadeChain(t *testing.T) {
 // form: the stale helper fails on the novel incident; the fine-tuned
 // helper and the in-context-updated helper resolve it.
 func TestAdaptivityFig3(t *testing.T) {
+	t.Parallel()
 	staleKB := kb.Default() // no fastpath knowledge
 
 	t.Run("stale-fails", func(t *testing.T) {
@@ -128,6 +131,7 @@ func TestAdaptivityFig3(t *testing.T) {
 // engine predicts that restart-only recurs, so the helper must not waste
 // an execution on it when quantitative risk is on.
 func TestRiskGateBlocksInsufficientPlan(t *testing.T) {
+	t.Parallel()
 	fresh := kb.Default()
 	kb.ApplyFastpathUpdate(fresh)
 
@@ -149,6 +153,7 @@ func TestRiskGateBlocksInsufficientPlan(t *testing.T) {
 // hallucinating model still cannot execute corrupted plans (quantitative
 // veto) and the incident usually resolves, slower.
 func TestHallucinationBoundedByOCE(t *testing.T) {
+	t.Parallel()
 	kbase := kb.Default()
 	solved, slower := 0, 0
 	for seed := int64(0); seed < 6; seed++ {
@@ -173,6 +178,7 @@ func TestHallucinationBoundedByOCE(t *testing.T) {
 }
 
 func TestEscalationAfterStall(t *testing.T) {
+	t.Parallel()
 	// A helper whose model knows nothing useful must escalate, not spin.
 	empty := kb.New()
 	empty.AddConcept(kb.Concept{ID: kb.CPacketLoss, Description: "loss"})
@@ -194,6 +200,7 @@ func TestEscalationAfterStall(t *testing.T) {
 }
 
 func TestPreApprovalReducesTTM(t *testing.T) {
+	t.Parallel()
 	kbase := kb.Default()
 	fast := DefaultConfig() // pre-approval on by default
 	slow := DefaultConfig()
@@ -211,6 +218,7 @@ func TestPreApprovalReducesTTM(t *testing.T) {
 }
 
 func TestConfigDefaults(t *testing.T) {
+	t.Parallel()
 	c := Config{}.withDefaults()
 	if c.Beam != 3 || c.MaxRounds != 12 || c.RiskBudget != 0.5 || c.EvidenceWindow != 30 || c.StallLimit != 3 {
 		t.Errorf("defaults = %+v", c)
@@ -225,6 +233,7 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestOCEModel(t *testing.T) {
+	t.Parallel()
 	oce := NewOCE(1.0, kb.Default(), rand.New(rand.NewSource(1)))
 	if oce.VetoesHypothesis(kb.CLinkOverload) {
 		t.Error("known concept vetoed")
@@ -275,6 +284,7 @@ func boolStr(b bool) string {
 // self-consistency citation applied to the tester), at proportional
 // token/latency cost.
 func TestSelfConsistencyVotingMath(t *testing.T) {
+	t.Parallel()
 	run := func(votes int) (accuracy float64) {
 		in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(1)))
 		m := &flippingModel{rng: rand.New(rand.NewSource(7)), flip: 0.35}
@@ -311,6 +321,7 @@ func TestSelfConsistencyVotingMath(t *testing.T) {
 // TestSelfConsistencyCostsTokens: end-to-end, voting multiplies
 // interpretation calls and tokens.
 func TestSelfConsistencyCostsTokens(t *testing.T) {
+	t.Parallel()
 	kbase := kb.Default()
 	run := func(votes int) int {
 		in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(2)))
@@ -329,6 +340,7 @@ func TestSelfConsistencyCostsTokens(t *testing.T) {
 }
 
 func TestPostmortemRendersSession(t *testing.T) {
+	t.Parallel()
 	kbase := kb.Default()
 	in, out := runScenario(t, &scenarios.Cascade{Stage: 5}, kbase, 1, DefaultConfig())
 	pm := Postmortem(in.Incident, out)
@@ -344,6 +356,7 @@ func TestPostmortemRendersSession(t *testing.T) {
 }
 
 func TestPostmortemEscalationFollowUps(t *testing.T) {
+	t.Parallel()
 	in, out := runScenario(t, &scenarios.NovelProtocol{}, kb.Default(), 2, DefaultConfig())
 	if out.Mitigated {
 		t.Skip("stale helper unexpectedly mitigated")

@@ -7,6 +7,7 @@ import (
 )
 
 func TestEmbeddingsUnitNorm(t *testing.T) {
+	t.Parallel()
 	for _, e := range []Embedder{NewHashEmbedder(128), NewDomainEmbedder(128)} {
 		v := e.Embed("packet loss observed on link between tor and agg")
 		var sum float64
@@ -23,6 +24,7 @@ func TestEmbeddingsUnitNorm(t *testing.T) {
 }
 
 func TestEmbedDeterministic(t *testing.T) {
+	t.Parallel()
 	e := NewDomainEmbedder(64)
 	a := e.Embed("device crashed in us-east")
 	b := e.Embed("device crashed in us-east")
@@ -34,6 +36,7 @@ func TestEmbedDeterministic(t *testing.T) {
 }
 
 func TestCosineProperties(t *testing.T) {
+	t.Parallel()
 	e := NewHashEmbedder(128)
 	v := e.Embed("some text about networking and switches")
 	if got := Cosine(v, v); math.Abs(got-1) > 1e-5 {
@@ -52,6 +55,7 @@ func TestCosineProperties(t *testing.T) {
 }
 
 func TestDomainSynonymFolding(t *testing.T) {
+	t.Parallel()
 	e := NewDomainEmbedder(128)
 	a := e.Embed("severe packet loss on the fabric")
 	b := e.Embed("severe packet drops on the fabric")
@@ -68,6 +72,7 @@ func TestDomainSynonymFolding(t *testing.T) {
 // same-failure-different-words from different-failure-same-words better
 // than the generic embedder.
 func TestDomainBeatsGenericOnParaphrase(t *testing.T) {
+	t.Parallel()
 	query := "customers see heavy packet loss, devices resetting after crash"
 	same := "tenants report drops and discards; switches wedged with watchdog exception"
 	diff := "customers see heavy billing errors, invoices missing after update"
@@ -86,6 +91,7 @@ func TestDomainBeatsGenericOnParaphrase(t *testing.T) {
 }
 
 func TestTokenizeFolds(t *testing.T) {
+	t.Parallel()
 	e := NewDomainEmbedder(64)
 	toks := e.Tokenize("Dropped packets & FCS errors!")
 	want := map[string]bool{"pktloss": false, "fcserr": false}
@@ -102,6 +108,7 @@ func TestTokenizeFolds(t *testing.T) {
 }
 
 func TestStoreAddReplaceSearch(t *testing.T) {
+	t.Parallel()
 	s := NewStore(NewDomainEmbedder(128))
 	s.Add("a", "packet loss in us-east web tier")
 	s.Add("b", "device crash on wan router")
@@ -122,6 +129,7 @@ func TestStoreAddReplaceSearch(t *testing.T) {
 }
 
 func TestSearchDeterministicTieBreak(t *testing.T) {
+	t.Parallel()
 	s := NewStore(NewHashEmbedder(64))
 	s.Add("x", "identical text")
 	s.Add("y", "identical text")
@@ -132,6 +140,7 @@ func TestSearchDeterministicTieBreak(t *testing.T) {
 }
 
 func TestANNFindsStrongMatches(t *testing.T) {
+	t.Parallel()
 	s := NewStore(NewDomainEmbedder(128))
 	texts := map[string]string{
 		"i1": "packet loss in us-east after config push",
@@ -157,6 +166,7 @@ func TestANNFindsStrongMatches(t *testing.T) {
 }
 
 func TestANNRecallReasonable(t *testing.T) {
+	t.Parallel()
 	s := NewStore(NewDomainEmbedder(128))
 	queries := []string{
 		"packet loss web tier us-east",
@@ -191,6 +201,7 @@ func TestANNRecallReasonable(t *testing.T) {
 // Property: cosine similarity is always within [-1, 1] and symmetric for
 // arbitrary texts.
 func TestCosineBoundsProperty(t *testing.T) {
+	t.Parallel()
 	e := NewDomainEmbedder(64)
 	check := func(a, b string) bool {
 		va, vb := e.Embed(a), e.Embed(b)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/parallel"
 	"repro/internal/scenarios"
 )
 
@@ -73,6 +74,10 @@ type ABResult struct {
 	EffectSize float64
 	// CI for the mean TTM difference (treatment - control), minutes.
 	DiffLo, DiffHi float64
+	// TrialErrors counts trials whose runner panicked; they are excluded
+	// from both arms (the parallel pool records the panic instead of
+	// crashing the evaluation).
+	TrialErrors int
 }
 
 // SignificantAt reports whether both the parametric and rank tests call
@@ -83,9 +88,10 @@ func (r *ABResult) SignificantAt(alpha float64) bool {
 
 // ABConfig parameterizes the randomized trial.
 type ABConfig struct {
-	N    int // incidents in the trial
-	Mix  []scenarios.Scenario
-	Seed int64
+	N       int // incidents in the trial
+	Mix     []scenarios.Scenario
+	Seed    int64
+	Workers int // parallel trial workers (<= 0: GOMAXPROCS)
 }
 
 // ABTest randomly assigns each sampled incident to the treatment
@@ -103,19 +109,42 @@ func ABTest(cfg ABConfig, treatment, control harness.Runner) *ABResult {
 	if len(mix) == 0 {
 		mix = scenarios.All()
 	}
+	// Randomization stays a single serial pass over one rng (the draw
+	// sequence defines the trial), then the drawn trials execute on the
+	// parallel pool and aggregate back in draw order — so the result is
+	// bit-identical for every worker count.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &ABResult{
 		Treatment: ArmStats{Name: treatment.Name()},
 		Control:   ArmStats{Name: control.Name()},
 	}
-	for i := 0; i < cfg.N; i++ {
+	type draw struct {
+		sc        scenarios.Scenario
+		seed      int64
+		treatment bool
+	}
+	draws := make([]draw, cfg.N)
+	for i := range draws {
 		sc := mix[rng.Intn(len(mix))]
 		seed := rng.Int63()
-		in := sc.Build(rand.New(rand.NewSource(seed)))
-		if rng.Intn(2) == 0 {
-			res.Treatment.add(treatment.Run(in, seed))
+		draws[i] = draw{sc: sc, seed: seed, treatment: rng.Intn(2) == 0}
+	}
+	trials := parallel.RunTrials(cfg.N, cfg.Workers, cfg.Seed, func(_ int64, i int) harness.Result {
+		d := draws[i]
+		if d.treatment {
+			return harness.BuildAndRun(treatment, d.sc, d.seed)
+		}
+		return harness.BuildAndRun(control, d.sc, d.seed)
+	})
+	for i, tr := range trials {
+		if tr.Err != nil {
+			res.TrialErrors++
+			continue
+		}
+		if draws[i].treatment {
+			res.Treatment.add(tr.Value)
 		} else {
-			res.Control.add(control.Run(in, seed))
+			res.Control.add(tr.Value)
 		}
 	}
 	res.Welch = WelchT(res.Treatment.TTMMinutes, res.Control.TTMMinutes)
@@ -147,8 +176,11 @@ func resample(xs []float64, rng *rand.Rand) float64 {
 // RunMatrix evaluates several runners over the same incident stream
 // (paired, not randomized): every runner sees identical incidents. Used
 // by the comparative experiments (E2, E3, E9) where pairing removes
-// incident-mix variance entirely.
-func RunMatrix(n int, mix []scenarios.Scenario, seed int64, runners ...harness.Runner) map[string]*ArmStats {
+// incident-mix variance entirely. Trials run on the parallel pool
+// (workers <= 0 means GOMAXPROCS); each trial rebuilds its instance per
+// runner from the same seed, and aggregation happens in stream order,
+// so the matrix is identical at any worker count.
+func RunMatrix(n, workers int, mix []scenarios.Scenario, seed int64, runners ...harness.Runner) map[string]*ArmStats {
 	if len(mix) == 0 {
 		mix = scenarios.All()
 	}
@@ -157,12 +189,27 @@ func RunMatrix(n int, mix []scenarios.Scenario, seed int64, runners ...harness.R
 	for _, r := range runners {
 		out[r.Name()] = &ArmStats{Name: r.Name()}
 	}
-	for i := 0; i < n; i++ {
-		sc := mix[rng.Intn(len(mix))]
-		s := rng.Int63()
-		for _, r := range runners {
-			in := sc.Build(rand.New(rand.NewSource(s)))
-			out[r.Name()].add(r.Run(in, s))
+	type draw struct {
+		sc   scenarios.Scenario
+		seed int64
+	}
+	draws := make([]draw, n)
+	for i := range draws {
+		draws[i] = draw{sc: mix[rng.Intn(len(mix))], seed: rng.Int63()}
+	}
+	trials := parallel.RunTrials(n, workers, seed, func(_ int64, i int) []harness.Result {
+		row := make([]harness.Result, len(runners))
+		for j, r := range runners {
+			row[j] = harness.BuildAndRun(r, draws[i].sc, draws[i].seed)
+		}
+		return row
+	})
+	for _, tr := range trials {
+		if tr.Err != nil {
+			continue
+		}
+		for j, r := range runners {
+			out[r.Name()].add(tr.Value[j])
 		}
 	}
 	return out

@@ -20,6 +20,7 @@ func currentKB() *kb.KB {
 // TestABHelperBeatsControl is §3's headline: the helper-assisted arm has
 // significantly lower TTM than the helper-free control arm.
 func TestABHelperBeatsControl(t *testing.T) {
+	t.Parallel()
 	kbase := currentKB()
 	res := eval.ABTest(eval.ABConfig{N: 120, Seed: 1},
 		&harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig()},
@@ -49,6 +50,7 @@ func TestABHelperBeatsControl(t *testing.T) {
 // TestABSameArmNotSignificant guards against the harness manufacturing
 // significance: identical runners in both arms must not differ.
 func TestABSameArmNotSignificant(t *testing.T) {
+	t.Parallel()
 	kbase := currentKB()
 	mk := func() *harness.ControlRunner {
 		return &harness.ControlRunner{KBase: kbase, Expertise: 0.8}
@@ -60,9 +62,10 @@ func TestABSameArmNotSignificant(t *testing.T) {
 }
 
 func TestRunMatrixPairsIncidents(t *testing.T) {
+	t.Parallel()
 	kbase := currentKB()
 	hist := replayer.Generate(replayer.Options{N: 40, Seed: 3}).History
-	stats := eval.RunMatrix(20, []scenarios.Scenario{&scenarios.GrayLink{}}, 3,
+	stats := eval.RunMatrix(20, 4, []scenarios.Scenario{&scenarios.GrayLink{}}, 3,
 		&harness.HelperRunner{Label: "helper", KBase: kbase, Config: core.DefaultConfig(), History: hist},
 		&harness.OneShotRunner{Label: "oneshot", History: hist, KBase: kbase},
 	)
@@ -87,6 +90,7 @@ func TestRunMatrixPairsIncidents(t *testing.T) {
 }
 
 func TestArmStatsAccessors(t *testing.T) {
+	t.Parallel()
 	s := &eval.ArmStats{}
 	if s.MitigationRate() != 0 || s.CorrectRate() != 0 {
 		t.Error("empty arm rates nonzero")

@@ -11,6 +11,7 @@ import (
 func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestMeanMedianPercentile(t *testing.T) {
+	t.Parallel()
 	xs := []float64{1, 2, 3, 4, 100}
 	if Mean(xs) != 22 {
 		t.Errorf("Mean = %v", Mean(xs))
@@ -30,6 +31,7 @@ func TestMeanMedianPercentile(t *testing.T) {
 }
 
 func TestVarianceKnown(t *testing.T) {
+	t.Parallel()
 	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
 	if got := Variance(xs); !almost(got, 4.571428571, 1e-6) {
 		t.Errorf("Variance = %v", got)
@@ -37,6 +39,7 @@ func TestVarianceKnown(t *testing.T) {
 }
 
 func TestStudentTCDFAgainstKnownValues(t *testing.T) {
+	t.Parallel()
 	// Reference values from standard t tables.
 	cases := []struct{ t, df, want float64 }{
 		{0, 5, 0.5},
@@ -53,6 +56,7 @@ func TestStudentTCDFAgainstKnownValues(t *testing.T) {
 }
 
 func TestRegIncBetaBounds(t *testing.T) {
+	t.Parallel()
 	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
 		t.Fatal("boundary values wrong")
 	}
@@ -65,6 +69,7 @@ func TestRegIncBetaBounds(t *testing.T) {
 }
 
 func TestWelchTDetectsDifference(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	a := make([]float64, 60)
 	b := make([]float64, 60)
@@ -87,6 +92,7 @@ func TestWelchTDetectsDifference(t *testing.T) {
 }
 
 func TestWelchTNullCalibration(t *testing.T) {
+	t.Parallel()
 	// Under the null, p-values should be roughly uniform: count p<0.05.
 	rng := rand.New(rand.NewSource(2))
 	rejections := 0
@@ -109,6 +115,7 @@ func TestWelchTNullCalibration(t *testing.T) {
 }
 
 func TestMannWhitney(t *testing.T) {
+	t.Parallel()
 	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
 	b := []float64{10, 11, 12, 13, 14, 15, 16, 17}
 	res := MannWhitneyU(a, b)
@@ -127,6 +134,7 @@ func TestMannWhitney(t *testing.T) {
 }
 
 func TestBootstrapCIContainsMean(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	xs := make([]float64, 200)
 	for i := range xs {
@@ -142,6 +150,7 @@ func TestBootstrapCIContainsMean(t *testing.T) {
 }
 
 func TestPermutationTest(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	a := []float64{1, 2, 3, 2, 1, 2, 3}
 	b := []float64{9, 8, 9, 10, 9, 8, 9}
@@ -155,6 +164,7 @@ func TestPermutationTest(t *testing.T) {
 
 // Property: mean is bounded by min and max; percentile is monotone in p.
 func TestStatsProperties(t *testing.T) {
+	t.Parallel()
 	check := func(raw []uint8) bool {
 		if len(raw) == 0 {
 			return true
@@ -186,6 +196,7 @@ func TestStatsProperties(t *testing.T) {
 }
 
 func TestTableRendering(t *testing.T) {
+	t.Parallel()
 	tb := NewTable("demo", "name", "value")
 	tb.AddRow("alpha", 1.5)
 	tb.AddRow("b", 22)
@@ -214,6 +225,7 @@ func indexOf(s, sub string) int {
 }
 
 func TestCohensD(t *testing.T) {
+	t.Parallel()
 	a := []float64{1, 2, 3, 4, 5}
 	b := []float64{3, 4, 5, 6, 7}
 	d := CohensD(a, b)
@@ -233,6 +245,7 @@ func TestCohensD(t *testing.T) {
 }
 
 func TestWilsonCI(t *testing.T) {
+	t.Parallel()
 	lo, hi := WilsonCI(8, 10)
 	if lo > 0.8 || hi < 0.8 {
 		t.Errorf("CI [%v,%v] excludes the point estimate", lo, hi)
@@ -260,6 +273,7 @@ func TestWilsonCI(t *testing.T) {
 }
 
 func TestHTMLReport(t *testing.T) {
+	t.Parallel()
 	rep := NewHTMLReport("demo report", 42, 10)
 	tb := NewTable("t1", "a", "b")
 	tb.AddRow("x", 1.0)

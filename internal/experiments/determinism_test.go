@@ -1,0 +1,73 @@
+package experiments
+
+// Serial-vs-parallel determinism: the core correctness contract of the
+// parallel trial pool. Running the same experiment from the same seed at
+// workers=1 and workers=8 must render bit-identical tables — worker
+// count may only change wall-clock time, never a single output byte.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// renderTables folds an experiment's tables into one comparable string.
+func renderTables(ts []*eval.Table) string {
+	var b strings.Builder
+	for _, t := range ts {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// firstDiff locates the first byte where two renderings diverge, for a
+// readable failure message.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			return "..." + a[lo:min(i+40, len(a))] + "... vs ..." + b[lo:min(i+40, len(b))] + "..."
+		}
+	}
+	return "lengths differ"
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestE2DeterministicAcrossWorkers runs the Fig.2 iterative-vs-one-shot
+// ladder serially and on eight workers from one seed and asserts the
+// experiment tables are bit-identical.
+func TestE2DeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	serial := renderTables(E2IterativeVsOneShot(Params{Trials: 2, Seed: 99, Workers: 1}))
+	pooled := renderTables(E2IterativeVsOneShot(Params{Trials: 2, Seed: 99, Workers: 8}))
+	if serial != pooled {
+		t.Fatalf("E2 tables diverge between workers=1 and workers=8: %s", firstDiff(serial, pooled))
+	}
+}
+
+// TestE4DeterministicAcrossWorkers does the same for the §3 randomized
+// A/B trial — arm assignment, per-arm statistics, and every significance
+// test must survive parallel execution byte for byte.
+func TestE4DeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	serial := renderTables(E4ABTest(Params{Trials: 2, Seed: 99, Workers: 1}))
+	pooled := renderTables(E4ABTest(Params{Trials: 2, Seed: 99, Workers: 8}))
+	if serial != pooled {
+		t.Fatalf("E4 tables diverge between workers=1 and workers=8: %s", firstDiff(serial, pooled))
+	}
+}

@@ -20,14 +20,16 @@ import (
 	"repro/internal/kb"
 	"repro/internal/llm"
 	"repro/internal/ops"
+	"repro/internal/parallel"
 	"repro/internal/replayer"
 	"repro/internal/scenarios"
 )
 
 // Params sizes an experiment run.
 type Params struct {
-	Trials int   // incidents per cell (default 20)
-	Seed   int64 // base seed
+	Trials  int   // incidents per cell (default 20)
+	Seed    int64 // base seed
+	Workers int   // parallel trial workers (<= 0: GOMAXPROCS)
 }
 
 func (p Params) withDefaults() Params {
@@ -103,14 +105,14 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
-// runCell drives one runner over Trials instances of one scenario.
+// runCell drives one runner over Trials instances of one scenario on
+// the parallel trial pool. Per-trial seeds come from the scheduling-
+// independent derivation, and results aggregate in trial order, so the
+// cell is bit-identical at any worker count.
 func runCell(sc scenarios.Scenario, r harness.Runner, p Params) *cell {
 	c := &cell{}
-	rng := rand.New(rand.NewSource(p.Seed))
-	for i := 0; i < p.Trials; i++ {
-		seed := rng.Int63()
-		in := sc.Build(rand.New(rand.NewSource(seed)))
-		c.add(r.Run(in, seed))
+	for _, tr := range harness.RunPool(sc, r, p.Trials, p.Workers, p.Seed) {
+		c.add(harness.PoolResult(sc, tr))
 	}
 	return c
 }
@@ -178,8 +180,8 @@ func E2IterativeVsOneShot(p Params) []*eval.Table {
 		rows = append(rows, row{
 			name:  sc.Name(),
 			depth: depth,
-			os:    runCell(sc, oneShot, Params{Trials: p.Trials, Seed: p.Seed + 11}),
-			it:    runCell(sc, iter, Params{Trials: p.Trials, Seed: p.Seed + 11}),
+			os:    runCell(sc, oneShot, Params{Trials: p.Trials, Seed: p.Seed + 11, Workers: p.Workers}),
+			it:    runCell(sc, iter, Params{Trials: p.Trials, Seed: p.Seed + 11, Workers: p.Workers}),
 		})
 	}
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].depth < rows[j].depth })
@@ -223,7 +225,7 @@ func E3Adaptivity(p Params) []*eval.Table {
 	t := eval.NewTable("E3 (Fig.3): adaptivity on the novel-protocol (Tokyo) incident",
 		"helper", "correct", "escalated", "TTM(m)", "rounds")
 	for _, r := range runners {
-		c := runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 31})
+		c := runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 31, Workers: p.Workers})
 		t.AddRow(r.Name(), eval.Pct(c.rate(c.correct)), eval.Pct(c.rate(c.escalated)), c.meanTTM(), c.meanRounds())
 	}
 	return []*eval.Table{t}
@@ -240,7 +242,7 @@ func E4ABTest(p Params) []*eval.Table {
 	n := p.Trials * 8 // the AB harness needs volume; Trials scales it
 	kbase := currentKB()
 	hist := routineHistory(p.Seed^0x4444, 120).History
-	res := eval.ABTest(eval.ABConfig{N: n, Seed: p.Seed + 41},
+	res := eval.ABTest(eval.ABConfig{N: n, Seed: p.Seed + 41, Workers: p.Workers},
 		&harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig(), History: hist},
 		&harness.ControlRunner{KBase: kbase, Expertise: 0.8, History: hist},
 	)
@@ -273,7 +275,7 @@ func E5Replay(p Params) []*eval.Table {
 	mix := append(scenarios.Routine(), &scenarios.Cascade{Stage: 5})
 	c := replayer.Generate(replayer.Options{N: p.Trials * 6, Seed: p.Seed ^ 0x5555, Mix: mix})
 	runner := &harness.HelperRunner{KBase: currentKB(), Config: core.DefaultConfig(), History: c.History}
-	rep := replayer.Replay(c, runner)
+	rep := replayer.ReplayParallel(c, runner, p.Workers)
 
 	t := eval.NewTable("E5 (§3): historical replay through the helper", "metric", "value")
 	t.AddRow("corpus size", len(rep.Items))
@@ -309,8 +311,8 @@ func E6Costs(p Params) []*eval.Table {
 	infer := eval.NewTable("E6 (§3): helper inference cost vs SLA exposure saved",
 		"scenario", "tokens/incident", "LLM cost $", "TTM saved (m)", "SLA $ saved", "cost ratio")
 	for _, sc := range scenarios.All() {
-		ch := runCell(sc, helper, Params{Trials: p.Trials, Seed: p.Seed + 61})
-		cc := runCell(sc, control, Params{Trials: p.Trials, Seed: p.Seed + 61})
+		ch := runCell(sc, helper, Params{Trials: p.Trials, Seed: p.Seed + 61, Workers: p.Workers})
+		cc := runCell(sc, control, Params{Trials: p.Trials, Seed: p.Seed + 61, Workers: p.Workers})
 		sev := sc.Build(rand.New(rand.NewSource(1))).Incident.Severity
 		saved := cc.meanTTM() - ch.meanTTM()
 		slaSaved := saved * slaCostPerMinute[sev]
@@ -367,7 +369,7 @@ func E7RiskAblation(p Params) []*eval.Table {
 		agg := &cell{}
 		for _, sc := range workload {
 			r := &harness.HelperRunner{KBase: kbase, Config: v.cfg, Hallucination: 0.15}
-			c := runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 71})
+			c := runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 71, Workers: p.Workers})
 			agg.merge(c)
 		}
 		t.AddRow(v.name, eval.Pct(agg.rate(agg.correct)), agg.wrong, agg.secondary, agg.planErr, agg.meanTTM())
@@ -472,7 +474,7 @@ func E8Embeddings(p Params) []*eval.Table {
 		agg := &cell{}
 		for _, sc := range scenarios.Routine() {
 			r := &paraphrasedRunner{inner: &harness.OneShotRunner{History: corpus.History, KBase: kbase, Embedder: e}}
-			agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 82}))
+			agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 82, Workers: p.Workers}))
 		}
 		t.AddRow(e.Name(),
 			eval.Pct(float64(fullHits)/float64(total)),
@@ -565,7 +567,7 @@ func E9Sensitivity(p Params) []*eval.Table {
 			agg := &cell{}
 			for _, sc := range workload {
 				r := &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig(), Hallucination: h, Expertise: ex}
-				agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 91}))
+				agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 91, Workers: p.Workers}))
 			}
 			hal.AddRow(h, ex, eval.Pct(agg.rate(agg.correct)), agg.secondary, agg.meanTTM())
 		}
@@ -582,7 +584,7 @@ func E9Sensitivity(p Params) []*eval.Table {
 		agg := &cell{}
 		for _, sc := range workload {
 			r := &harness.HelperRunner{KBase: kbase, Config: cfg, Hallucination: 0.2}
-			agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 92}))
+			agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 92, Workers: p.Workers}))
 		}
 		beam.AddRow(b, eval.Pct(agg.rate(agg.correct)), agg.meanTTM(), agg.meanRounds(), agg.meanTokens())
 	}
@@ -593,7 +595,7 @@ func E9Sensitivity(p Params) []*eval.Table {
 		cfg := core.DefaultConfig()
 		cfg.SelfConsistency = v
 		r := &harness.HelperRunner{KBase: kbase, Config: cfg, Hallucination: 0.3, Expertise: 0.3}
-		c := runCell(&scenarios.GrayLink{}, r, Params{Trials: p.Trials * 2, Seed: p.Seed + 94})
+		c := runCell(&scenarios.GrayLink{}, r, Params{Trials: p.Trials * 2, Seed: p.Seed + 94, Workers: p.Workers})
 		sc.AddRow(v, eval.Pct(c.rate(c.correct)), c.meanTTM(), c.meanTokens())
 	}
 
@@ -603,7 +605,7 @@ func E9Sensitivity(p Params) []*eval.Table {
 		cfg := core.DefaultConfig()
 		cfg.InContextRules = fastpathRules()
 		r := &harness.HelperRunner{KBase: staleKB(), OCEKB: currentKB(), Config: cfg, Window: w}
-		c := runCell(&scenarios.NovelProtocol{}, r, Params{Trials: p.Trials, Seed: p.Seed + 93})
+		c := runCell(&scenarios.NovelProtocol{}, r, Params{Trials: p.Trials, Seed: p.Seed + 93, Workers: p.Workers})
 		win.AddRow(w, eval.Pct(c.rate(c.correct)), eval.Pct(c.rate(c.escalated)), c.meanTTM())
 	}
 	return []*eval.Table{hal, beam, win, sc}
@@ -654,20 +656,47 @@ var _ = time.Minute
 func E10FleetLoad(p Params) []*eval.Table {
 	p = p.withDefaults()
 	kbase := currentKB()
+
+	// The (arrival rate x arm) cells are independent fleet simulations,
+	// so the grid itself runs on the trial pool: each cell constructs its
+	// own runner and seeds its own simulation, and rows render in cell
+	// order — identical output at any worker count.
+	type fleetCell struct {
+		lambda   float64
+		assisted bool
+	}
+	var cells []fleetCell
+	for _, lambda := range []float64{0.5, 2, 4, 8} {
+		cells = append(cells, fleetCell{lambda, true}, fleetCell{lambda, false})
+	}
+	type fleetRow struct {
+		name string
+		rep  *ops.Report
+	}
+	rows := parallel.RunTrials(len(cells), p.Workers, p.Seed, func(_ int64, i int) fleetRow {
+		c := cells[i]
+		var arm harness.Runner
+		if c.assisted {
+			arm = &harness.HelperRunner{Label: "assisted", KBase: kbase, Config: core.DefaultConfig()}
+		} else {
+			arm = &harness.ControlRunner{Label: "control", KBase: kbase}
+		}
+		return fleetRow{arm.Name(), ops.Simulate(ops.Config{
+			OCEs: 2, ArrivalsPerHour: c.lambda, Incidents: p.Trials * 4,
+			Seed: p.Seed + 101, Runner: arm,
+		})}
+	})
+
 	t := eval.NewTable("E10 (extension): fleet of 2 OCEs under incident load",
 		"arrivals/h", "arm", "meanQueue(m)", "meanTotal(m)", "p95Total(m)", "utilization")
-	for _, lambda := range []float64{0.5, 2, 4, 8} {
-		for _, arm := range []harness.Runner{
-			&harness.HelperRunner{Label: "assisted", KBase: kbase, Config: core.DefaultConfig()},
-			&harness.ControlRunner{Label: "control", KBase: kbase},
-		} {
-			rep := ops.Simulate(ops.Config{
-				OCEs: 2, ArrivalsPerHour: lambda, Incidents: p.Trials * 4,
-				Seed: p.Seed + 101, Runner: arm,
-			})
-			t.AddRow(lambda, arm.Name(), rep.MeanQueue.Minutes(), rep.MeanTotal.Minutes(),
-				rep.P95Total.Minutes(), fmt.Sprintf("%.2f", rep.Utilization))
+	for i, tr := range rows {
+		if tr.Err != nil {
+			t.AddRow(cells[i].lambda, "(cell crashed)", "-", "-", "-", "-")
+			continue
 		}
+		rep := tr.Value.rep
+		t.AddRow(cells[i].lambda, tr.Value.name, rep.MeanQueue.Minutes(), rep.MeanTotal.Minutes(),
+			rep.P95Total.Minutes(), fmt.Sprintf("%.2f", rep.Utilization))
 	}
 	return []*eval.Table{t}
 }
@@ -695,11 +724,11 @@ func E11LearningCurve(p Params) []*eval.Table {
 		agg := &cell{}
 		for _, sc := range scenarios.Routine() {
 			r := &harness.OneShotRunner{History: hist, KBase: kbase}
-			agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 111}))
+			agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 111, Workers: p.Workers}))
 		}
 		novel := runCell(&scenarios.NovelProtocol{},
 			&harness.OneShotRunner{History: hist, KBase: kbase},
-			Params{Trials: p.Trials, Seed: p.Seed + 112})
+			Params{Trials: p.Trials, Seed: p.Seed + 112, Workers: p.Workers})
 		t.AddRow(n, eval.Pct(agg.rate(agg.correct)), eval.Pct(novel.rate(novel.correct)), agg.meanTTM())
 	}
 	return []*eval.Table{t}
@@ -743,7 +772,7 @@ func E12SmallModels(p Params) []*eval.Table {
 			agg := &cell{}
 			for _, sc := range workload {
 				r := &harness.HelperRunner{KBase: kbase, Config: cfg, Recall: recall}
-				agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 121}))
+				agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 121, Workers: p.Workers}))
 			}
 			ragLabel := "no"
 			if rag {

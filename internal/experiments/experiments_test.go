@@ -45,6 +45,7 @@ func rowByFirst(t *testing.T, tb *eval.Table, key string) []string {
 }
 
 func TestE1ShapeTraceAndSuccess(t *testing.T) {
+	t.Parallel()
 	trace, tables := E1FrameworkTrace(small())
 	for _, want := range []string{"hypotheses", "plan-proposed", "risk-assessed", "executed", "verified"} {
 		if !strings.Contains(trace, want) {
@@ -60,6 +61,7 @@ func TestE1ShapeTraceAndSuccess(t *testing.T) {
 }
 
 func TestE2ShapeOneShotCollapsesWithDepth(t *testing.T) {
+	t.Parallel()
 	tb := E2IterativeVsOneShot(small())[0]
 	if len(tb.Rows) < 9 {
 		t.Fatalf("rows = %d", len(tb.Rows))
@@ -80,6 +82,7 @@ func TestE2ShapeOneShotCollapsesWithDepth(t *testing.T) {
 }
 
 func TestE3ShapeOnlyAdaptedHelpersSolveNovel(t *testing.T) {
+	t.Parallel()
 	tb := E3Adaptivity(small())[0]
 	get := func(name string) float64 { return cellPct(t, rowByFirst(t, tb, name)[1]) }
 	if get("one-shot (history)") > 0 {
@@ -97,6 +100,7 @@ func TestE3ShapeOnlyAdaptedHelpersSolveNovel(t *testing.T) {
 }
 
 func TestE4ShapeHelperArmFaster(t *testing.T) {
+	t.Parallel()
 	tables := E4ABTest(Params{Trials: 8, Seed: 99})
 	arms := tables[0]
 	helper := rowByFirst(t, arms, "iterative-helper")
@@ -107,6 +111,7 @@ func TestE4ShapeHelperArmFaster(t *testing.T) {
 }
 
 func TestE5ShapePositiveSavings(t *testing.T) {
+	t.Parallel()
 	tb := E5Replay(small())[0]
 	if cellF(t, rowByFirst(t, tb, "mean TTM savings, matched (min)")[1]) <= 0 {
 		t.Error("no replay savings")
@@ -117,6 +122,7 @@ func TestE5ShapePositiveSavings(t *testing.T) {
 }
 
 func TestE6ShapeTSGNeverAmortizes(t *testing.T) {
+	t.Parallel()
 	tables := E6Costs(small())
 	tsg := tables[1]
 	for _, r := range tsg.Rows {
@@ -127,6 +133,7 @@ func TestE6ShapeTSGNeverAmortizes(t *testing.T) {
 }
 
 func TestE7ShapeRiskEliminatesBadExecutions(t *testing.T) {
+	t.Parallel()
 	tb := E7RiskAblation(small())[0]
 	noRisk := rowByFirst(t, tb, "no risk assessment")
 	combined := rowByFirst(t, tb, "combined (paper)")
@@ -142,6 +149,7 @@ func TestE7ShapeRiskEliminatesBadExecutions(t *testing.T) {
 }
 
 func TestE8ShapeDomainWinsUnderNoise(t *testing.T) {
+	t.Parallel()
 	tb := E8Embeddings(small())[0]
 	gen := rowByFirst(t, tb, "generic-hash")
 	dom := rowByFirst(t, tb, "domain-network")
@@ -154,6 +162,7 @@ func TestE8ShapeDomainWinsUnderNoise(t *testing.T) {
 }
 
 func TestE9ShapeDegradationMonotonicities(t *testing.T) {
+	t.Parallel()
 	tables := E9Sensitivity(small())
 	hal := tables[0]
 	// Expert row at h=0 must beat expert row at h=0.5.
@@ -179,6 +188,7 @@ func TestE9ShapeDegradationMonotonicities(t *testing.T) {
 }
 
 func TestE10ShapeQueueAmplification(t *testing.T) {
+	t.Parallel()
 	tb := E10FleetLoad(Params{Trials: 8, Seed: 99})[0]
 	// At every arrival rate the assisted fleet's mean total is lower.
 	for i := 0; i+1 < len(tb.Rows); i += 2 {
@@ -193,6 +203,7 @@ func TestE10ShapeQueueAmplification(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
 	if len(Registry) != 12 {
 		t.Fatalf("registry has %d experiments", len(Registry))
 	}
@@ -202,6 +213,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestE11ShapeLearningCurve(t *testing.T) {
+	t.Parallel()
 	tb := E11LearningCurve(small())[0]
 	if len(tb.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tb.Rows))
@@ -218,6 +230,7 @@ func TestE11ShapeLearningCurve(t *testing.T) {
 }
 
 func TestE12ShapeRAGCompensatesWeakRecall(t *testing.T) {
+	t.Parallel()
 	tb := E12SmallModels(Params{Trials: 6, Seed: 99})[0]
 	if len(tb.Rows) != 8 {
 		t.Fatalf("rows = %d", len(tb.Rows))

@@ -19,6 +19,7 @@ func currentKB() *kb.KB {
 }
 
 func TestPenalizedTTM(t *testing.T) {
+	t.Parallel()
 	r := harness.Result{TTM: 30 * time.Minute, Mitigated: true}
 	if r.PenalizedTTM() != 30*time.Minute {
 		t.Error("mitigated result should not be penalized")
@@ -30,6 +31,7 @@ func TestPenalizedTTM(t *testing.T) {
 }
 
 func TestRunnersProduceConsistentResults(t *testing.T) {
+	t.Parallel()
 	kbase := currentKB()
 	corpus := replayer.Generate(replayer.Options{N: 40, Seed: 9})
 	runners := []harness.Runner{
@@ -61,6 +63,7 @@ func TestRunnersProduceConsistentResults(t *testing.T) {
 }
 
 func TestHelperRunnerRootCauseFlag(t *testing.T) {
+	t.Parallel()
 	kbase := currentKB()
 	r := &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig()}
 	// Gray link: the mitigated concept IS the root cause, so the flag
@@ -77,6 +80,7 @@ func TestHelperRunnerRootCauseFlag(t *testing.T) {
 }
 
 func TestRunnerNames(t *testing.T) {
+	t.Parallel()
 	if (&harness.HelperRunner{}).Name() != "iterative-helper" {
 		t.Error("default helper name")
 	}
@@ -92,6 +96,7 @@ func TestRunnerNames(t *testing.T) {
 }
 
 func TestHelperRunnerDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
 	kbase := currentKB()
 	r := &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig()}
 	run := func() harness.Result {

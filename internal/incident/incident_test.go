@@ -11,6 +11,7 @@ import (
 )
 
 func TestSymptomsFromAlerts(t *testing.T) {
+	t.Parallel()
 	alerts := []telemetry.Alert{
 		{Rule: "service-loss", Detail: "service web experiencing 5.0% packet loss (2/6 flows unrouted)"},
 		{Rule: "service-loss", Detail: "service db experiencing 2.0% packet loss (0/4 flows unrouted)"},
@@ -38,6 +39,7 @@ func TestSymptomsFromAlerts(t *testing.T) {
 }
 
 func TestDigest(t *testing.T) {
+	t.Parallel()
 	if !strings.Contains(Digest(nil), "no alerts") {
 		t.Error("empty digest wording")
 	}
@@ -48,6 +50,7 @@ func TestDigest(t *testing.T) {
 }
 
 func TestGroundTruthChainDepth(t *testing.T) {
+	t.Parallel()
 	g := &GroundTruth{}
 	if g.ChainDepth() != 0 {
 		t.Error("empty chain depth")
@@ -59,6 +62,7 @@ func TestGroundTruthChainDepth(t *testing.T) {
 }
 
 func TestMitigationCorrectAlternatives(t *testing.T) {
+	t.Parallel()
 	g := &GroundTruth{RequiredMitigations: [][]mitigation.Action{
 		{{Kind: mitigation.RollbackChange, Target: "CHG-1"}},
 		{{Kind: mitigation.OverrideWAN, Target: "B4", Param: "healthy"}},
@@ -80,6 +84,7 @@ func TestMitigationCorrectAlternatives(t *testing.T) {
 }
 
 func TestNewAndRecord(t *testing.T) {
+	t.Parallel()
 	alerts := []telemetry.Alert{{Rule: "service-loss", Detail: "service s experiencing 9% packet loss (0/3 flows unrouted)"}}
 	truth := &GroundTruth{RootCause: kb.CLinkCorruption, CausalChain: []string{kb.CLinkCorruption, kb.CPacketLoss}}
 	inc := New("INC-1", "title", "summary", 2, 10*time.Minute, alerts, truth)

@@ -7,6 +7,7 @@ import (
 )
 
 func TestDefaultCorpusWellFormed(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	if k.Version() != 1 {
 		t.Fatalf("version = %d, want 1", k.Version())
@@ -29,6 +30,7 @@ func TestDefaultCorpusWellFormed(t *testing.T) {
 }
 
 func TestCausesOfSortedByStrength(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	causes := k.CausesOf(CPacketLoss)
 	if len(causes) < 4 {
@@ -46,6 +48,7 @@ func TestCausesOfSortedByStrength(t *testing.T) {
 }
 
 func TestEffectsOf(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	effects := k.EffectsOf(CConfigPush)
 	found := false
@@ -60,6 +63,7 @@ func TestEffectsOf(t *testing.T) {
 }
 
 func TestAddRuleValidation(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	mustPanic := func(name string, f func()) {
 		t.Helper()
@@ -82,6 +86,7 @@ func TestAddRuleValidation(t *testing.T) {
 }
 
 func TestRemoveRule(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	before := len(k.CausesOf(CPacketLoss))
 	k.RemoveRule("rule:link_down->packet_loss")
@@ -93,6 +98,7 @@ func TestRemoveRule(t *testing.T) {
 }
 
 func TestSnapshotExcludesNewRules(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	v1 := k.Version()
 	ApplyFastpathUpdate(k)
@@ -126,6 +132,7 @@ func TestSnapshotExcludesNewRules(t *testing.T) {
 }
 
 func TestTeamNamespaces(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	wan := k.TeamRules("wan")
 	if len(wan) == 0 {
@@ -145,6 +152,7 @@ func TestTeamNamespaces(t *testing.T) {
 }
 
 func TestTSGLookup(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	if _, ok := k.TSGByID("tsg-device-down"); !ok {
 		t.Fatal("tsg-device-down missing")
@@ -161,6 +169,7 @@ func TestTSGLookup(t *testing.T) {
 }
 
 func TestComponentsAndDependents(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	if _, ok := k.ComponentByName("traffic-controller"); !ok {
 		t.Fatal("traffic-controller component missing")
@@ -178,6 +187,7 @@ func TestComponentsAndDependents(t *testing.T) {
 }
 
 func TestMitigationsTemplates(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	ms := k.Mitigations(CLinkCorruption)
 	if len(ms) != 1 || ms[0].Kind != mitigation.IsolateLink || ms[0].Target != PhLink {
@@ -194,6 +204,7 @@ func TestMitigationsTemplates(t *testing.T) {
 }
 
 func TestFastpathUpdateAddsTSG(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	ApplyFastpathUpdate(k)
 	tsg, ok := k.TSGByID("tsg-fastpath-kill")
@@ -212,6 +223,7 @@ func TestFastpathUpdateAddsTSG(t *testing.T) {
 }
 
 func TestHistoryStore(t *testing.T) {
+	t.Parallel()
 	h := NewHistory()
 	h.Add(IncidentRecord{ID: "i1", Title: "loss in east", RootCause: CLinkCorruption,
 		Mitigation: []mitigation.Action{{Kind: mitigation.IsolateLink, Target: "l1"}}, TTMMinutes: 30})
@@ -240,6 +252,7 @@ func TestHistoryStore(t *testing.T) {
 }
 
 func TestKBHistoryAttachedAndSharedAcrossSnapshots(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	k.History().Add(IncidentRecord{ID: "x", Title: "t"})
 	s := k.Snapshot(1)

@@ -9,6 +9,7 @@ import (
 )
 
 func TestHistoryJSONRoundTrip(t *testing.T) {
+	t.Parallel()
 	h := NewHistory()
 	h.Add(IncidentRecord{
 		ID: "i1", Title: "loss in east", Summary: "sum",
@@ -49,6 +50,7 @@ func TestHistoryJSONRoundTrip(t *testing.T) {
 }
 
 func TestHistoryLoadJSONErrors(t *testing.T) {
+	t.Parallel()
 	h := NewHistory()
 	if err := h.LoadJSON(strings.NewReader("{not json")); err == nil {
 		t.Fatal("garbage accepted")
@@ -59,6 +61,7 @@ func TestHistoryLoadJSONErrors(t *testing.T) {
 }
 
 func TestHistoryLoadJSONReplacesByID(t *testing.T) {
+	t.Parallel()
 	h := NewHistory()
 	h.Add(IncidentRecord{ID: "x", Title: "old", TTMMinutes: 10})
 	if err := h.LoadJSON(strings.NewReader(`[{"id":"x","title":"new","ttm_minutes":20,"severity":1}]`)); err != nil {
@@ -74,6 +77,7 @@ func TestHistoryLoadJSONReplacesByID(t *testing.T) {
 }
 
 func TestExportDOT(t *testing.T) {
+	t.Parallel()
 	k := Default()
 	var buf bytes.Buffer
 	if err := k.ExportDOT(&buf); err != nil {

@@ -15,6 +15,7 @@ func newModel(t *testing.T) *SimLLM {
 }
 
 func TestCountTokensRatio(t *testing.T) {
+	t.Parallel()
 	// 24K words ~= 32K tokens per the paper's ratio.
 	words := strings.Repeat("w ", 24000)
 	got := CountTokens(words)
@@ -27,6 +28,7 @@ func TestCountTokensRatio(t *testing.T) {
 }
 
 func TestTruncateTokens(t *testing.T) {
+	t.Parallel()
 	text := "HEADER: keep\nLINE: one two three four five six\nTAIL: late context"
 	cut, truncated := TruncateTokens(text, 8)
 	if !truncated {
@@ -45,6 +47,7 @@ func TestTruncateTokens(t *testing.T) {
 }
 
 func TestFormHypothesesBackwardChains(t *testing.T) {
+	t.Parallel()
 	m := newModel(t)
 	resp, err := m.Complete(BuildFormHypotheses(PromptContext{Symptoms: []string{kb.CPacketLoss}}, 4))
 	if err != nil {
@@ -69,6 +72,7 @@ func TestFormHypothesesBackwardChains(t *testing.T) {
 }
 
 func TestFormHypothesesChainsFromConfirmed(t *testing.T) {
+	t.Parallel()
 	m := newModel(t)
 	ctx := PromptContext{
 		Symptoms:  []string{kb.CPacketLoss},
@@ -94,6 +98,7 @@ func TestFormHypothesesChainsFromConfirmed(t *testing.T) {
 }
 
 func TestFormHypothesesInContextRule(t *testing.T) {
+	t.Parallel()
 	// The stale model cannot explain device_os_crash via the protocol;
 	// with the in-context rule it can (the paper's in-context adaptation
 	// path).
@@ -122,6 +127,7 @@ func TestFormHypothesesInContextRule(t *testing.T) {
 }
 
 func TestFineTunePicksUpNewKnowledge(t *testing.T) {
+	t.Parallel()
 	base := kb.Default()
 	m := NewSimLLM(base.Snapshot(1), 1)
 	updated := kb.Default()
@@ -144,6 +150,7 @@ func TestFineTunePicksUpNewKnowledge(t *testing.T) {
 }
 
 func TestPlanTest(t *testing.T) {
+	t.Parallel()
 	m := newModel(t)
 	resp, err := m.Complete(BuildPlanTest(PromptContext{}, kb.CLinkOverload))
 	if err != nil {
@@ -170,6 +177,7 @@ func TestPlanTest(t *testing.T) {
 }
 
 func TestInterpretTest(t *testing.T) {
+	t.Parallel()
 	m := newModel(t)
 	resp, _ := m.Complete(BuildInterpretTest(PromptContext{}, kb.CLinkOverload, kb.ToolLinkUtil,
 		[]string{"link_overload=true link=B2-a--B2-b util=1.62"}))
@@ -191,6 +199,7 @@ func TestInterpretTest(t *testing.T) {
 }
 
 func TestPlanMitigationBindsTargets(t *testing.T) {
+	t.Parallel()
 	m := newModel(t)
 	ctx := PromptContext{Bindings: map[string]string{kb.PhLink: "r1-tor--r1-agg"}}
 	resp, _ := m.Complete(BuildPlanMitigation(ctx, kb.CLinkCorruption))
@@ -214,6 +223,7 @@ func TestPlanMitigationBindsTargets(t *testing.T) {
 }
 
 func TestPlanMitigationUnknownCauseEscalates(t *testing.T) {
+	t.Parallel()
 	m := newModel(t)
 	resp, _ := m.Complete(BuildPlanMitigation(PromptContext{}, "cosmic_ray_bitflip"))
 	acts := ParseActions(resp.Content)
@@ -223,6 +233,7 @@ func TestPlanMitigationUnknownCauseEscalates(t *testing.T) {
 }
 
 func TestAssessRisk(t *testing.T) {
+	t.Parallel()
 	m := newModel(t)
 	low, _ := m.Complete(BuildAssessRisk(PromptContext{}, []mitigation.Action{
 		{Kind: mitigation.RepairMonitor, Target: "pingmesh"},
@@ -250,6 +261,7 @@ func TestAssessRisk(t *testing.T) {
 }
 
 func TestHallucinationInjection(t *testing.T) {
+	t.Parallel()
 	m := newModel(t)
 	m.HallucinationRate = 1.0
 	resp, _ := m.Complete(BuildFormHypotheses(PromptContext{Symptoms: []string{kb.CPacketLoss}}, 3))
@@ -274,6 +286,7 @@ func TestHallucinationInjection(t *testing.T) {
 }
 
 func TestContextWindowTruncationDegradesInContextLearning(t *testing.T) {
+	t.Parallel()
 	m := newModel(t)
 	m.Window = 60 // tiny window
 	ctx := PromptContext{
@@ -304,6 +317,7 @@ func TestContextWindowTruncationDegradesInContextLearning(t *testing.T) {
 }
 
 func TestMeterAccounting(t *testing.T) {
+	t.Parallel()
 	m := newModel(t)
 	before := m.Meter
 	resp, err := m.Complete(BuildFormHypotheses(PromptContext{Symptoms: []string{kb.CPacketLoss}}, 3))
@@ -333,6 +347,7 @@ func TestMeterAccounting(t *testing.T) {
 }
 
 func TestCompleteErrors(t *testing.T) {
+	t.Parallel()
 	m := newModel(t)
 	if _, err := m.Complete(Request{Messages: []Message{{Role: RoleUser, Content: "hello"}}}); err == nil {
 		t.Error("missing TASK should error")
@@ -343,6 +358,7 @@ func TestCompleteErrors(t *testing.T) {
 }
 
 func TestDeterministicAcrossRuns(t *testing.T) {
+	t.Parallel()
 	run := func() string {
 		m := NewSimLLM(kb.Default(), 7)
 		m.HallucinationRate = 0.3

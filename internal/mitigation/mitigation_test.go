@@ -28,6 +28,7 @@ func smallWorld() *netsim.World {
 }
 
 func TestActionStringAndMatches(t *testing.T) {
+	t.Parallel()
 	a := Action{Kind: OverrideWAN, Target: "B4", Param: "healthy"}
 	if a.String() != "override-wan(B4,healthy)" {
 		t.Errorf("String = %q", a.String())
@@ -44,6 +45,7 @@ func TestActionStringAndMatches(t *testing.T) {
 }
 
 func TestPlanSatisfies(t *testing.T) {
+	t.Parallel()
 	p := Plan{Actions: []Action{
 		{Kind: DisableProtocol, Target: "fastpath"},
 		{Kind: RestartDevice, Target: "d1"},
@@ -60,6 +62,7 @@ func TestPlanSatisfies(t *testing.T) {
 }
 
 func TestExecutorIsolation(t *testing.T) {
+	t.Parallel()
 	w := smallWorld()
 	ex := &Executor{World: w, Actor: "test"}
 	lid := string(netsim.MakeLinkID("us-east-tor-p0-0", "us-east-agg-p0-0"))
@@ -85,6 +88,7 @@ func TestExecutorIsolation(t *testing.T) {
 }
 
 func TestExecutorDeviceLifecycle(t *testing.T) {
+	t.Parallel()
 	w := smallWorld()
 	ex := &Executor{World: w, Actor: "test"}
 	w.Inject(&netsim.DeviceDownFault{Node: "us-east-spine-0"})
@@ -109,6 +113,7 @@ func TestExecutorDeviceLifecycle(t *testing.T) {
 }
 
 func TestExecutorRollbackChange(t *testing.T) {
+	t.Parallel()
 	w := smallWorld()
 	fault := &netsim.ConfigInconsistencyFault{WAN: "B4", Prefix: "10.0.0.0/16", Clusters: []string{"us-west", "eu-north"}}
 	w.Inject(fault)
@@ -133,6 +138,7 @@ func TestExecutorRollbackChange(t *testing.T) {
 }
 
 func TestExecutorOverrideWAN(t *testing.T) {
+	t.Parallel()
 	w := smallWorld()
 	w.Inject(&netsim.ConfigInconsistencyFault{WAN: "B4", Prefix: "10.0.0.0/16", Clusters: []string{"us-west", "eu-north"}})
 	ex := &Executor{World: w, Actor: "oce"}
@@ -154,6 +160,7 @@ func TestExecutorOverrideWAN(t *testing.T) {
 }
 
 func TestExecutorDisableProtocolScoped(t *testing.T) {
+	t.Parallel()
 	w := smallWorld()
 	for _, nd := range w.Net.Nodes() {
 		if nd.WANName != "" {
@@ -179,6 +186,7 @@ func TestExecutorDisableProtocolScoped(t *testing.T) {
 }
 
 func TestExecutorMoveAndRateLimit(t *testing.T) {
+	t.Parallel()
 	w := smallWorld()
 	ex := &Executor{World: w, Actor: "oce"}
 	if err := ex.Execute(Action{Kind: MoveService, Target: "bulk", Param: "B2"}); err != nil {
@@ -205,6 +213,7 @@ func TestExecutorMoveAndRateLimit(t *testing.T) {
 }
 
 func TestExecutorRepairMonitorAndEscalate(t *testing.T) {
+	t.Parallel()
 	w := smallWorld()
 	w.Inject(&netsim.MonitorBrokenFault{Monitor: "pingmesh"})
 	ex := &Executor{World: w, Actor: "oce"}
@@ -223,6 +232,7 @@ func TestExecutorRepairMonitorAndEscalate(t *testing.T) {
 }
 
 func TestExecutorClockedAdvancesTime(t *testing.T) {
+	t.Parallel()
 	w := smallWorld()
 	ex := &Executor{World: w, Clocked: true, Actor: "oce"}
 	start := w.Clock.Now()
@@ -239,6 +249,7 @@ func TestExecutorClockedAdvancesTime(t *testing.T) {
 }
 
 func TestVerifier(t *testing.T) {
+	t.Parallel()
 	w := smallWorld()
 	v := &Verifier{World: w}
 	if !v.Mitigated() {
@@ -270,6 +281,7 @@ func TestVerifier(t *testing.T) {
 }
 
 func TestExecLatencyTable(t *testing.T) {
+	t.Parallel()
 	for _, k := range []ActionKind{IsolateLink, RestartDevice, RollbackChange, Escalate} {
 		if (Action{Kind: k}).Latency() <= 0 {
 			t.Errorf("action %s has no latency", k)
@@ -282,6 +294,7 @@ func TestExecLatencyTable(t *testing.T) {
 }
 
 func TestExecutorNoOpAndUnknownService(t *testing.T) {
+	t.Parallel()
 	w := smallWorld()
 	ex := &Executor{World: w, Actor: "t"}
 	if err := ex.Execute(Action{Kind: NoOp}); err != nil {
@@ -298,6 +311,7 @@ func TestExecutorNoOpAndUnknownService(t *testing.T) {
 }
 
 func TestExecutorEnableProtocolFleetWide(t *testing.T) {
+	t.Parallel()
 	w := smallWorld()
 	ex := &Executor{World: w, Actor: "t"}
 	if err := ex.Execute(Action{Kind: EnableProtocol, Target: "newproto"}); err != nil {

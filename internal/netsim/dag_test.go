@@ -18,6 +18,7 @@ func dagWorldNet() *Network {
 }
 
 func TestRouteDAGConservationProperty(t *testing.T) {
+	t.Parallel()
 	n := dagWorldNet()
 	hosts := n.NodesByKind(KindHost)
 	check := func(i, j uint16) bool {
@@ -75,6 +76,7 @@ func TestRouteDAGConservationProperty(t *testing.T) {
 }
 
 func TestRouteDAGSelf(t *testing.T) {
+	t.Parallel()
 	n := dagWorldNet()
 	d := RouteDAGFor(n, "us-east-spine-0", "us-east-spine-0", nil)
 	if d == nil || d.Hops != 0 || len(d.TransitNodes()) != 0 {
@@ -83,6 +85,7 @@ func TestRouteDAGSelf(t *testing.T) {
 }
 
 func TestRouteDAGTransitNodesExcludeEndpoints(t *testing.T) {
+	t.Parallel()
 	n := dagWorldNet()
 	d := RouteDAGFor(n, "us-east-host-p0-t0-h0", "us-west-host-p0-t0-h0", nil)
 	if d == nil {
@@ -101,6 +104,7 @@ func TestRouteDAGTransitNodesExcludeEndpoints(t *testing.T) {
 // Clone equivalence: a cloned world recomputes to the same traffic
 // report as the original, for arbitrary injected faults.
 func TestCloneRecomputeEquivalenceProperty(t *testing.T) {
+	t.Parallel()
 	check := func(seed int64, pick uint8) bool {
 		n := NewNetwork()
 		bb := BuildBackbone(n, DefaultBackboneConfig())
@@ -150,6 +154,7 @@ func TestCloneRecomputeEquivalenceProperty(t *testing.T) {
 }
 
 func TestProbeLossOverDAGBounds(t *testing.T) {
+	t.Parallel()
 	n := lineNet()
 	flows := []*Flow{{ID: "f", Src: "a", Dst: "d", DemandGbps: 200, Service: "p"}}
 	rep := RouteTraffic(n, flows, nil)

@@ -6,6 +6,7 @@ import (
 )
 
 func TestFatTreeCounts(t *testing.T) {
+	t.Parallel()
 	for _, k := range []int{2, 4, 6, 8} {
 		n := NewNetwork()
 		cfg := DefaultFatTreeConfig("r")
@@ -31,6 +32,7 @@ func TestFatTreeCounts(t *testing.T) {
 }
 
 func TestFatTreeInvalidK(t *testing.T) {
+	t.Parallel()
 	for _, k := range []int{0, 1, 3, -2} {
 		k := k
 		func() {
@@ -47,6 +49,7 @@ func TestFatTreeInvalidK(t *testing.T) {
 }
 
 func TestFatTreeAllPairsReachableWithEqualCost(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	ft := BuildFatTree(n, DefaultFatTreeConfig("r"))
 	// Cross-pod pairs have (k/2)^2 equal-cost 6-hop paths in a k=4 tree
@@ -76,6 +79,7 @@ func TestFatTreeAllPairsReachableWithEqualCost(t *testing.T) {
 }
 
 func TestFatTreeFullBisectionUnderECMP(t *testing.T) {
+	t.Parallel()
 	// The fat-tree's claim: with every host sending at line rate across
 	// pods, ECMP keeps all links at or under capacity (rearrangeably
 	// non-blocking; fluid ECMP achieves it for a uniform shift pattern).
@@ -116,6 +120,7 @@ func f2id(tag string, i int) string {
 }
 
 func TestFatTreeSurvivesCoreFailure(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	ft := BuildFatTree(n, DefaultFatTreeConfig("r"))
 	n.Node(ft.Cores[0]).Healthy = false

@@ -6,6 +6,7 @@ import (
 )
 
 func TestClockAdvance(t *testing.T) {
+	t.Parallel()
 	c := NewClock()
 	if c.Now() != 0 {
 		t.Fatalf("new clock at %v, want 0", c.Now())
@@ -22,6 +23,7 @@ func TestClockAdvance(t *testing.T) {
 }
 
 func TestClockNegativeAdvancePanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Advance(-1) did not panic")
@@ -31,6 +33,7 @@ func TestClockNegativeAdvancePanics(t *testing.T) {
 }
 
 func TestMakeLinkIDCanonical(t *testing.T) {
+	t.Parallel()
 	if MakeLinkID("a", "b") != MakeLinkID("b", "a") {
 		t.Fatal("link ID not canonical under endpoint order")
 	}
@@ -40,6 +43,7 @@ func TestMakeLinkIDCanonical(t *testing.T) {
 }
 
 func TestAddNodeDefaults(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	nd := n.AddNode(Node{ID: "sw1", Kind: KindToR, Region: "r1"})
 	if !nd.Healthy {
@@ -58,6 +62,7 @@ func TestAddNodeDefaults(t *testing.T) {
 }
 
 func TestAddNodeDuplicatePanics(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	n.AddNode(Node{ID: "x"})
 	defer func() {
@@ -69,6 +74,7 @@ func TestAddNodeDuplicatePanics(t *testing.T) {
 }
 
 func TestAddLinkValidation(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	n.AddNode(Node{ID: "a"})
 	n.AddNode(Node{ID: "b"})
@@ -91,6 +97,7 @@ func TestAddLinkValidation(t *testing.T) {
 }
 
 func TestLinkOtherPanicsOnNonEndpoint(t *testing.T) {
+	t.Parallel()
 	l := Link{ID: "a--b", A: "a", B: "b"}
 	defer func() {
 		if recover() == nil {
@@ -101,6 +108,7 @@ func TestLinkOtherPanicsOnNonEndpoint(t *testing.T) {
 }
 
 func TestNetworkQueries(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	n.AddNode(Node{ID: "t1", Kind: KindToR, Region: "east"})
 	n.AddNode(Node{ID: "t2", Kind: KindToR, Region: "west"})
@@ -127,6 +135,7 @@ func TestNetworkQueries(t *testing.T) {
 }
 
 func TestCloneIsDeep(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	n.AddNode(Node{ID: "a"})
 	n.AddNode(Node{ID: "b"})
@@ -150,6 +159,7 @@ func TestCloneIsDeep(t *testing.T) {
 }
 
 func TestNodesSortedDeterministically(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	for _, id := range []NodeID{"z", "m", "a", "q"} {
 		n.AddNode(Node{ID: id})
@@ -163,6 +173,7 @@ func TestNodesSortedDeterministically(t *testing.T) {
 }
 
 func TestNodeKindString(t *testing.T) {
+	t.Parallel()
 	cases := map[NodeKind]string{
 		KindHost: "host", KindToR: "tor", KindAgg: "agg", KindSpine: "spine",
 		KindGateway: "gateway", KindWANRouter: "wan-router", KindController: "controller",

@@ -32,6 +32,7 @@ func diamondNet() *Network {
 }
 
 func TestECMPPathsLine(t *testing.T) {
+	t.Parallel()
 	n := lineNet()
 	paths := ECMPPaths(n, "a", "d", nil)
 	if len(paths) != 1 {
@@ -53,6 +54,7 @@ func TestECMPPathsLine(t *testing.T) {
 }
 
 func TestECMPPathsDiamond(t *testing.T) {
+	t.Parallel()
 	n := diamondNet()
 	paths := ECMPPaths(n, "a", "d", nil)
 	if len(paths) != 2 {
@@ -66,6 +68,7 @@ func TestECMPPathsDiamond(t *testing.T) {
 }
 
 func TestECMPPathsSelf(t *testing.T) {
+	t.Parallel()
 	n := lineNet()
 	paths := ECMPPaths(n, "a", "a", nil)
 	if len(paths) != 1 || paths[0].Hops() != 0 {
@@ -74,6 +77,7 @@ func TestECMPPathsSelf(t *testing.T) {
 }
 
 func TestECMPPathsUnreachable(t *testing.T) {
+	t.Parallel()
 	n := lineNet()
 	n.Link(MakeLinkID("b", "c")).Down = true
 	if got := ECMPPaths(n, "a", "d", nil); got != nil {
@@ -88,6 +92,7 @@ func TestECMPPathsUnreachable(t *testing.T) {
 }
 
 func TestECMPPathsRespectsNodeHealth(t *testing.T) {
+	t.Parallel()
 	n := diamondNet()
 	n.Node("b").Healthy = false
 	paths := ECMPPaths(n, "a", "d", nil)
@@ -100,6 +105,7 @@ func TestECMPPathsRespectsNodeHealth(t *testing.T) {
 }
 
 func TestECMPPathsFilterSparesEndpoints(t *testing.T) {
+	t.Parallel()
 	n := lineNet()
 	// Filter rejects everything, but src/dst must still be allowed;
 	// transit b and c are rejected so a->d has no path, a->b does.
@@ -113,6 +119,7 @@ func TestECMPPathsFilterSparesEndpoints(t *testing.T) {
 }
 
 func TestECMPPathsCap(t *testing.T) {
+	t.Parallel()
 	// src connected to dst via 12 parallel two-hop paths; ECMP must cap.
 	n := NewNetwork()
 	n.AddNode(Node{ID: "s"})
@@ -130,6 +137,7 @@ func TestECMPPathsCap(t *testing.T) {
 }
 
 func TestShortestPathPrefersLowDelay(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	for _, id := range []NodeID{"a", "b", "c", "d"} {
 		n.AddNode(Node{ID: id})
@@ -151,6 +159,7 @@ func TestShortestPathPrefersLowDelay(t *testing.T) {
 }
 
 func TestShortestPathUnreachable(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	n.AddNode(Node{ID: "a"})
 	n.AddNode(Node{ID: "b"})
@@ -160,6 +169,7 @@ func TestShortestPathUnreachable(t *testing.T) {
 }
 
 func TestClosAllPairsReachable(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	BuildClos(n, DefaultClosConfig("r1"))
 	hosts := n.NodesByKind(KindHost)
@@ -177,6 +187,7 @@ func TestClosAllPairsReachable(t *testing.T) {
 }
 
 func TestClosCrossPodUsesSpine(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	BuildClos(n, DefaultClosConfig("r1"))
 	paths := ECMPPaths(n, "r1-host-p0-t0-h0", "r1-host-p1-t0-h0", nil)
@@ -197,6 +208,7 @@ func TestClosCrossPodUsesSpine(t *testing.T) {
 }
 
 func TestBackboneConnectsRegions(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	bb := BuildBackbone(n, DefaultBackboneConfig())
 	if len(bb.WANNames) != 2 {
@@ -222,6 +234,7 @@ func TestBackboneConnectsRegions(t *testing.T) {
 // Property: every ECMP path returned is loop-free, starts at src, ends at
 // dst, and each consecutive pair is joined by the reported link.
 func TestECMPPathsWellFormedProperty(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	BuildBackbone(n, DefaultBackboneConfig())
 	hosts := n.NodesByKind(KindHost)
@@ -266,6 +279,7 @@ func TestECMPPathsWellFormedProperty(t *testing.T) {
 // Property: routing is deterministic — repeated calls return identical
 // path sets.
 func TestECMPPathsDeterministic(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	BuildClos(n, DefaultClosConfig("r1"))
 	a, b := NodeID("r1-host-p0-t0-h0"), NodeID("r1-host-p3-t3-h1")

@@ -6,6 +6,7 @@ import (
 )
 
 func TestClockHooksFireInOrder(t *testing.T) {
+	t.Parallel()
 	c := NewClock()
 	var got []time.Duration
 	c.OnAdvance(func(now time.Duration) { got = append(got, now) })
@@ -17,6 +18,7 @@ func TestClockHooksFireInOrder(t *testing.T) {
 }
 
 func TestScheduleFiresOnceAtDueTime(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	fired := 0
 	w.ScheduleAt(w.Clock.Now()+10*time.Minute, func(*World) { fired++ })
@@ -35,6 +37,7 @@ func TestScheduleFiresOnceAtDueTime(t *testing.T) {
 }
 
 func TestScheduleMaintainsTimeOrder(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	var order []int
 	// Register out of order; one big advance must run them due-time order.
@@ -48,6 +51,7 @@ func TestScheduleMaintainsTimeOrder(t *testing.T) {
 }
 
 func TestSchedulePastDueFiresImmediatelyOnNextAdvance(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	w.Clock.Advance(1 * time.Hour)
 	fired := false
@@ -59,6 +63,7 @@ func TestSchedulePastDueFiresImmediatelyOnNextAdvance(t *testing.T) {
 }
 
 func TestCloneDoesNotInheritSchedule(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	fired := 0
 	w.ScheduleAt(w.Clock.Now()+5*time.Minute, func(*World) { fired++ })
@@ -74,6 +79,7 @@ func TestCloneDoesNotInheritSchedule(t *testing.T) {
 }
 
 func TestScheduleEventInvalidatesReport(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	before := w.Recompute().OverallLossRate()
 	if before > 0.001 {
@@ -92,6 +98,7 @@ func TestScheduleEventInvalidatesReport(t *testing.T) {
 }
 
 func TestBuildBackboneRequiresTwoRegions(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("single-region backbone accepted")
@@ -101,6 +108,7 @@ func TestBuildBackboneRequiresTwoRegions(t *testing.T) {
 }
 
 func TestBuildClosValidatesConfig(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("zero-pod Clos accepted")

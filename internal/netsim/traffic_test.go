@@ -8,6 +8,7 @@ import (
 )
 
 func TestRouteTrafficNoOverload(t *testing.T) {
+	t.Parallel()
 	n := lineNet()
 	flows := []*Flow{{ID: "f1", Src: "a", Dst: "d", DemandGbps: 50, Service: "web"}}
 	rep := RouteTraffic(n, flows, nil)
@@ -27,6 +28,7 @@ func TestRouteTrafficNoOverload(t *testing.T) {
 }
 
 func TestRouteTrafficOverloadLoss(t *testing.T) {
+	t.Parallel()
 	n := lineNet()
 	flows := []*Flow{{ID: "f1", Src: "a", Dst: "d", DemandGbps: 200, Service: "web"}}
 	rep := RouteTraffic(n, flows, nil)
@@ -41,6 +43,7 @@ func TestRouteTrafficOverloadLoss(t *testing.T) {
 }
 
 func TestRouteTrafficECMPSplits(t *testing.T) {
+	t.Parallel()
 	n := diamondNet()
 	flows := []*Flow{{ID: "f1", Src: "a", Dst: "d", DemandGbps: 100, Service: "web"}}
 	rep := RouteTraffic(n, flows, nil)
@@ -55,6 +58,7 @@ func TestRouteTrafficECMPSplits(t *testing.T) {
 }
 
 func TestRouteTrafficUnroutedFlow(t *testing.T) {
+	t.Parallel()
 	n := lineNet()
 	n.Node("b").Healthy = false
 	flows := []*Flow{{ID: "f1", Src: "a", Dst: "d", DemandGbps: 10, Service: "web"}}
@@ -72,6 +76,7 @@ func TestRouteTrafficUnroutedFlow(t *testing.T) {
 }
 
 func TestRouteTrafficCorruptionLoss(t *testing.T) {
+	t.Parallel()
 	n := lineNet()
 	n.Link(MakeLinkID("b", "c")).CorruptRate = 0.02
 	flows := []*Flow{{ID: "f1", Src: "a", Dst: "d", DemandGbps: 10, Service: "web"}}
@@ -82,6 +87,7 @@ func TestRouteTrafficCorruptionLoss(t *testing.T) {
 }
 
 func TestHotLinksSorted(t *testing.T) {
+	t.Parallel()
 	n := diamondNet()
 	// Make one branch half capacity so it runs hotter.
 	n.Link(MakeLinkID("a", "b")).CapacityGbps = 50
@@ -102,6 +108,7 @@ func TestHotLinksSorted(t *testing.T) {
 }
 
 func TestServiceStatsAggregation(t *testing.T) {
+	t.Parallel()
 	n := lineNet()
 	flows := []*Flow{
 		{ID: "f1", Src: "a", Dst: "d", DemandGbps: 10, Service: "web"},
@@ -119,6 +126,7 @@ func TestServiceStatsAggregation(t *testing.T) {
 }
 
 func TestUniformMeshFlows(t *testing.T) {
+	t.Parallel()
 	flows := UniformMeshFlows([]NodeID{"a", "b", "c"}, 2, "bulk")
 	if len(flows) != 6 {
 		t.Fatalf("got %d flows, want 6", len(flows))
@@ -131,6 +139,7 @@ func TestUniformMeshFlows(t *testing.T) {
 }
 
 func TestFlowAttr(t *testing.T) {
+	t.Parallel()
 	f := &Flow{}
 	if f.Attr("x") != "" {
 		t.Error("nil attrs should return empty")
@@ -144,6 +153,7 @@ func TestFlowAttr(t *testing.T) {
 // Property: conservation — delivered traffic never exceeds demand, and
 // loss rates stay within [0,1] regardless of demand scale.
 func TestTrafficConservationProperty(t *testing.T) {
+	t.Parallel()
 	n := NewNetwork()
 	BuildClos(n, ClosConfig{Region: "r", Pods: 2, ToRsPerPod: 2, AggsPerPod: 2, Spines: 2, HostsPerToR: 1, LinkGbps: 40, HostLinkGbps: 10})
 	hosts := n.NodesByKind(KindHost)
@@ -186,6 +196,7 @@ func TestTrafficConservationProperty(t *testing.T) {
 // Property: adding demand to a fixed network never decreases any link's
 // utilization (monotonicity of the fluid model).
 func TestUtilizationMonotoneProperty(t *testing.T) {
+	t.Parallel()
 	n := diamondNet()
 	base := []*Flow{{ID: "f", Src: "a", Dst: "d", DemandGbps: 30, Service: "p"}}
 	repBase := RouteTraffic(n, base, nil)

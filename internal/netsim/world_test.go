@@ -42,6 +42,7 @@ func regionPrefix(i int) string {
 }
 
 func TestWorldHealthyBaseline(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	rep := w.Recompute()
 	if got := rep.OverallLossRate(); got > 0.001 {
@@ -75,6 +76,7 @@ func wanLoad(w *World, rep *TrafficReport, wan string) float64 {
 // config inconsistency -> duplicate prefix observations -> controller
 // declares B4 failed -> traffic shifts to B2 -> overload -> packet loss.
 func TestCascadeIncident(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	if w.Recompute().OverallLossRate() > 0.001 {
 		t.Fatal("precondition: healthy world should be lossless")
@@ -127,6 +129,7 @@ func TestCascadeIncident(t *testing.T) {
 // transits -> packet loss; removing the device only moves the trigger flow
 // to the next vulnerable device; disabling the protocol resolves it.
 func TestProtocolBugIncident(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	// Roll out the new protocol on all B4 routers.
 	for _, nd := range w.Net.Nodes() {
@@ -192,6 +195,7 @@ func unhealthyCount(w *World) int {
 }
 
 func TestLinkAndDeviceFaults(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	lid := MakeLinkID("us-east-tor-p0-0", "us-east-agg-p0-0")
 	w.Inject(&LinkDownFault{Link: lid})
@@ -220,6 +224,7 @@ func TestLinkAndDeviceFaults(t *testing.T) {
 }
 
 func TestTrafficSurgeFault(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	var before float64
 	for _, f := range w.Flows() {
@@ -245,6 +250,7 @@ func TestTrafficSurgeFault(t *testing.T) {
 }
 
 func TestMonitorBrokenFault(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	w.Inject(&MonitorBrokenFault{Monitor: "pingmesh"})
 	if !w.BrokenMonitors["pingmesh"] {
@@ -257,6 +263,7 @@ func TestMonitorBrokenFault(t *testing.T) {
 }
 
 func TestSyslogEvents(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	w.Clock.Advance(10 * time.Minute)
 	w.Logf("us-east-spine-0", SevError, "test event %d", 42)
@@ -273,6 +280,7 @@ func TestSyslogEvents(t *testing.T) {
 }
 
 func TestChangeLog(t *testing.T) {
+	t.Parallel()
 	cl := NewChangeLog()
 	r1 := cl.Add(ChangeRecord{At: 2 * time.Hour, Team: "wan", Kind: ChangeConfigPush, Description: "push"})
 	r2 := cl.Add(ChangeRecord{At: 1 * time.Hour, Team: "os", Kind: ChangeProtocolRollout, Description: "rollout"})
@@ -295,6 +303,7 @@ func TestChangeLog(t *testing.T) {
 }
 
 func TestRemoveFlowsByService(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	n := len(w.Flows())
 	removed := w.RemoveFlowsByService("bulk")
@@ -304,6 +313,7 @@ func TestRemoveFlowsByService(t *testing.T) {
 }
 
 func TestControllerOverridePrecedence(t *testing.T) {
+	t.Parallel()
 	ctl := NewController("c", []string{"B4", "B2"})
 	ctl.Override("B4", false) // operator forces B4 failed
 	ctl.Evaluate()
@@ -324,6 +334,7 @@ func TestControllerOverridePrecedence(t *testing.T) {
 }
 
 func TestControllerAllWANsFailed(t *testing.T) {
+	t.Parallel()
 	ctl := NewController("c", []string{"B4", "B2"})
 	ctl.Override("B4", false)
 	ctl.Override("B2", false)
@@ -342,6 +353,7 @@ func TestControllerAllWANsFailed(t *testing.T) {
 }
 
 func TestFixedControllerToleratesInconsistency(t *testing.T) {
+	t.Parallel()
 	w := buildBackboneWorld()
 	w.Ctl.BuggyInconsistencyCheck = false // post-incident fixed controller
 	w.Inject(&ConfigInconsistencyFault{WAN: "B4", Prefix: regionPrefix(0), Clusters: []string{"us-west", "eu-north"}})

@@ -22,6 +22,7 @@ func solve(t *testing.T, sc scenarios.Scenario, expertise float64, seed int64) (
 }
 
 func TestExpertSolvesRoutineIncidents(t *testing.T) {
+	t.Parallel()
 	for _, sc := range scenarios.Routine() {
 		sc := sc
 		t.Run(sc.Name(), func(t *testing.T) {
@@ -40,6 +41,7 @@ func TestExpertSolvesRoutineIncidents(t *testing.T) {
 }
 
 func TestExpertSolvesCascadeSlowly(t *testing.T) {
+	t.Parallel()
 	in, out := solve(t, &scenarios.Cascade{Stage: 5}, 0.95, 3)
 	if !out.Mitigated || !in.Succeeded(out.Applied) {
 		t.Fatalf("expert failed cascade: %+v", out)
@@ -53,6 +55,7 @@ func TestExpertSolvesCascadeSlowly(t *testing.T) {
 }
 
 func TestNoviceSlowerThanExpert(t *testing.T) {
+	t.Parallel()
 	var expert, novice time.Duration
 	n := 6
 	for seed := int64(0); seed < int64(n); seed++ {
@@ -67,6 +70,7 @@ func TestNoviceSlowerThanExpert(t *testing.T) {
 }
 
 func TestTTMAccountedOnEscalation(t *testing.T) {
+	t.Parallel()
 	// An engineer with an empty KB can only stall and escalate.
 	in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(7)))
 	empty := kb.New()
@@ -83,6 +87,7 @@ func TestTTMAccountedOnEscalation(t *testing.T) {
 }
 
 func TestHumanTimingScalesWithExpertise(t *testing.T) {
+	t.Parallel()
 	fast := &Engineer{Expertise: 1, Rng: rand.New(rand.NewSource(1))}
 	slow := &Engineer{Expertise: 0, Rng: rand.New(rand.NewSource(1))}
 	if fast.readTime() >= slow.readTime() {

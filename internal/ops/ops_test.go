@@ -17,6 +17,7 @@ func currentKB() *kb.KB {
 }
 
 func TestSimulateBasics(t *testing.T) {
+	t.Parallel()
 	kbase := currentKB()
 	rep := Simulate(Config{
 		OCEs: 3, ArrivalsPerHour: 2, Incidents: 40, Seed: 1,
@@ -50,6 +51,7 @@ func TestSimulateBasics(t *testing.T) {
 // TestQueueingGrowsWithLoad: the same pool under higher arrival rates
 // must show (weakly) higher utilization and queueing.
 func TestQueueingGrowsWithLoad(t *testing.T) {
+	t.Parallel()
 	kbase := currentKB()
 	runner := &harness.ControlRunner{KBase: kbase}
 	low := Simulate(Config{OCEs: 2, ArrivalsPerHour: 0.5, Incidents: 60, Seed: 2, Runner: runner})
@@ -66,6 +68,7 @@ func TestQueueingGrowsWithLoad(t *testing.T) {
 // at an arrival rate where the unassisted pool saturates, the
 // helper-assisted pool keeps customer-visible resolution time bounded.
 func TestHelperFleetSurvivesLoadControlDrowns(t *testing.T) {
+	t.Parallel()
 	kbase := currentKB()
 	cfg := Config{OCEs: 2, ArrivalsPerHour: 4, Incidents: 80, Seed: 3}
 
@@ -85,6 +88,7 @@ func TestHelperFleetSurvivesLoadControlDrowns(t *testing.T) {
 }
 
 func TestSimulateDefaultsAndDeterminism(t *testing.T) {
+	t.Parallel()
 	kbase := currentKB()
 	runner := &harness.ControlRunner{KBase: kbase}
 	a := Simulate(Config{Runner: runner, Seed: 4, Incidents: 20, Mix: []scenarios.Scenario{&scenarios.GrayLink{}}})

@@ -12,6 +12,7 @@ import (
 )
 
 func TestParseFull(t *testing.T) {
+	t.Parallel()
 	q, err := Parse("links where util > 0.9 and loss > 0.01 order by util desc limit 5")
 	if err != nil {
 		t.Fatal(err)
@@ -25,6 +26,7 @@ func TestParseFull(t *testing.T) {
 }
 
 func TestParseMinimal(t *testing.T) {
+	t.Parallel()
 	q, err := Parse("devices")
 	if err != nil {
 		t.Fatal(err)
@@ -35,6 +37,7 @@ func TestParseMinimal(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
+	t.Parallel()
 	for _, bad := range []string{
 		"",
 		"links where util >",
@@ -51,6 +54,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestVerifySchema(t *testing.T) {
+	t.Parallel()
 	ok := Query{Entity: Links, Where: []Cond{{Field: "util", Op: OpGt, Value: "0.5"}}, OrderBy: "loss"}
 	if err := Verify(ok); err != nil {
 		t.Fatal(err)
@@ -70,6 +74,7 @@ func TestVerifySchema(t *testing.T) {
 }
 
 func TestQueryRoundTrip(t *testing.T) {
+	t.Parallel()
 	src := "services where loss > 0.01 order by loss desc limit 3"
 	q, err := Parse(src)
 	if err != nil {
@@ -91,6 +96,7 @@ func world(t *testing.T) *netsim.World {
 }
 
 func TestExecuteLinksHot(t *testing.T) {
+	t.Parallel()
 	w := world(t)
 	q, _ := Parse("links where util > 1.0 order by util desc limit 3")
 	rows, err := Execute(q, w)
@@ -115,6 +121,7 @@ func TestExecuteLinksHot(t *testing.T) {
 }
 
 func TestExecuteDevicesAndServices(t *testing.T) {
+	t.Parallel()
 	w := world(t)
 	w.Net.Node("us-east-spine-0").Healthy = false
 	w.Invalidate()
@@ -144,6 +151,7 @@ func TestExecuteDevicesAndServices(t *testing.T) {
 }
 
 func TestExecuteEventsContains(t *testing.T) {
+	t.Parallel()
 	w := world(t)
 	w.Logf("x", netsim.SevCritical, "fatal exception in fastpath packet handler")
 	q, _ := Parse("events where message contains fastpath")
@@ -157,6 +165,7 @@ func TestExecuteEventsContains(t *testing.T) {
 }
 
 func TestExecuteRejectsUnverifiedQuery(t *testing.T) {
+	t.Parallel()
 	w := world(t)
 	if _, err := Execute(Query{Entity: "nope"}, w); err == nil {
 		t.Fatal("unknown entity executed")
@@ -164,6 +173,7 @@ func TestExecuteRejectsUnverifiedQuery(t *testing.T) {
 }
 
 func TestRowAccessors(t *testing.T) {
+	t.Parallel()
 	r := Row{Fields: []string{"a", "b"}, Values: []string{"1", "2"}}
 	if r.Get("b") != "2" || r.Get("zz") != "" {
 		t.Fatal("Get broken")
@@ -176,6 +186,7 @@ func TestRowAccessors(t *testing.T) {
 // Property: Parse(q.String()) == q for well-formed random queries, and
 // Execute never panics on verified queries.
 func TestParsePrintRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	entities := []Entity{Links, Devices, Services, Events}
 	fieldsOf := map[Entity][]string{
 		Links:    {"id", "util", "loss", "capacity", "down", "isolated"},

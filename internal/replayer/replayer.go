@@ -19,6 +19,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/mitigation"
 	"repro/internal/oce"
+	"repro/internal/parallel"
 	"repro/internal/scenarios"
 	"repro/internal/tools"
 )
@@ -180,33 +181,46 @@ func kindsOf(p mitigation.Plan) []mitigation.Action {
 }
 
 // Replay re-runs every corpus incident through the runner and compares
-// against the historical record.
-func Replay(c *Corpus, r harness.Runner) *Report {
-	rep := &Report{}
-	var savingsSum, condSum time.Duration
-	for _, item := range c.Items {
+// against the historical record, using one worker per CPU.
+func Replay(c *Corpus, r harness.Runner) *Report { return ReplayParallel(c, r, 0) }
+
+// replayOutcome is one item's full per-trial computation; everything
+// that touches the (read-only) corpus history happens inside the trial,
+// so aggregation is a pure fold in item order.
+type replayOutcome struct {
+	skip bool // unknown scenario name
+	item ReplayItem
+	// unresolved/match/cond classify the item for the report counters.
+	unresolved bool
+}
+
+// ReplayParallel is Replay with an explicit worker count (<= 0 means
+// GOMAXPROCS). Each corpus item rebuilds its identical instance from
+// its recorded seed in its own trial — independent world, model, and
+// toolbox — and the report aggregates in corpus order, so the output is
+// bit-identical for every worker count.
+func ReplayParallel(c *Corpus, r harness.Runner, workers int) *Report {
+	outcomes := parallel.RunTrials(len(c.Items), workers, 0, func(_ int64, i int) replayOutcome {
+		item := c.Items[i]
 		sc := scenarios.ByName(item.Scenario)
 		if sc == nil {
-			continue
+			return replayOutcome{skip: true}
 		}
 		in := sc.Build(rand.New(rand.NewSource(item.Seed)))
 		res := r.Run(in, item.Seed)
-		ri := ReplayItem{
+		o := replayOutcome{item: ReplayItem{
 			ID:          item.Record.ID,
 			Scenario:    item.Scenario,
 			OriginalTTM: time.Duration(item.Record.TTMMinutes * float64(time.Minute)),
 			HelperTTM:   res.PenalizedTTM(),
 			Mitigated:   res.Mitigated,
-		}
+		}}
 		switch {
 		case !res.Mitigated:
-			rep.Unresolved++
+			o.unresolved = true
 		case sameMitigation(res.Applied.Actions, item.Record.Mitigation):
-			ri.Match = true
-			rep.Matched++
-			savingsSum += ri.OriginalTTM - ri.HelperTTM
+			o.item.Match = true
 		default:
-			rep.Mismatched++
 			// Conditional estimate: past incidents resolved with the
 			// helper's mitigation class. We can only query telemetry
 			// retroactively for the operator's path, so the counterfactual
@@ -222,13 +236,34 @@ func Replay(c *Corpus, r harness.Runner) *Report {
 				for _, rr := range recs {
 					sum += rr.TTMMinutes
 				}
-				ri.CondEstimate = time.Duration(sum / float64(len(recs)) * float64(time.Minute))
-				ri.CondN = len(recs)
-				condSum += ri.OriginalTTM - ri.CondEstimate
+				o.item.CondEstimate = time.Duration(sum / float64(len(recs)) * float64(time.Minute))
+				o.item.CondN = len(recs)
+			}
+		}
+		return o
+	})
+
+	rep := &Report{}
+	var savingsSum, condSum time.Duration
+	for _, tr := range outcomes {
+		if tr.Err != nil || tr.Value.skip {
+			continue
+		}
+		o := tr.Value
+		switch {
+		case o.unresolved:
+			rep.Unresolved++
+		case o.item.Match:
+			rep.Matched++
+			savingsSum += o.item.OriginalTTM - o.item.HelperTTM
+		default:
+			rep.Mismatched++
+			if o.item.CondN > 0 {
+				condSum += o.item.OriginalTTM - o.item.CondEstimate
 				rep.CondCovered++
 			}
 		}
-		rep.Items = append(rep.Items, ri)
+		rep.Items = append(rep.Items, o.item)
 	}
 	if rep.Matched > 0 {
 		rep.MeanSavings = savingsSum / time.Duration(rep.Matched)

@@ -13,6 +13,7 @@ import (
 )
 
 func TestGenerateCorpus(t *testing.T) {
+	t.Parallel()
 	c := replayer.Generate(replayer.Options{N: 60, Seed: 1})
 	if len(c.Items) != 60 || c.History.Len() != 60 {
 		t.Fatalf("corpus size %d / history %d", len(c.Items), c.History.Len())
@@ -40,6 +41,7 @@ func TestGenerateCorpus(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
 	a := replayer.Generate(replayer.Options{N: 20, Seed: 7})
 	b := replayer.Generate(replayer.Options{N: 20, Seed: 7})
 	for i := range a.Items {
@@ -51,6 +53,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestReplayHelperBeatsHistory(t *testing.T) {
+	t.Parallel()
 	c := replayer.Generate(replayer.Options{N: 50, Seed: 2})
 	kbase := kb.Default()
 	kb.ApplyFastpathUpdate(kbase)
@@ -97,6 +100,7 @@ func (f *fixedPlanRunner) Run(in *scenarios.Instance, seed int64) harness.Result
 }
 
 func TestReplayMismatchGetsConditionalEstimate(t *testing.T) {
+	t.Parallel()
 	// Corpus mixes congestion (operators rate-limit) and gray links
 	// (operators isolate). A runner that always reports a rate-limit
 	// plan mismatches every gray-link incident, and each mismatch must

@@ -12,6 +12,7 @@ import (
 // the latency stays broken unless the maintenance is rolled back; the
 // what-if engine must expose that so the helper skips cosmetic plans.
 func TestWhatIfPredictsResidualLatency(t *testing.T) {
+	t.Parallel()
 	in := (&scenarios.MaintenanceOverlap{}).Build(rand.New(rand.NewSource(1)))
 	a := &Assessor{}
 
@@ -46,6 +47,7 @@ func TestWhatIfPredictsResidualLatency(t *testing.T) {
 // TestWhatIfLatencyRatioOnHealthyWorld: with no incident the predicted
 // ratio for a harmless plan is ~1.
 func TestWhatIfLatencyRatioOnHealthyWorld(t *testing.T) {
+	t.Parallel()
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(2)))
 	rep := (&Assessor{}).AssessPlan(w, mitigation.Plan{Actions: []mitigation.Action{
 		{Kind: mitigation.Escalate, Target: "SWAT"},

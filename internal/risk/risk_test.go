@@ -13,6 +13,7 @@ import (
 )
 
 func TestAssessGoodPlanImproves(t *testing.T) {
+	t.Parallel()
 	in := (&scenarios.Cascade{Stage: 5}).Build(rand.New(rand.NewSource(1)))
 	a := &Assessor{}
 	rep := a.AssessPlan(in.World, mitigation.Plan{Actions: []mitigation.Action{
@@ -34,6 +35,7 @@ func TestAssessGoodPlanImproves(t *testing.T) {
 }
 
 func TestAssessHarmfulPlanFlagged(t *testing.T) {
+	t.Parallel()
 	// On a healthy world, forcing B4 failed overloads B2: a mitigation
 	// that *causes* an incident.
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(2)))
@@ -60,6 +62,7 @@ func TestAssessHarmfulPlanFlagged(t *testing.T) {
 }
 
 func TestAssessIsolationBlastRadius(t *testing.T) {
+	t.Parallel()
 	// Isolating a ToR blackholes its hosts: the what-if engine must see
 	// the new unroutable service before the OCE pulls the trigger.
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(3)))
@@ -73,6 +76,7 @@ func TestAssessIsolationBlastRadius(t *testing.T) {
 }
 
 func TestAssessHallucinatedTargetIsMaxRisk(t *testing.T) {
+	t.Parallel()
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(4)))
 	a := &Assessor{}
 	rep := a.AssessPlan(w, mitigation.Plan{Actions: []mitigation.Action{
@@ -84,6 +88,7 @@ func TestAssessHallucinatedTargetIsMaxRisk(t *testing.T) {
 }
 
 func TestAssessNeutralPlan(t *testing.T) {
+	t.Parallel()
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(5)))
 	a := &Assessor{}
 	rep := a.AssessPlan(w, mitigation.Plan{Actions: []mitigation.Action{
@@ -98,6 +103,7 @@ func TestAssessNeutralPlan(t *testing.T) {
 }
 
 func TestAssessRestartClearsWedgeWithoutRecurrenceBlame(t *testing.T) {
+	t.Parallel()
 	// Restarting wedged devices in the novel-protocol incident: the
 	// trigger re-fires in the clone, so the what-if engine should predict
 	// recurrence (devices wedged again) — not an improvement.
@@ -124,6 +130,7 @@ func TestAssessRestartClearsWedgeWithoutRecurrenceBlame(t *testing.T) {
 }
 
 func TestCombinedBlending(t *testing.T) {
+	t.Parallel()
 	quant := &Report{Score: 0.1}
 	c := Combined{Qualitative: llm.RiskOpinion{Level: "high", Score: 0.7, Reason: "touches WAN controller"}, Quantitative: quant}
 	want := 0.4*0.7 + 0.6*0.1
@@ -153,6 +160,7 @@ func TestCombinedBlending(t *testing.T) {
 }
 
 func TestCombinedCatchesHallucinatedUnderestimate(t *testing.T) {
+	t.Parallel()
 	// The LLM understates risk (hallucination); the quantitative view
 	// must dominate. This is the paper's argument for merging views.
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(7)))

@@ -12,6 +12,7 @@ import (
 )
 
 func TestStandardWorldHealthy(t *testing.T) {
+	t.Parallel()
 	w := StandardWorld(rand.New(rand.NewSource(1)))
 	rep := w.Recompute()
 	if loss := rep.OverallLossRate(); loss > 0.001 {
@@ -66,6 +67,7 @@ func applyGroundTruthMitigation(t *testing.T, in *Instance) mitigation.Plan {
 // (b) fail verification before mitigation, unless it is a false alarm,
 // and (c) pass Succeeded after its own ground-truth mitigation executes.
 func TestEveryScenarioDetectableAndMitigable(t *testing.T) {
+	t.Parallel()
 	for _, sc := range All() {
 		sc := sc
 		t.Run(sc.Name(), func(t *testing.T) {
@@ -104,6 +106,7 @@ func TestEveryScenarioDetectableAndMitigable(t *testing.T) {
 }
 
 func TestCascadeDepthsOrdered(t *testing.T) {
+	t.Parallel()
 	depths := map[int]int{}
 	for _, stage := range []int{3, 4, 5} {
 		in := (&Cascade{Stage: stage}).Build(rand.New(rand.NewSource(1)))
@@ -118,6 +121,7 @@ func TestCascadeDepthsOrdered(t *testing.T) {
 }
 
 func TestNovelProtocolMarkedNovel(t *testing.T) {
+	t.Parallel()
 	in := (&NovelProtocol{}).Build(rand.New(rand.NewSource(2)))
 	if !in.Incident.Truth.Novel {
 		t.Fatal("novel-protocol not marked novel")
@@ -147,6 +151,7 @@ func TestNovelProtocolMarkedNovel(t *testing.T) {
 }
 
 func TestFalseAlarmHasNoRealLoss(t *testing.T) {
+	t.Parallel()
 	in := (&FalseAlarm{}).Build(rand.New(rand.NewSource(3)))
 	if in.World.Report().OverallLossRate() > 0.001 {
 		t.Fatal("false alarm has real loss")
@@ -161,6 +166,7 @@ func TestFalseAlarmHasNoRealLoss(t *testing.T) {
 }
 
 func TestCascadeStage5RollbackResolves(t *testing.T) {
+	t.Parallel()
 	in := (&Cascade{Stage: 5}).Build(rand.New(rand.NewSource(4)))
 	truth := in.Incident.Truth
 	if truth.RootFixChange == "" {
@@ -176,6 +182,7 @@ func TestCascadeStage5RollbackResolves(t *testing.T) {
 }
 
 func TestByNameAndRegistries(t *testing.T) {
+	t.Parallel()
 	if ByName("cascade-5") == nil || ByName("nope") != nil {
 		t.Fatal("ByName lookup broken")
 	}
@@ -191,6 +198,7 @@ func TestByNameAndRegistries(t *testing.T) {
 }
 
 func TestIncidentIDsUnique(t *testing.T) {
+	t.Parallel()
 	seen := map[string]bool{}
 	rng := rand.New(rand.NewSource(6))
 	for i := 0; i < 20; i++ {
@@ -203,6 +211,7 @@ func TestIncidentIDsUnique(t *testing.T) {
 }
 
 func TestGroundTruthChainEndsAtSymptom(t *testing.T) {
+	t.Parallel()
 	for _, sc := range All() {
 		in := sc.Build(rand.New(rand.NewSource(7)))
 		chain := in.Incident.Truth.CausalChain
@@ -219,6 +228,7 @@ func TestGroundTruthChainEndsAtSymptom(t *testing.T) {
 }
 
 func TestFlappingCorruptionTogglesWithClock(t *testing.T) {
+	t.Parallel()
 	in := (&GrayLinkFlapping{}).Build(rand.New(rand.NewSource(1)))
 	var lid netsim.LinkID
 	for _, l := range in.World.Net.Links() {

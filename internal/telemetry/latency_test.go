@@ -11,6 +11,7 @@ import (
 )
 
 func TestLatencyAlertFiresOnMaintenanceOverlap(t *testing.T) {
+	t.Parallel()
 	in := (&scenarios.MaintenanceOverlap{}).Build(rand.New(rand.NewSource(1)))
 	alerts := telemetry.NewAlertEngine(in.World).Evaluate()
 	var haveLatency, haveLoss bool
@@ -34,6 +35,7 @@ func TestLatencyAlertFiresOnMaintenanceOverlap(t *testing.T) {
 }
 
 func TestLatencyAlertQuietWhenBaselinesMissing(t *testing.T) {
+	t.Parallel()
 	// Worlds without snapshotted baselines (e.g. bare test fixtures)
 	// must not fire spurious latency alerts.
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(2)))
@@ -44,6 +46,7 @@ func TestLatencyAlertQuietWhenBaselinesMissing(t *testing.T) {
 }
 
 func TestLatencyBaselineSurvivesClone(t *testing.T) {
+	t.Parallel()
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(3)))
 	if len(w.LatencyBaseline) == 0 {
 		t.Fatal("standard world has no latency baselines")
@@ -59,6 +62,7 @@ func TestLatencyBaselineSurvivesClone(t *testing.T) {
 }
 
 func TestHealthyWorldWithinLatencyBaseline(t *testing.T) {
+	t.Parallel()
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(4)))
 	rep := w.Report()
 	for svc, ss := range rep.ServiceStats {
@@ -73,6 +77,7 @@ func TestHealthyWorldWithinLatencyBaseline(t *testing.T) {
 }
 
 func TestRecorderSamplesAndTrends(t *testing.T) {
+	t.Parallel()
 	in := (&scenarios.GrayLinkFlapping{}).Build(rand.New(rand.NewSource(5)))
 	rec := telemetry.RecorderOf(in.World)
 	if rec == nil {
@@ -93,6 +98,7 @@ func TestRecorderSamplesAndTrends(t *testing.T) {
 }
 
 func TestRecorderTrendFlatOnHealthyWorld(t *testing.T) {
+	t.Parallel()
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(6)))
 	rec := telemetry.RecorderOf(w)
 	for i := 0; i < 30; i++ {
@@ -108,6 +114,7 @@ func TestRecorderTrendFlatOnHealthyWorld(t *testing.T) {
 }
 
 func TestRecorderRangeWindow(t *testing.T) {
+	t.Parallel()
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(7)))
 	rec := telemetry.RecorderOf(w)
 	for i := 0; i < 10; i++ {

@@ -31,6 +31,7 @@ func testWorld() *netsim.World {
 }
 
 func TestPingMeshHealthy(t *testing.T) {
+	t.Parallel()
 	w := testWorld()
 	pm := NewPingMesh(w)
 	pairs := pm.Query()
@@ -43,6 +44,7 @@ func TestPingMeshHealthy(t *testing.T) {
 }
 
 func TestPingMeshSeesCascadeLoss(t *testing.T) {
+	t.Parallel()
 	w := testWorld()
 	w.Inject(&netsim.ConfigInconsistencyFault{WAN: "B4", Prefix: "10.0.0.0/16", Clusters: []string{"us-west", "eu-north"}})
 	w.Recompute()
@@ -53,6 +55,7 @@ func TestPingMeshSeesCascadeLoss(t *testing.T) {
 }
 
 func TestPingMeshBrokenFabricatesLoss(t *testing.T) {
+	t.Parallel()
 	w := testWorld()
 	w.Inject(&netsim.MonitorBrokenFault{Monitor: MonitorPingMesh})
 	pm := NewPingMesh(w)
@@ -67,6 +70,7 @@ func TestPingMeshBrokenFabricatesLoss(t *testing.T) {
 }
 
 func TestLinkUtilTopSorted(t *testing.T) {
+	t.Parallel()
 	w := testWorld()
 	m := &LinkUtilMonitor{World: w}
 	top := m.Top(10)
@@ -87,6 +91,7 @@ func TestLinkUtilTopSorted(t *testing.T) {
 }
 
 func TestLinkUtilNoiseBounded(t *testing.T) {
+	t.Parallel()
 	w := testWorld()
 	m := &LinkUtilMonitor{World: w, NoisePct: 0.05, Rng: rand.New(rand.NewSource(1))}
 	clean := &LinkUtilMonitor{World: w}
@@ -109,6 +114,7 @@ func TestLinkUtilNoiseBounded(t *testing.T) {
 }
 
 func TestLinkUtilBrokenEmpty(t *testing.T) {
+	t.Parallel()
 	w := testWorld()
 	w.Inject(&netsim.MonitorBrokenFault{Monitor: MonitorLinkUtil})
 	m := &LinkUtilMonitor{World: w}
@@ -121,6 +127,7 @@ func TestLinkUtilBrokenEmpty(t *testing.T) {
 }
 
 func TestDeviceHealthMonitor(t *testing.T) {
+	t.Parallel()
 	w := testWorld()
 	m := &DeviceHealthMonitor{World: w}
 	if got := m.Unhealthy(); len(got) != 0 {
@@ -140,6 +147,7 @@ func TestDeviceHealthMonitor(t *testing.T) {
 }
 
 func TestCounterMonitorDrops(t *testing.T) {
+	t.Parallel()
 	w := testWorld()
 	m := &CounterMonitor{World: w}
 	if got := m.Drops(); len(got) != 0 {
@@ -163,6 +171,7 @@ func TestCounterMonitorDrops(t *testing.T) {
 }
 
 func TestSyslogSearch(t *testing.T) {
+	t.Parallel()
 	w := testWorld()
 	w.Clock.Advance(5 * time.Minute)
 	w.Logf("us-east-spine-0", netsim.SevInfo, "routine")
@@ -178,6 +187,7 @@ func TestSyslogSearch(t *testing.T) {
 }
 
 func TestAlertEngineFiresOnCascade(t *testing.T) {
+	t.Parallel()
 	w := testWorld()
 	e := NewAlertEngine(w)
 	if got := e.Evaluate(); len(got) != 0 {
@@ -204,6 +214,7 @@ func TestAlertEngineFiresOnCascade(t *testing.T) {
 }
 
 func TestAlertEngineDeviceDown(t *testing.T) {
+	t.Parallel()
 	w := testWorld()
 	w.Inject(&netsim.DeviceDownFault{Node: "us-east-spine-0"})
 	w.Invalidate()
@@ -223,6 +234,7 @@ func TestAlertEngineDeviceDown(t *testing.T) {
 }
 
 func TestQueryLatencyCoversAllMonitors(t *testing.T) {
+	t.Parallel()
 	for _, m := range []string{MonitorPingMesh, MonitorLinkUtil, MonitorDeviceHealth, MonitorCounters, MonitorSyslog} {
 		if QueryLatency[m] <= 0 {
 			t.Errorf("monitor %s has no query latency", m)

@@ -11,6 +11,7 @@ import (
 )
 
 func TestNLQueryHappyPath(t *testing.T) {
+	t.Parallel()
 	in := (&scenarios.Congestion{}).Build(rand.New(rand.NewSource(1)))
 	model := llm.NewSimLLM(kb.Default(), 1)
 	tool := NewNLQueryTool(model)
@@ -34,6 +35,7 @@ func TestNLQueryHappyPath(t *testing.T) {
 }
 
 func TestNLQueryEntitiesRouting(t *testing.T) {
+	t.Parallel()
 	in := (&scenarios.NovelProtocol{}).Build(rand.New(rand.NewSource(2)))
 	model := llm.NewSimLLM(kb.Default(), 2)
 	tool := NewNLQueryTool(model)
@@ -67,6 +69,7 @@ func TestNLQueryEntitiesRouting(t *testing.T) {
 // model generates queries with invented fields; the verifier rejects
 // them and the feedback loop repairs the generation.
 func TestNLQueryRepairLoop(t *testing.T) {
+	t.Parallel()
 	in := (&scenarios.Congestion{}).Build(rand.New(rand.NewSource(3)))
 	repaired, gaveUp := 0, 0
 	for seed := int64(0); seed < 20; seed++ {
@@ -104,6 +107,7 @@ func TestNLQueryRepairLoop(t *testing.T) {
 }
 
 func TestNLQueryMissingQuestion(t *testing.T) {
+	t.Parallel()
 	model := llm.NewSimLLM(kb.Default(), 4)
 	tool := NewNLQueryTool(model)
 	if _, err := tool.Invoke(nil, nil); err == nil {

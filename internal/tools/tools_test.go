@@ -27,6 +27,7 @@ func build(t *testing.T, sc scenarios.Scenario, seed int64) *scenarios.Instance 
 }
 
 func TestRegistryOwnership(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	if err := r.Register("monitoring", NewPingMeshTool()); err != nil {
 		t.Fatal(err)
@@ -52,6 +53,7 @@ func TestRegistryOwnership(t *testing.T) {
 }
 
 func TestDefaultRegistryComplete(t *testing.T) {
+	t.Parallel()
 	r := NewDefaultRegistry(nil, nil, "q", "web")
 	want := []string{
 		kb.ToolPingMesh, kb.ToolLinkUtil, kb.ToolDeviceHealth, kb.ToolCounters,
@@ -77,6 +79,7 @@ func TestDefaultRegistryComplete(t *testing.T) {
 }
 
 func TestPingMeshToolDetectsCascade(t *testing.T) {
+	t.Parallel()
 	in := build(t, &scenarios.Cascade{Stage: 5}, 1)
 	res, err := NewPingMeshTool().Invoke(in.World, nil)
 	if err != nil {
@@ -94,6 +97,7 @@ func TestPingMeshToolDetectsCascade(t *testing.T) {
 }
 
 func TestLinkUtilToolFindsOverloadAndDominantService(t *testing.T) {
+	t.Parallel()
 	in := build(t, &scenarios.Congestion{}, 2)
 	res, err := NewLinkUtilTool().Invoke(in.World, map[string]string{"top": "5"})
 	if err != nil {
@@ -111,6 +115,7 @@ func TestLinkUtilToolFindsOverloadAndDominantService(t *testing.T) {
 }
 
 func TestDeviceHealthToolBindsDownDevices(t *testing.T) {
+	t.Parallel()
 	in := build(t, &scenarios.DeviceFailure{}, 3)
 	res, err := NewDeviceHealthTool().Invoke(in.World, nil)
 	if err != nil {
@@ -125,6 +130,7 @@ func TestDeviceHealthToolBindsDownDevices(t *testing.T) {
 }
 
 func TestCountersToolSeparatesGrayFromCongestion(t *testing.T) {
+	t.Parallel()
 	gray := build(t, &scenarios.GrayLink{}, 4)
 	res, _ := NewCountersTool().Invoke(gray.World, nil)
 	if !hasFinding(res, kb.CLinkCorruption+"=true") {
@@ -142,6 +148,7 @@ func TestCountersToolSeparatesGrayFromCongestion(t *testing.T) {
 }
 
 func TestSyslogToolFindsProtocolCrash(t *testing.T) {
+	t.Parallel()
 	in := build(t, &scenarios.NovelProtocol{}, 5)
 	res, err := NewSyslogTool().Invoke(in.World, map[string]string{"sincemin": "120"})
 	if err != nil {
@@ -162,6 +169,7 @@ func TestSyslogToolFindsProtocolCrash(t *testing.T) {
 }
 
 func TestControllerAndPrefixToolsOnCascade(t *testing.T) {
+	t.Parallel()
 	in := build(t, &scenarios.Cascade{Stage: 5}, 6)
 	res, _ := NewControllerStateTool().Invoke(in.World, nil)
 	if !hasFinding(res, kb.CWANFailover+"=true") || res.Bindings[kb.PhWAN] != "B4" {
@@ -180,6 +188,7 @@ func TestControllerAndPrefixToolsOnCascade(t *testing.T) {
 }
 
 func TestRecentChangesToolCrossChecks(t *testing.T) {
+	t.Parallel()
 	in := build(t, &scenarios.Cascade{Stage: 5}, 7)
 	res, err := NewRecentChangesTool().Invoke(in.World, nil)
 	if err != nil {
@@ -205,6 +214,7 @@ func TestRecentChangesToolCrossChecks(t *testing.T) {
 }
 
 func TestRecentChangesToolSeesRollout(t *testing.T) {
+	t.Parallel()
 	in := build(t, &scenarios.NovelProtocol{}, 8)
 	res, _ := NewRecentChangesTool().Invoke(in.World, map[string]string{"sincemin": "40000"})
 	if !hasFinding(res, kb.CProtocolRollout+"=true") {
@@ -216,6 +226,7 @@ func TestRecentChangesToolSeesRollout(t *testing.T) {
 }
 
 func TestMonitorCrossCheckTool(t *testing.T) {
+	t.Parallel()
 	fa := build(t, &scenarios.FalseAlarm{}, 9)
 	res, _ := NewMonitorCrossCheckTool().Invoke(fa.World, map[string]string{"monitor": "pingmesh"})
 	if !hasFinding(res, kb.CMonitorFalseAlarm+"=true") {
@@ -234,6 +245,7 @@ func TestMonitorCrossCheckTool(t *testing.T) {
 }
 
 func TestSimilarIncidentsTool(t *testing.T) {
+	t.Parallel()
 	hist := kb.NewHistory()
 	hist.Add(kb.IncidentRecord{ID: "h1", Title: "packet loss web us-east", RootCause: kb.CLinkCorruption, TTMMinutes: 40})
 	hist.Add(kb.IncidentRecord{ID: "h2", Title: "bulk congestion links hot", RootCause: kb.CTrafficSurge, TTMMinutes: 25})
@@ -257,6 +269,7 @@ func TestSimilarIncidentsTool(t *testing.T) {
 }
 
 func TestAskCustomerToolRevealsPattern(t *testing.T) {
+	t.Parallel()
 	in := build(t, &scenarios.NovelProtocol{}, 12)
 	res, _ := NewAskCustomerTool("directconnect").Invoke(in.World, nil)
 	if !hasFinding(res, "pattern=hdr-0xdead") {
@@ -269,6 +282,7 @@ func TestAskCustomerToolRevealsPattern(t *testing.T) {
 }
 
 func TestBrokenCollectorSurfacesAsUnavailable(t *testing.T) {
+	t.Parallel()
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(13)))
 	w.Inject(&netsim.MonitorBrokenFault{Monitor: "linkutil"})
 	res, _ := NewLinkUtilTool().Invoke(w, nil)
@@ -278,6 +292,7 @@ func TestBrokenCollectorSurfacesAsUnavailable(t *testing.T) {
 }
 
 func TestRiskClassString(t *testing.T) {
+	t.Parallel()
 	for rc, want := range map[RiskClass]string{RiskReadOnly: "read-only", RiskLow: "low", RiskMedium: "medium", RiskHigh: "high"} {
 		if rc.String() != want {
 			t.Errorf("%d -> %q", int(rc), rc.String())
@@ -286,6 +301,7 @@ func TestRiskClassString(t *testing.T) {
 }
 
 func TestLossHistoryToolClassifiesFlap(t *testing.T) {
+	t.Parallel()
 	in := build(t, &scenarios.GrayLinkFlapping{}, 21)
 	// Let the flap run so the recorder captures oscillation.
 	for i := 0; i < 50; i++ {
@@ -302,6 +318,7 @@ func TestLossHistoryToolClassifiesFlap(t *testing.T) {
 }
 
 func TestLossHistoryToolQuietWorld(t *testing.T) {
+	t.Parallel()
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(22)))
 	for i := 0; i < 20; i++ {
 		w.Clock.Advance(2 * time.Minute)
@@ -316,6 +333,7 @@ func TestLossHistoryToolQuietWorld(t *testing.T) {
 }
 
 func TestLossHistoryToolWithoutRecorder(t *testing.T) {
+	t.Parallel()
 	n := netsim.NewNetwork()
 	n.AddNode(netsim.Node{ID: "a"})
 	w := netsim.NewWorld(n, nil, nil)
@@ -329,6 +347,7 @@ func TestLossHistoryToolWithoutRecorder(t *testing.T) {
 }
 
 func TestSyslogToolReportsRestoredLinks(t *testing.T) {
+	t.Parallel()
 	w := scenarios.StandardWorld(rand.New(rand.NewSource(30)))
 	lid := netsim.MakeLinkID("us-east-tor-p0-0", "us-east-agg-p0-0")
 	w.Inject(&netsim.LinkDownFault{Link: lid})
@@ -346,6 +365,7 @@ func TestSyslogToolReportsRestoredLinks(t *testing.T) {
 }
 
 func TestSyslogToolBindsDownLink(t *testing.T) {
+	t.Parallel()
 	in := build(t, &scenarios.MaintenanceOverlap{}, 31)
 	res, err := NewSyslogTool().Invoke(in.World, map[string]string{"sincemin": "120", "sev": "warning"})
 	if err != nil {

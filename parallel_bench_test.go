@@ -1,0 +1,46 @@
+package aiops
+
+// BenchmarkParallelSpeedup measures the wall-clock win of the parallel
+// trial pool on an E4-style workload: a randomized A/B trial of the
+// iterative helper against the unassisted control over the full scenario
+// mix. workers=1 is the pre-pool serial baseline; workers=NumCPU is the
+// default every CLI now uses. Output is identical in both arms (see
+// TestE4DeterministicAcrossWorkers); only the wall clock differs, and
+// the ratio of the two ns/op values is the achieved speedup.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/harness"
+	"repro/internal/kb"
+	"repro/internal/parallel"
+)
+
+func BenchmarkParallelSpeedup(b *testing.B) {
+	kbase := kb.Default()
+	kb.ApplyFastpathUpdate(kbase)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eval.ABTest(eval.ABConfig{N: 32, Seed: 7, Workers: workers},
+					&harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig()},
+					&harness.ControlRunner{KBase: kbase, Expertise: 0.8},
+				)
+			}
+		})
+	}
+}
+
+// BenchmarkRunTrialsOverhead isolates the pool's scheduling cost with a
+// near-empty trial body: the per-trial overhead the evaluation layer
+// pays for seed derivation, panic capture, and result collection.
+func BenchmarkRunTrialsOverhead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		parallel.RunTrials(64, 0, int64(i), func(seed int64, trial int) int64 { return seed ^ int64(trial) })
+	}
+}

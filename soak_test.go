@@ -9,6 +9,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/llm"
 	"repro/internal/mitigation"
+	"repro/internal/parallel"
 	"repro/internal/scenarios"
 )
 
@@ -29,6 +30,7 @@ import (
 // unreliable component, and the framework must convert its failures into
 // time, never into damage.
 func TestSoakInvariants(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
@@ -37,24 +39,73 @@ func TestSoakInvariants(t *testing.T) {
 	all := scenarios.All()
 	rng := rand.New(rand.NewSource(20260706))
 
+	// The degraded-helper configurations are drawn serially (the draw
+	// sequence defines the stream); the sessions then run concurrently on
+	// the parallel trial pool, each over its own private world — the
+	// production shape: many independent incident sessions in flight.
 	const n = 150
-	mitigated, escalated := 0, 0
-	for i := 0; i < n; i++ {
-		sc := all[rng.Intn(len(all))]
-		seed := rng.Int63()
-		in := sc.Build(rand.New(rand.NewSource(seed)))
+	type spec struct {
+		sc            scenarios.Scenario
+		seed          int64
+		hallucination float64
+		expertise     float64
+		window        int
+	}
+	specs := make([]spec, n)
+	for i := range specs {
+		s := spec{
+			sc:            all[rng.Intn(len(all))],
+			seed:          rng.Int63(),
+			hallucination: rng.Float64() * 0.4,
+			expertise:     0.3 + rng.Float64()*0.7,
+		}
+		if rng.Intn(3) == 0 {
+			s.window = 256 + rng.Intn(4096)
+		}
+		specs[i] = s
+	}
 
+	type outcome struct {
+		res        harness.Result
+		worldClean bool // verifier state of the trial's world post-session
+	}
+	trials := parallel.RunTrials(n, 8, 20260706, func(_ int64, i int) outcome {
+		s := specs[i]
+		in := s.sc.Build(rand.New(rand.NewSource(s.seed)))
 		r := &harness.HelperRunner{
 			KBase:         kbase,
 			Config:        core.DefaultConfig(),
-			Hallucination: rng.Float64() * 0.4,
-			Expertise:     0.3 + rng.Float64()*0.7,
+			Hallucination: s.hallucination,
+			Expertise:     s.expertise,
+			Window:        s.window,
 		}
-		if rng.Intn(3) == 0 {
-			r.Window = 256 + rng.Intn(4096)
-		}
-		res := r.Run(in, seed)
+		res := r.Run(in, s.seed)
+		v := &mitigation.Verifier{World: in.World}
+		return outcome{res: res, worldClean: v.Mitigated()}
+	})
 
+	// Invariant 6 (pool): no trial result is lost or duplicated — every
+	// index came back exactly once with its scenario's result attached.
+	if len(trials) != n {
+		t.Fatalf("pool returned %d results for %d trials", len(trials), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, tr := range trials {
+		if tr.Err != nil {
+			t.Fatalf("trial %d panicked: %v", tr.Trial, tr.Err)
+		}
+		if seen[tr.Trial] {
+			t.Fatalf("trial %d delivered twice", tr.Trial)
+		}
+		seen[tr.Trial] = true
+		if want := specs[tr.Trial].sc.Name(); tr.Value.res.Scenario != want {
+			t.Fatalf("trial %d carries result for %q, want %q (result misrouted)", tr.Trial, tr.Value.res.Scenario, want)
+		}
+	}
+
+	mitigated, escalated := 0, 0
+	for i, tr := range trials {
+		res, sc := tr.Value.res, specs[i].sc
 		if !res.Mitigated && !res.Escalated {
 			t.Fatalf("incident %d (%s): session ended in limbo", i, sc.Name())
 		}
@@ -68,8 +119,7 @@ func TestSoakInvariants(t *testing.T) {
 			mitigated++
 			// The live world must verify clean when the helper claims
 			// mitigation (invariant 3).
-			v := &mitigation.Verifier{World: in.World}
-			if !v.Mitigated() {
+			if !tr.Value.worldClean {
 				t.Fatalf("incident %d (%s): claimed mitigated but world has live impact", i, sc.Name())
 			}
 		} else {
