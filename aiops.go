@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/incident"
 	"repro/internal/kb"
@@ -67,6 +68,14 @@ type (
 	KnowledgeBase = kb.KB
 	// InContextRule carries a knowledge update inside prompts.
 	InContextRule = llm.InContextRule
+	// FaultConfig tunes deterministic fault injection on the toolbox and
+	// mitigation automation (zero value: no faults).
+	FaultConfig = faults.Config
+	// FaultWeights distributes injected faults across classes.
+	FaultWeights = faults.Weights
+	// ResilienceConfig tunes the helper's resilient invocation path
+	// (retries, circuit breaking, evidence quarantine).
+	ResilienceConfig = core.ResilienceConfig
 )
 
 // System bundles a deployment's knowledge, incident history and helper
@@ -81,6 +90,7 @@ type System struct {
 	generic       bool // use the generic embedder instead of the domain one
 	seed          int64
 	workers       int // parallel trial workers for ABTest/Replay (<= 0: GOMAXPROCS)
+	faultCfg      faults.Config
 }
 
 // Option configures a System.
@@ -117,6 +127,20 @@ func WithGenericEmbeddings() Option { return func(s *System) { s.generic = true 
 // (<= 0, the default, means one worker per CPU). Worker count never
 // changes results — only wall-clock time.
 func WithWorkers(n int) Option { return func(s *System) { s.workers = n } }
+
+// WithFaults enables deterministic fault injection: every toolbox
+// invocation (and mitigation action, when ActionRate > 0) draws from a
+// seed-derived fault schedule. The zero config keeps every run
+// byte-identical to a fault-free build.
+func WithFaults(fc FaultConfig) Option { return func(s *System) { s.faultCfg = fc } }
+
+// WithResilientHelper switches the helper onto the resilient invocation
+// path — capped-backoff retries, per-tool circuit breaking with reroute
+// to the monitor cross-check, and evidence quarantine — using the tuned
+// defaults. Combine with WithFaults to measure what resilience buys.
+func WithResilientHelper() Option {
+	return func(s *System) { s.cfg.Resilience = core.DefaultResilience() }
+}
 
 // New builds a System with current knowledge (base corpus + the fastpath
 // rollout update) and an empty incident history.
@@ -187,6 +211,7 @@ func (s *System) helperRunner() *harness.HelperRunner {
 		Hallucination: s.hallucination,
 		Window:        s.window,
 		History:       s.history,
+		Faults:        s.faultCfg,
 	}
 }
 
@@ -198,13 +223,13 @@ func (s *System) Assist(in *Instance, seed int64) Result {
 // OneShot runs the retrieval-based one-shot baseline (train it first
 // with GenerateHistory).
 func (s *System) OneShot(in *Instance, seed int64) Result {
-	r := &harness.OneShotRunner{History: s.history, KBase: s.kbase, Embedder: s.embedder()}
+	r := &harness.OneShotRunner{History: s.history, KBase: s.kbase, Embedder: s.embedder(), Faults: s.faultCfg}
 	return r.Run(in, seed)
 }
 
 // Unassisted runs the helper-free control OCE.
 func (s *System) Unassisted(in *Instance, seed int64) Result {
-	r := &harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history}
+	r := &harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history, Faults: s.faultCfg}
 	return r.Run(in, seed)
 }
 
@@ -213,7 +238,7 @@ func (s *System) Unassisted(in *Instance, seed int64) Result {
 func (s *System) ABTest(n int, seed int64) *ABResult {
 	return eval.ABTest(eval.ABConfig{N: n, Seed: seed, Workers: s.workers},
 		s.helperRunner(),
-		&harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history},
+		&harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history, Faults: s.faultCfg},
 	)
 }
 
@@ -271,7 +296,7 @@ func (s *System) Fleet(oces int, arrivalsPerHour float64, n int, seed int64) *Fl
 func (s *System) FleetUnassisted(oces int, arrivalsPerHour float64, n int, seed int64) *FleetReport {
 	return ops.Simulate(ops.Config{
 		OCEs: oces, ArrivalsPerHour: arrivalsPerHour, Incidents: n, Seed: seed,
-		Runner: &harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history},
+		Runner: &harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history, Faults: s.faultCfg},
 	})
 }
 

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	abtest [-n 200] [-seed 1] [-history 150]
+//	abtest -faultrate 0.2              # degraded telemetry, resilient helper
+//	abtest -faultrate 0.2 -naive       # same faults, no resilience
 package main
 
 import (
@@ -18,14 +20,24 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 200, "incidents in the trial")
-		seed    = flag.Int64("seed", 1, "random seed")
-		history = flag.Int("history", 150, "historical incidents to pre-load")
-		workers = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
+		n         = flag.Int("n", 200, "incidents in the trial")
+		seed      = flag.Int64("seed", 1, "random seed")
+		history   = flag.Int("history", 150, "historical incidents to pre-load")
+		workers   = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
+		faultRate = flag.Float64("faultrate", 0, "tool fault-injection rate in [0,1] (0 = no faults, byte-identical to historical runs)")
+		faultSeed = flag.Int64("faultseed", 1337, "fault-schedule seed")
+		naive     = flag.Bool("naive", false, "with -faultrate: keep the naive invocation path instead of the resilient one")
 	)
 	flag.Parse()
 
-	sys := aiops.New(aiops.WithSeed(*seed), aiops.WithWorkers(*workers))
+	opts := []aiops.Option{aiops.WithSeed(*seed), aiops.WithWorkers(*workers)}
+	if *faultRate > 0 {
+		opts = append(opts, aiops.WithFaults(aiops.FaultConfig{Rate: *faultRate, ActionRate: *faultRate / 2, Seed: *faultSeed}))
+		if !*naive {
+			opts = append(opts, aiops.WithResilientHelper())
+		}
+	}
+	sys := aiops.New(opts...)
 	sys.GenerateHistory(*history, *seed^0x1157)
 	res := sys.ABTest(*n, *seed)
 

@@ -7,6 +7,7 @@
 //	benchgen                 # all experiments
 //	benchgen -exp e2,e3      # a subset
 //	benchgen -trials 30      # bigger cells
+//	benchgen -exp e13 -faultrate 0.4   # robustness ladder up to 40% fault rate
 package main
 
 import (
@@ -21,11 +22,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids (e1..e11) or 'all'")
-		trials  = flag.Int("trials", 20, "incidents per experiment cell")
-		seed    = flag.Int64("seed", 42, "base random seed")
-		html    = flag.String("html", "", "also write a self-contained HTML report to this path")
-		workers = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids (e1..e13) or 'all'")
+		trials    = flag.Int("trials", 20, "incidents per experiment cell")
+		seed      = flag.Int64("seed", 42, "base random seed")
+		html      = flag.String("html", "", "also write a self-contained HTML report to this path")
+		workers   = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
+		faultRate = flag.Float64("faultrate", 0, "top of E13's fault-rate ladder (0 keeps E13's default 0.4)")
+		faultSeed = flag.Int64("faultseed", 1337, "fault-schedule seed for E13")
 	)
 	flag.Parse()
 
@@ -35,7 +38,7 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	p := experiments.Params{Trials: *trials, Seed: *seed, Workers: *workers}
+	p := experiments.Params{Trials: *trials, Seed: *seed, Workers: *workers, FaultRate: *faultRate, FaultSeed: *faultSeed}
 	report := eval.NewHTMLReport("AI-driven Network Incident Management — experiment tables", *seed, *trials)
 	ran := 0
 	for _, e := range experiments.Registry {

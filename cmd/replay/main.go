@@ -7,6 +7,8 @@
 // Usage:
 //
 //	replay [-n 150] [-seed 1]
+//	replay -faultrate 0.2              # degraded telemetry, resilient helper
+//	replay -faultrate 0.2 -naive       # same faults, no resilience
 package main
 
 import (
@@ -19,13 +21,23 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 150, "historical incidents to generate and replay")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
+		n         = flag.Int("n", 150, "historical incidents to generate and replay")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
+		faultRate = flag.Float64("faultrate", 0, "tool fault-injection rate in [0,1] (0 = no faults, byte-identical to historical runs)")
+		faultSeed = flag.Int64("faultseed", 1337, "fault-schedule seed")
+		naive     = flag.Bool("naive", false, "with -faultrate: keep the naive invocation path instead of the resilient one")
 	)
 	flag.Parse()
 
-	sys := aiops.New(aiops.WithSeed(*seed), aiops.WithWorkers(*workers))
+	opts := []aiops.Option{aiops.WithSeed(*seed), aiops.WithWorkers(*workers)}
+	if *faultRate > 0 {
+		opts = append(opts, aiops.WithFaults(aiops.FaultConfig{Rate: *faultRate, ActionRate: *faultRate / 2, Seed: *faultSeed}))
+		if !*naive {
+			opts = append(opts, aiops.WithResilientHelper())
+		}
+	}
+	sys := aiops.New(opts...)
 	rep := sys.Replay(*n, *seed)
 
 	t := eval.NewTable("historical replay through the helper", "metric", "value")

@@ -81,6 +81,12 @@ type Config struct {
 	// costs a full inference (tokens and latency); it buys robustness to
 	// hallucinated verdict flips.
 	SelfConsistency int
+
+	// Resilience tunes the resilient tool-invocation path (retries,
+	// circuit breaking, evidence quarantine). The zero value keeps the
+	// naive invocation sequence byte-identical to builds that predate
+	// fault injection; DefaultResilience() enables the full posture.
+	Resilience ResilienceConfig
 }
 
 // DefaultConfig returns the paper-faithful configuration: iterative,
@@ -137,6 +143,9 @@ const (
 	StepExecuted     StepKind = "executed"
 	StepVerified     StepKind = "verified"
 	StepEscalated    StepKind = "escalated"
+	StepRetry        StepKind = "retry"
+	StepQuarantine   StepKind = "quarantine"
+	StepBreaker      StepKind = "breaker"
 	StepNote         StepKind = "note"
 )
 
@@ -172,6 +181,19 @@ type Outcome struct {
 	// PlanErrors counts plans that failed to execute (hallucinated
 	// targets and similar).
 	PlanErrors int
+	// ToolRetries counts tool invocations re-attempted after a failure
+	// (each charged backoff on the simulated clock).
+	ToolRetries int
+	// Quarantined counts tool results set aside as low-trust because the
+	// source was degraded; the verdict became inconclusive instead of an
+	// accept/reject.
+	Quarantined int
+	// BreakerTrips counts per-tool circuit breakers opened by repeated
+	// failures.
+	BreakerTrips int
+	// Rerouted counts tests redirected to the monitor cross-check while
+	// a breaker was open.
+	Rerouted int
 	// Confirmed is the deduction chain the helper validated, in order.
 	Confirmed []string
 	// Applied is the union of executed actions.

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/mitigation"
+)
+
+// ActionFaults lets the harness inject mitigation-automation failures
+// into the session's executors without core depending on the faults
+// package. The fault injector satisfies it.
+type ActionFaults interface {
+	// ActionError returns a non-nil error when the action's automation
+	// should fail instead of touching the world.
+	ActionError(a mitigation.Action) error
+}
+
+// ResilienceConfig tunes the resilient tool-invocation path: retries
+// with capped exponential backoff on the simulated clock, a per-tool
+// circuit breaker that reroutes to the monitor cross-check after
+// repeated failures, and evidence quarantine for degraded results. The
+// zero value disables all of it — the session then runs the exact naive
+// invocation sequence it always did, byte for byte.
+type ResilienceConfig struct {
+	// MaxRetries is how many times a failed tool invocation is retried
+	// (beyond the first attempt). 0 disables retries.
+	MaxRetries int
+
+	// BackoffBase is the wait before the first retry; each further retry
+	// doubles it, capped at BackoffCap. All waits advance the simulated
+	// clock, so resilience pays for itself in TTM. Defaults (when a
+	// retry policy is enabled with zero durations): 30s base, 4m cap.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+
+	// BreakerThreshold opens a per-tool circuit breaker after this many
+	// consecutive failures; while open, tests planned against the tool
+	// are rerouted to the monitor cross-check instead of trusted. 0
+	// disables the breaker.
+	BreakerThreshold int
+
+	// BreakerCooldown is how long an open breaker stays open on the
+	// simulated clock (default 30m when the breaker is enabled).
+	BreakerCooldown time.Duration
+
+	// QuarantineDegraded marks evidence from degraded sources low-trust:
+	// the verdict becomes "inconclusive, re-test" rather than an
+	// accept/reject on data the pipeline itself flagged.
+	QuarantineDegraded bool
+}
+
+// Enabled reports whether any resilience mechanism is active.
+func (r ResilienceConfig) Enabled() bool {
+	return r.MaxRetries > 0 || r.BreakerThreshold > 0 || r.QuarantineDegraded
+}
+
+// DefaultResilience returns the tuned production posture: two retries
+// (30s backoff doubling to a 4m cap), a breaker that opens after three
+// consecutive failures for 30 simulated minutes, and quarantine on.
+func DefaultResilience() ResilienceConfig {
+	return ResilienceConfig{
+		MaxRetries:         2,
+		BackoffBase:        30 * time.Second,
+		BackoffCap:         4 * time.Minute,
+		BreakerThreshold:   3,
+		BreakerCooldown:    30 * time.Minute,
+		QuarantineDegraded: true,
+	}
+}
+
+// backoff is the wait before retry attempt i (0-based), exponential from
+// BackoffBase with a cap.
+func (r ResilienceConfig) backoff(i int) time.Duration {
+	base := r.BackoffBase
+	if base <= 0 {
+		base = 30 * time.Second
+	}
+	cap := r.BackoffCap
+	if cap <= 0 {
+		cap = 4 * time.Minute
+	}
+	d := base << uint(i)
+	if d > cap || d <= 0 { // <=0 guards shift overflow
+		d = cap
+	}
+	return d
+}
+
+// cooldown is the configured breaker-open duration with its default.
+func (r ResilienceConfig) cooldown() time.Duration {
+	if r.BreakerCooldown <= 0 {
+		return 30 * time.Minute
+	}
+	return r.BreakerCooldown
+}
+
+// breakerState tracks one tool's circuit breaker within a session.
+type breakerState struct {
+	consecutiveFails int
+	openUntil        time.Duration // simulated instant; open while now < openUntil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/incident"
+	"repro/internal/kb"
 	"repro/internal/llm"
 	"repro/internal/mitigation"
 	"repro/internal/netsim"
@@ -22,6 +23,10 @@ type Helper struct {
 	// Config.UseQuantitativeRisk=false) disables the quantitative view.
 	Quant  *risk.Assessor
 	Config Config
+	// ActionFaults, when non-nil, simulates mitigation automation
+	// breaking mid-plan: every executed action is vetted through it
+	// first. The harness wires the fault injector in here.
+	ActionFaults ActionFaults
 }
 
 // verifyLatency is the simulated cost of one verification pass (watching
@@ -48,6 +53,7 @@ type session struct {
 	ctx       llm.PromptContext
 	chain     []string // append-only confirmation history
 	attempted map[string]bool
+	breaker   map[string]*breakerState // per-tool circuit breakers
 	out       *Outcome
 	round     int
 	stalls    int
@@ -62,6 +68,7 @@ func (h *Helper) Run(w *netsim.World, inc *incident.Incident, oce *OCE) *Outcome
 	s := &session{
 		h: h, w: w, inc: inc, oce: oce, cfg: cfg,
 		attempted: map[string]bool{},
+		breaker:   map[string]*breakerState{},
 		out:       &Outcome{},
 	}
 	s.ctx = llm.PromptContext{
@@ -120,16 +127,18 @@ func (s *session) iterate() (progressed, done bool) {
 	}
 
 	// --- Module 2: hypothesis tester -------------------------------------
-	verdictSupported, tested := s.testHypothesis(chosen)
-	if !tested {
+	switch s.testHypothesis(chosen) {
+	case testSupported:
+		s.confirm(chosen.Concept)
+	case testInconclusive:
+		// Quarantined or rerouted evidence: neither accept nor reject on
+		// it. The hypothesis stays open for a re-test; no progress this
+		// round, so the stall limit still bounds the investigation.
+		return false, false
+	default: // testNoTest, testUnsupported
 		s.reject(chosen.Concept)
 		return true, false
 	}
-	if !verdictSupported {
-		s.reject(chosen.Concept)
-		return true, false
-	}
-	s.confirm(chosen.Concept)
 
 	// --- Module 3: mitigation planner ------------------------------------
 	if s.attempted[chosen.Concept] {
@@ -164,6 +173,26 @@ const (
 	execMitigated execStatus = iota
 	execFailedToApply
 	execVerifyFailed
+)
+
+// testOutcome is the hypothesis tester's verdict.
+type testOutcome int
+
+const (
+	// testNoTest: no test could be run (no known test, tool missing or
+	// failing). The hypothesis is rejected, as an OCE sets aside what
+	// cannot be checked.
+	testNoTest testOutcome = iota
+	// testUnsupported: the test ran and the findings refute the
+	// hypothesis.
+	testUnsupported
+	// testSupported: the test ran and the findings support the
+	// hypothesis.
+	testSupported
+	// testInconclusive: the evidence is quarantined (degraded source) or
+	// the test was rerouted past an open breaker — re-test later instead
+	// of accepting or rejecting. Only resilient sessions produce this.
+	testInconclusive
 )
 
 // complete sends a request, advances the clock by inference latency, and
@@ -220,19 +249,19 @@ func (s *session) approveHypothesis(hyps []llm.Hypothesis) (llm.Hypothesis, bool
 	return llm.Hypothesis{}, false
 }
 
-// testHypothesis runs the tester module: plan the test, invoke the tool,
-// interpret the output (with OCE oversight). tested is false when no
-// test could be run at all.
-func (s *session) testHypothesis(h llm.Hypothesis) (supported, tested bool) {
+// testHypothesis runs the tester module: plan the test, invoke the tool
+// (through the resilient path when configured), interpret the output
+// (with OCE oversight).
+func (s *session) testHypothesis(h llm.Hypothesis) testOutcome {
 	resp, err := s.complete(llm.BuildPlanTest(s.ctx, h.Concept))
 	if err != nil {
 		s.trace(StepNote, "model error: "+err.Error())
-		return false, false
+		return testNoTest
 	}
 	tp, ok := llm.ParseTestPlan(resp.Content)
 	if !ok {
 		s.trace(StepTestPlanned, fmt.Sprintf("no known test for %s", h.Concept))
-		return false, false
+		return testNoTest
 	}
 	s.trace(StepTestPlanned, fmt.Sprintf("%s via %s: %s", h.Concept, tp.Tool, tp.Reason))
 
@@ -242,17 +271,37 @@ func (s *session) testHypothesis(h llm.Hypothesis) (supported, tested bool) {
 		s.w.Clock.Advance(fumbleLatency)
 		s.addEvidence(fmt.Sprintf("tool %q does not exist in the toolbox", tp.Tool))
 		s.trace(StepNote, fmt.Sprintf("tool %q not found", tp.Tool))
-		return false, false
+		return testNoTest
 	}
-	s.w.Clock.Advance(tool.Latency())
-	res, err := tool.Invoke(s.w, tp.Args)
-	s.out.ToolCalls++
+	if s.breakerOpen(tp.Tool) {
+		// The tool has been failing repeatedly; don't burn another
+		// deadline on it — cross-check its monitor instead.
+		s.rerouteTest(tp.Tool)
+		return testInconclusive
+	}
+	res, err := s.invokeTool(tool, tp.Args)
 	if err != nil {
 		s.addEvidence(fmt.Sprintf("tool %s failed: %v", tp.Tool, err))
 		s.trace(StepToolInvoked, fmt.Sprintf("%s failed: %v", tp.Tool, err))
-		return false, false
+		if s.breakerOpen(tp.Tool) {
+			// The last failure tripped the breaker: get a second opinion
+			// on the monitor before drawing any conclusion.
+			s.rerouteTest(tp.Tool)
+			return testInconclusive
+		}
+		return testNoTest
 	}
 	s.trace(StepToolInvoked, fmt.Sprintf("%s -> %d findings", tp.Tool, len(res.Findings)))
+	if s.cfg.Resilience.QuarantineDegraded && res.Degraded {
+		// Low-trust evidence: record it (clearly labeled) but refuse to
+		// accept or reject the hypothesis on it.
+		for _, f := range res.Findings {
+			s.addEvidence(fmt.Sprintf("[degraded:%s] %s: %s", res.Source, tp.Tool, f))
+		}
+		s.out.Quarantined++
+		s.trace(StepQuarantine, fmt.Sprintf("%s output flagged %s; verdict on %s inconclusive, re-test", tp.Tool, res.Source, h.Concept))
+		return testInconclusive
+	}
 	for _, f := range res.Findings {
 		s.addEvidence(tp.Tool + ": " + f)
 	}
@@ -264,7 +313,7 @@ func (s *session) testHypothesis(h llm.Hypothesis) (supported, tested bool) {
 	// double-checking the reading.
 	v, ok := s.interpret(h.Concept, tp.Tool, res.Findings)
 	if !ok {
-		return false, false
+		return testNoTest
 	}
 	truthful := findingsSupport(res.Findings, h.Concept)
 	if v.Supported != truthful && s.oce.CatchesMisreading() {
@@ -272,7 +321,102 @@ func (s *session) testHypothesis(h llm.Hypothesis) (supported, tested bool) {
 		v.Supported = truthful
 	}
 	s.trace(StepInterpreted, fmt.Sprintf("%s supported=%v (%.2f): %s", h.Concept, v.Supported, v.Confidence, v.Reason))
-	return v.Supported, true
+	if v.Supported {
+		return testSupported
+	}
+	return testUnsupported
+}
+
+// invokeTool is the single tool-invocation path. With resilience
+// disabled it is exactly the historical sequence — charge latency,
+// invoke, count — so naive sessions stay byte-identical. With resilience
+// enabled, failures are retried with capped exponential backoff on the
+// simulated clock (wasted time shows up in TTM) and feed the per-tool
+// circuit breaker.
+func (s *session) invokeTool(tool tools.Tool, args map[string]string) (tools.Result, error) {
+	s.w.Clock.Advance(tool.Latency())
+	res, err := tool.Invoke(s.w, args)
+	s.out.ToolCalls++
+	r := s.cfg.Resilience
+	if !r.Enabled() {
+		return res, err
+	}
+	for attempt := 0; err != nil && attempt < r.MaxRetries; attempt++ {
+		s.recordToolFailure(tool.Name())
+		if s.breakerOpen(tool.Name()) {
+			return res, err
+		}
+		wait := r.backoff(attempt)
+		s.w.Clock.Advance(wait)
+		s.out.ToolRetries++
+		s.trace(StepRetry, fmt.Sprintf("%s failed (%v); retry %d/%d after %s backoff", tool.Name(), err, attempt+1, r.MaxRetries, wait))
+		s.w.Clock.Advance(tool.Latency())
+		res, err = tool.Invoke(s.w, args)
+		s.out.ToolCalls++
+	}
+	if err != nil {
+		s.recordToolFailure(tool.Name())
+	} else {
+		if b := s.breaker[tool.Name()]; b != nil {
+			b.consecutiveFails = 0
+		}
+	}
+	return res, err
+}
+
+// recordToolFailure feeds the per-tool circuit breaker; crossing the
+// threshold opens it for the cooldown window.
+func (s *session) recordToolFailure(name string) {
+	r := s.cfg.Resilience
+	if r.BreakerThreshold <= 0 {
+		return
+	}
+	b := s.breaker[name]
+	if b == nil {
+		b = &breakerState{}
+		s.breaker[name] = b
+	}
+	b.consecutiveFails++
+	if b.consecutiveFails >= r.BreakerThreshold && !s.breakerOpen(name) {
+		b.openUntil = s.w.Clock.Now() + r.cooldown()
+		b.consecutiveFails = 0
+		s.out.BreakerTrips++
+		s.trace(StepBreaker, fmt.Sprintf("circuit breaker for %s opened for %s after repeated failures", name, r.cooldown()))
+	}
+}
+
+// breakerOpen reports whether the tool's circuit breaker is currently
+// open on the simulated clock.
+func (s *session) breakerOpen(name string) bool {
+	b := s.breaker[name]
+	return b != nil && s.w.Clock.Now() < b.openUntil
+}
+
+// rerouteTest is the open-breaker fallback: instead of querying a tool
+// that keeps failing, cross-check its monitor so the session learns
+// whether the telemetry source itself is broken. The cross-check's
+// findings enter the evidence stream; the hypothesis verdict stays
+// inconclusive.
+func (s *session) rerouteTest(broken string) {
+	s.out.Rerouted++
+	cc, ok := s.h.Tools.Get(kb.ToolMonitorCheck)
+	if !ok {
+		s.trace(StepBreaker, fmt.Sprintf("breaker open for %s and no %s tool to reroute to", broken, kb.ToolMonitorCheck))
+		return
+	}
+	s.trace(StepBreaker, fmt.Sprintf("breaker open for %s; rerouting to %s", broken, kb.ToolMonitorCheck))
+	s.w.Clock.Advance(cc.Latency())
+	res, err := cc.Invoke(s.w, map[string]string{"monitor": broken})
+	s.out.ToolCalls++
+	if err != nil {
+		s.addEvidence(fmt.Sprintf("tool %s failed: %v", kb.ToolMonitorCheck, err))
+		s.trace(StepToolInvoked, fmt.Sprintf("%s failed: %v", kb.ToolMonitorCheck, err))
+		return
+	}
+	s.trace(StepToolInvoked, fmt.Sprintf("%s -> %d findings", kb.ToolMonitorCheck, len(res.Findings)))
+	for _, f := range res.Findings {
+		s.addEvidence(kb.ToolMonitorCheck + ": " + f)
+	}
 }
 
 // interpret asks the model whether the findings support the hypothesis,
@@ -414,7 +558,7 @@ const incidentLossGate = 0.01
 // verification.
 func (s *session) executeAndVerify(cause string, plan mitigation.Plan) execStatus {
 	before := worstServiceLoss(s.w)
-	ex := &mitigation.Executor{World: s.w, Clocked: true, Actor: "oce"}
+	ex := s.executor("oce")
 	if err := ex.ExecutePlan(plan); err != nil {
 		s.out.PlanErrors++
 		s.addEvidence(fmt.Sprintf("executing plan failed: %v", err))
@@ -519,10 +663,20 @@ func (s *session) reject(concept string) {
 }
 
 func (s *session) escalate(why string) {
-	ex := &mitigation.Executor{World: s.w, Clocked: true, Actor: "helper"}
+	ex := s.executor("helper")
 	_ = ex.Execute(mitigation.Action{Kind: mitigation.Escalate, Target: "SWAT"})
 	s.out.Escalated = true
 	s.trace(StepEscalated, why)
+}
+
+// executor builds a clocked executor for this session, with mitigation
+// automation faults wired in when the harness injects them.
+func (s *session) executor(actor string) *mitigation.Executor {
+	ex := &mitigation.Executor{World: s.w, Clocked: true, Actor: actor}
+	if s.h.ActionFaults != nil {
+		ex.FailOn = s.h.ActionFaults.ActionError
+	}
+	return ex
 }
 
 func (s *session) addEvidence(line string) {

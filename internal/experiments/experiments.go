@@ -30,6 +30,12 @@ type Params struct {
 	Trials  int   // incidents per cell (default 20)
 	Seed    int64 // base seed
 	Workers int   // parallel trial workers (<= 0: GOMAXPROCS)
+
+	// FaultRate is the top of E13's fault-rate ladder (0 keeps E13's
+	// default); other experiments ignore it and stay fault-free.
+	FaultRate float64
+	// FaultSeed selects E13's fault schedules (default 1337).
+	FaultSeed int64
 }
 
 func (p Params) withDefaults() Params {
@@ -62,6 +68,7 @@ func fastpathRules() []llm.InContextRule {
 type cell struct {
 	n, correct, mitigated, escalated int
 	wrong, secondary, planErr        int
+	retries, quarantined             int
 	ttmMin, rounds, tokens           float64
 	ttms                             []float64
 }
@@ -80,6 +87,8 @@ func (c *cell) add(r harness.Result) {
 	c.wrong += r.Wrong
 	c.secondary += r.Secondary
 	c.planErr += r.PlanErrors
+	c.retries += r.Retries
+	c.quarantined += r.Quarantined
 	m := r.PenalizedTTM().Minutes()
 	c.ttmMin += m
 	c.ttms = append(c.ttms, m)
@@ -385,6 +394,8 @@ func (c *cell) merge(o *cell) {
 	c.wrong += o.wrong
 	c.secondary += o.secondary
 	c.planErr += o.planErr
+	c.retries += o.retries
+	c.quarantined += o.quarantined
 	c.ttmMin += o.ttmMin
 	c.rounds += o.rounds
 	c.tokens += o.tokens
@@ -630,6 +641,7 @@ var Registry = []struct {
 	{"e10", "fleet-level load (extension)", E10FleetLoad},
 	{"e11", "one-shot learning curve (extension)", E11LearningCurve},
 	{"e12", "small models + retrieval (extension)", E12SmallModels},
+	{"e13", "robustness under degraded telemetry (extension)", E13Resilience},
 }
 
 // ByID returns the registered experiment, or nil.

@@ -1,0 +1,88 @@
+package experiments
+
+// E13 — robustness under degraded telemetry (extension): the paper's
+// "reliable & safe" principle (§2.2) and "mistake overheads" methodology
+// (§3) made runnable. Monitors are unreliable exactly when they matter
+// most — during incidents — so the experiment injects deterministic tool
+// and automation faults at a ladder of rates and compares three arms:
+//
+//   - resilient-helper: the iterative helper on the resilient invocation
+//     path (capped-backoff retries, per-tool circuit breaking with
+//     reroute to the monitor cross-check, evidence quarantine);
+//   - naive-helper: the same helper trusting every tool result as-is;
+//   - control-oce: the unassisted engineer, faults and all.
+//
+// Expected shape: at fault rate 0 the resilient and naive arms are
+// bit-identical (the resilient path with no failures is the naive path —
+// the determinism test in resilience_test.go proves it). As the rate
+// rises, the naive arm's wrong-verdict mistakes (wrong/secondary) grow
+// because corrupted findings flip accept/reject decisions, while the
+// resilient arm trades bounded extra TTM — retries and backoff on the
+// simulated clock — for strictly fewer mistakes and escalations.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/scenarios"
+)
+
+// e13Workload is the incident mix: a subtle gray failure, a deep
+// cascade, and a false alarm (where a corrupted "=true" is most
+// poisonous — there is nothing real to find).
+func e13Workload() []scenarios.Scenario {
+	return []scenarios.Scenario{
+		&scenarios.GrayLink{},
+		&scenarios.Cascade{Stage: 5},
+		&scenarios.FalseAlarm{},
+	}
+}
+
+// e13Rates builds the fault-rate ladder up to top (default 0.4).
+func e13Rates(top float64) []float64 {
+	if top <= 0 {
+		top = 0.4
+	}
+	return []float64{0, top / 4, top / 2, top}
+}
+
+// E13Resilience sweeps the fault rate and tabulates correctness, mistake
+// and escalation overheads, TTM, and the resilient path's bookkeeping
+// (retries, quarantined verdicts) per arm.
+func E13Resilience(p Params) []*eval.Table {
+	p = p.withDefaults()
+	kbase := currentKB()
+	fseed := p.FaultSeed
+	if fseed == 0 {
+		fseed = 1337
+	}
+
+	resilientCfg := core.DefaultConfig()
+	resilientCfg.Resilience = core.DefaultResilience()
+
+	t := eval.NewTable("E13 (extension): robustness vs fault rate (gray-link + cascade-5 + false-alarm)",
+		"fault rate", "arm", "correct", "wrong", "secondary", "escalated", "TTM(m)", "retries", "quarantined")
+	for _, rate := range e13Rates(p.FaultRate) {
+		// Flappy monitors degrade as the incident drags on; automation
+		// faults ride along at half the tool rate.
+		fc := faults.Config{Rate: rate, ActionRate: rate / 2, Degrade: 0.5, Seed: fseed}
+		arms := []harness.Runner{
+			&harness.HelperRunner{Label: "resilient-helper", KBase: kbase, Config: resilientCfg, Faults: fc},
+			&harness.HelperRunner{Label: "naive-helper", KBase: kbase, Config: core.DefaultConfig(), Faults: fc},
+			&harness.ControlRunner{Label: "control-oce", KBase: kbase, Faults: fc},
+		}
+		for _, r := range arms {
+			agg := &cell{}
+			for i, sc := range e13Workload() {
+				agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 131 + int64(i), Workers: p.Workers}))
+			}
+			t.AddRow(fmt.Sprintf("%.2f", rate), r.Name(), eval.Pct(agg.rate(agg.correct)),
+				agg.wrong, agg.secondary, eval.Pct(agg.rate(agg.escalated)),
+				agg.meanTTM(), agg.retries, agg.quarantined)
+		}
+	}
+	return []*eval.Table{t}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/scenarios"
+)
+
+// TestE13DeterministicAcrossWorkers extends the serial-vs-parallel
+// contract to fault injection: the fault schedule is derived from seeds,
+// not from scheduling, so the full robustness ladder must render
+// bit-identical tables at workers=1 and workers=8.
+func TestE13DeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	serial := renderTables(E13Resilience(Params{Trials: 2, Seed: 99, Workers: 1}))
+	pooled := renderTables(E13Resilience(Params{Trials: 2, Seed: 99, Workers: 8}))
+	if serial != pooled {
+		t.Fatalf("E13 tables diverge between workers=1 and workers=8: %s", firstDiff(serial, pooled))
+	}
+}
+
+// TestResilientEqualsNaiveWithoutFaults is the E13 acceptance anchor: at
+// fault rate 0 the resilient invocation path must be the naive path —
+// not merely statistically close, but identical result-for-result. The
+// resilient machinery may only engage when something actually fails.
+func TestResilientEqualsNaiveWithoutFaults(t *testing.T) {
+	t.Parallel()
+	kbase := currentKB()
+	resilientCfg := core.DefaultConfig()
+	resilientCfg.Resilience = core.DefaultResilience()
+	resilient := &harness.HelperRunner{KBase: kbase, Config: resilientCfg}
+	naive := &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig()}
+	for _, sc := range e13Workload() {
+		for trial := 0; trial < 3; trial++ {
+			seed := int64(7700 + trial)
+			a := harness.BuildAndRun(resilient, sc, seed)
+			b := harness.BuildAndRun(naive, sc, seed)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s trial %d: resilient and naive diverge without faults:\n%+v\nvs\n%+v", sc.Name(), trial, a, b)
+			}
+		}
+	}
+}
+
+// TestFaultsDisabledIsByteIdenticalToNoFaultConfig pins the "no behavior
+// change by default" criterion at the runner level: a zero fault config
+// must not perturb a single field of any runner's result.
+func TestFaultsDisabledIsByteIdenticalToNoFaultConfig(t *testing.T) {
+	t.Parallel()
+	kbase := currentKB()
+	sc := &scenarios.Cascade{Stage: 4}
+	plain := &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig()}
+	zeroed := &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig(), Faults: faults.Config{}}
+	for trial := 0; trial < 3; trial++ {
+		seed := int64(8800 + trial)
+		if a, b := harness.BuildAndRun(plain, sc, seed), harness.BuildAndRun(zeroed, sc, seed); !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: zero fault config changed the outcome:\n%+v\nvs\n%+v", trial, a, b)
+		}
+	}
+}
+
+// TestE13QualitativeShape checks the paper-predicted ordering at the top
+// of the ladder on a small sample: under heavy faults the resilient
+// helper must escalate no more often than the naive one and stay at
+// least as correct.
+func TestE13QualitativeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-arm sweep is slow")
+	}
+	t.Parallel()
+	kbase := currentKB()
+	fc := faults.Config{Rate: 0.4, ActionRate: 0.2, Degrade: 0.5, Seed: 1337}
+	resilientCfg := core.DefaultConfig()
+	resilientCfg.Resilience = core.DefaultResilience()
+	res := &cell{}
+	nai := &cell{}
+	for i, sc := range e13Workload() {
+		p := Params{Trials: 6, Seed: 99 + int64(i), Workers: 0}
+		res.merge(runCell(sc, &harness.HelperRunner{KBase: kbase, Config: resilientCfg, Faults: fc}, p))
+		nai.merge(runCell(sc, &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig(), Faults: fc}, p))
+	}
+	if res.escalated > nai.escalated {
+		t.Errorf("resilient escalated more than naive under faults: %d vs %d", res.escalated, nai.escalated)
+	}
+	if res.correct < nai.correct {
+		t.Errorf("resilient less correct than naive under faults: %d vs %d", res.correct, nai.correct)
+	}
+	if res.retries == 0 && res.quarantined == 0 {
+		t.Error("resilient arm reported no retries or quarantines under heavy faults")
+	}
+}

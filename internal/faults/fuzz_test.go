@@ -1,0 +1,50 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzFaultInjector fuzzes the determinism contract: for any (config
+// seed, trial seed, rate, tool, index, time) input, two independently
+// constructed injectors must produce the identical fault class, and a
+// non-positive rate must never inject. This is the property the
+// parallel trial pool leans on — the schedule is a pure function of
+// seeds, untouched by construction order or shared state.
+func FuzzFaultInjector(f *testing.F) {
+	f.Add(int64(42), int64(0), 0.25, "pingmesh", 0, int64(0))
+	f.Add(int64(1337), int64(7), 0.5, "monitor-crosscheck", 12, int64(time.Hour))
+	f.Add(int64(-1), int64(99), 1.0, "", 1000000, int64(24*time.Hour))
+	f.Add(int64(0), int64(0), 0.0, "syslog", 3, int64(time.Minute))
+	f.Fuzz(func(t *testing.T, seed, trial int64, rate float64, tool string, index int, nowNanos int64) {
+		if rate < 0 || rate > 1 {
+			rate = 0.3
+		}
+		if nowNanos < 0 {
+			nowNanos = -nowNanos
+		}
+		if index < 0 {
+			index = -index
+		}
+		now := time.Duration(nowNanos)
+		cfg := Config{Rate: rate, Seed: seed, Degrade: 0.1}
+		a := NewInjector(cfg, trial)
+		b := NewInjector(cfg, trial)
+		ca, cb := a.ClassAt(tool, index, now), b.ClassAt(tool, index, now)
+		if ca != cb {
+			t.Fatalf("same (seed,trial,tool,index,now) gave %v vs %v", ca, cb)
+		}
+		// Re-querying the same point must be stable even after other
+		// draws (the schedule is pure, not stream-consuming).
+		a.ClassAt(tool+"x", index+1, now)
+		if again := a.ClassAt(tool, index, now); again != ca {
+			t.Fatalf("schedule not pure: %v then %v", ca, again)
+		}
+		if rate == 0 && ca != None {
+			t.Fatalf("rate 0 injected %v", ca)
+		}
+		if ca < None || ca > Corrupt {
+			t.Fatalf("class out of range: %d", int(ca))
+		}
+	})
+}

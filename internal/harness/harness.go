@@ -11,6 +11,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/faults"
 	"repro/internal/kb"
 	"repro/internal/llm"
 	"repro/internal/mitigation"
@@ -35,7 +36,11 @@ type Result struct {
 	ToolCalls  int
 	Tokens     int // LLM tokens (0 for non-LLM runners)
 	LLMCalls   int
-	Applied    mitigation.Plan
+	// Retries and Quarantined expose the resilient path's bookkeeping
+	// (0 for naive runners and for fault-free runs).
+	Retries     int
+	Quarantined int
+	Applied     mitigation.Plan
 }
 
 // EscalationPenalty is the modeled time a specialist team needs after a
@@ -69,6 +74,17 @@ func newRegistry(in *scenarios.Instance, hist *kb.History, emb embed.Embedder) *
 	return tools.NewDefaultRegistry(store, hist, in.Incident.Title+" "+in.Incident.Summary, in.Incident.Service)
 }
 
+// injectFaults wraps a registry with a per-trial fault injector when the
+// config enables one. The injector is derived from the trial seed, so
+// fault schedules are reproducible and independent of worker count.
+func injectFaults(reg *tools.Registry, cfg faults.Config, seed int64) (*tools.Registry, *faults.Injector) {
+	if !cfg.Enabled() {
+		return reg, nil
+	}
+	inj := faults.NewInjector(cfg, seed)
+	return faults.Wrap(reg, inj), inj
+}
+
 // HelperRunner drives the paper's iterative helper.
 type HelperRunner struct {
 	Label     string
@@ -84,6 +100,12 @@ type HelperRunner struct {
 
 	// History powers the similar-incidents tool (optional).
 	History *kb.History
+
+	// Faults enables deterministic fault injection on the toolbox and
+	// mitigation automation; the zero value keeps runs byte-identical to
+	// a fault-free build. Pair with Config.Resilience to make the helper
+	// cope rather than suffer.
+	Faults faults.Config
 }
 
 // Name implements Runner.
@@ -106,7 +128,11 @@ func (h *HelperRunner) Run(in *scenarios.Instance, seed int64) Result {
 	}
 	reg := newRegistry(in, h.History, embed.NewDomainEmbedder(128))
 	_ = reg.Register("im", tools.NewNLQueryTool(model)) // verified NL query, §4.4
+	reg, inj := injectFaults(reg, h.Faults, seed)
 	helper := &core.Helper{Model: model, Tools: reg, Quant: &risk.Assessor{}, Config: h.Config}
+	if inj != nil {
+		helper.ActionFaults = inj
+	}
 	exp := h.Expertise
 	if exp == 0 {
 		exp = 0.9
@@ -119,18 +145,20 @@ func (h *HelperRunner) Run(in *scenarios.Instance, seed int64) Result {
 	out := helper.Run(in.World, in.Incident, watcher)
 
 	res := Result{
-		Scenario:   in.Scenario.Name(),
-		Mitigated:  out.Mitigated,
-		Escalated:  out.Escalated,
-		TTM:        out.TTM,
-		Wrong:      out.WrongMitigations,
-		Secondary:  out.SecondaryImpact,
-		PlanErrors: out.PlanErrors,
-		Rounds:     out.Rounds,
-		ToolCalls:  out.ToolCalls,
-		Tokens:     out.LLMUsage.Prompt + out.LLMUsage.Completion,
-		LLMCalls:   out.LLMUsage.Calls,
-		Applied:    out.Applied,
+		Scenario:    in.Scenario.Name(),
+		Mitigated:   out.Mitigated,
+		Escalated:   out.Escalated,
+		TTM:         out.TTM,
+		Wrong:       out.WrongMitigations,
+		Secondary:   out.SecondaryImpact,
+		PlanErrors:  out.PlanErrors,
+		Rounds:      out.Rounds,
+		ToolCalls:   out.ToolCalls,
+		Tokens:      out.LLMUsage.Prompt + out.LLMUsage.Completion,
+		LLMCalls:    out.LLMUsage.Calls,
+		Retries:     out.ToolRetries,
+		Quarantined: out.Quarantined,
+		Applied:     out.Applied,
 	}
 	res.Correct = out.Mitigated && in.Succeeded(out.Applied)
 	truth := in.Incident.Truth
@@ -148,6 +176,10 @@ type OneShotRunner struct {
 	History  *kb.History
 	KBase    *kb.KB
 	Embedder embed.Embedder // defaults to the domain embedder
+
+	// Faults injects tool faults into the baseline's toolbox (zero value:
+	// none).
+	Faults faults.Config
 }
 
 // Name implements Runner.
@@ -166,6 +198,7 @@ func (o *OneShotRunner) Run(in *scenarios.Instance, seed int64) Result {
 	}
 	pred := baseline.Train(o.History, o.KBase, emb)
 	reg := newRegistry(in, o.History, emb)
+	reg, _ = injectFaults(reg, o.Faults, seed)
 	out := pred.Execute(in.World, in.Incident, reg)
 	res := Result{
 		Scenario:  in.Scenario.Name(),
@@ -188,6 +221,11 @@ type ControlRunner struct {
 	KBase     *kb.KB
 	Expertise float64 // default 0.8
 	History   *kb.History
+
+	// Faults injects tool faults into the OCE's toolbox (zero value:
+	// none). The unassisted engineer has no retry machinery: failures
+	// cost time and reject hypotheses, as for the naive helper.
+	Faults faults.Config
 }
 
 // Name implements Runner.
@@ -206,6 +244,7 @@ func (c *ControlRunner) Run(in *scenarios.Instance, seed int64) Result {
 	}
 	eng := &oce.Engineer{Expertise: exp, KBase: c.KBase, Rng: rand.New(rand.NewSource(seed ^ 0xabcdef))}
 	reg := newRegistry(in, c.History, embed.NewDomainEmbedder(128))
+	reg, _ = injectFaults(reg, c.Faults, seed)
 	out := eng.Solve(in.World, in.Incident, reg)
 	res := Result{
 		Scenario:  in.Scenario.Name(),

@@ -1,0 +1,74 @@
+package mitigation
+
+// Error-path coverage for the executor's FailOn hook: injected
+// automation failures must abort the action after its latency is
+// charged, leave the world untouched, and stop a plan mid-way.
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestExecuteFailOnAbortsAfterLatency(t *testing.T) {
+	t.Parallel()
+	w := smallWorld()
+	lid := w.Net.Links()[0].ID
+	injected := errors.New("automation down")
+	ex := &Executor{World: w, Clocked: true, Actor: "test", FailOn: func(a Action) error {
+		return injected
+	}}
+	a := Action{Kind: IsolateLink, Target: string(lid)}
+	before := w.Clock.Now()
+	if err := ex.Execute(a); !errors.Is(err, injected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if got := w.Clock.Now() - before; got != a.Latency() {
+		t.Fatalf("failed automation should still charge latency %v, charged %v", a.Latency(), got)
+	}
+	if w.Net.Link(lid).Isolated {
+		t.Fatal("action failed but the world changed")
+	}
+	if n := len(w.Changes.All()); n != 0 {
+		t.Fatalf("failed action left %d change records", n)
+	}
+}
+
+func TestExecutePlanStopsAtInjectedFailure(t *testing.T) {
+	t.Parallel()
+	w := smallWorld()
+	links := w.Net.Links()
+	failOn := Action{Kind: IsolateLink, Target: string(links[1].ID)}
+	ex := &Executor{World: w, Clocked: true, Actor: "test", FailOn: func(a Action) error {
+		if a.Matches(failOn) {
+			return errors.New("automation down")
+		}
+		return nil
+	}}
+	plan := Plan{Actions: []Action{
+		{Kind: IsolateLink, Target: string(links[0].ID)},
+		failOn,
+		{Kind: IsolateLink, Target: string(links[2].ID)},
+	}}
+	if err := ex.ExecutePlan(plan); err == nil {
+		t.Fatal("plan with a failing action must error")
+	}
+	if !w.Net.Link(links[0].ID).Isolated {
+		t.Fatal("action before the failure should have applied")
+	}
+	if w.Net.Link(links[1].ID).Isolated || w.Net.Link(links[2].ID).Isolated {
+		t.Fatal("failed and subsequent actions must not apply")
+	}
+}
+
+func TestExecuteNilFailOnUnchanged(t *testing.T) {
+	t.Parallel()
+	w := smallWorld()
+	lid := w.Net.Links()[0].ID
+	ex := &Executor{World: w, Clocked: true, Actor: "test"}
+	if err := ex.Execute(Action{Kind: IsolateLink, Target: string(lid)}); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Net.Link(lid).Isolated {
+		t.Fatal("action did not apply")
+	}
+}

@@ -135,6 +135,13 @@ type Executor struct {
 	World   *netsim.World
 	Clocked bool   // advance simulated time per action
 	Actor   string // recorded in the change log ("oce", "helper", ...)
+
+	// FailOn, when non-nil, is consulted before each action touches the
+	// world; a non-nil return aborts the action with that error. Fault
+	// injection hooks in here to simulate mitigation automation breaking
+	// mid-plan. The action's latency is still charged — broken automation
+	// burns the time before it reports failure.
+	FailOn func(Action) error
 }
 
 // Execute applies one action. It returns an error for malformed targets;
@@ -144,6 +151,11 @@ func (e *Executor) Execute(a Action) error {
 	w := e.World
 	if e.Clocked {
 		w.Clock.Advance(a.Latency())
+	}
+	if e.FailOn != nil {
+		if err := e.FailOn(a); err != nil {
+			return err
+		}
 	}
 	defer w.Invalidate()
 

@@ -63,6 +63,15 @@ type Result struct {
 	Bindings map[string]string
 	// Raw is the human-readable output an OCE would see.
 	Raw string
+	// Degraded marks findings obtained from an unreliable source — a
+	// stale cache, a corrupted pipeline, a monitor known to be flapping.
+	// Resilient helpers quarantine such evidence instead of accepting or
+	// rejecting hypotheses on it. The zero value (false) means trusted,
+	// so tools that never set it behave exactly as before.
+	Degraded bool
+	// Source annotates why the result is degraded ("stale", "corrupt",
+	// ...); empty for trusted results.
+	Source string
 }
 
 // Tool is one toolbox entry.
