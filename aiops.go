@@ -35,6 +35,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/mitigation"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/replayer"
 	"repro/internal/scenarios"
@@ -76,7 +77,38 @@ type (
 	// ResilienceConfig tunes the helper's resilient invocation path
 	// (retries, circuit breaking, evidence quarantine).
 	ResilienceConfig = core.ResilienceConfig
+	// SessionTrace is the structured session audit log (typed events;
+	// String() renders the classic CLI trace).
+	SessionTrace = core.SessionTrace
+	// PostmortemReport is the structured incident review (String()
+	// renders the classic markdown document).
+	PostmortemReport = core.PostmortemReport
+	// Event is one structured observability event.
+	Event = obs.Event
+	// Observer receives observability events.
+	Observer = obs.Observer
+	// Sink collects events and metric aggregates for -trace-out /
+	// -metrics-out style export; build one with NewSink.
+	Sink = obs.Sink
 )
+
+// Event types, re-exported so facade users can filter an event stream
+// without importing the internal obs package.
+const (
+	EvSessionStart     = obs.EvSessionStart
+	EvSessionEnd       = obs.EvSessionEnd
+	EvHypothesis       = obs.EvHypothesis
+	EvHypothesisTested = obs.EvHypothesisTested
+	EvLLMCall          = obs.EvLLMCall
+	EvToolCall         = obs.EvToolCall
+	EvMitigation       = obs.EvMitigation
+	EvFleetIncident    = obs.EvFleetIncident
+)
+
+// NewSink builds an observability sink over the standard metrics
+// registry; pass it to WithObservability and export with WriteEvents /
+// WriteMetrics when the run completes.
+func NewSink() *Sink { return obs.NewSink() }
 
 // System bundles a deployment's knowledge, incident history and helper
 // configuration.
@@ -91,6 +123,7 @@ type System struct {
 	seed          int64
 	workers       int // parallel trial workers for ABTest/Replay (<= 0: GOMAXPROCS)
 	faultCfg      faults.Config
+	sink          *obs.Sink
 }
 
 // Option configures a System.
@@ -133,6 +166,14 @@ func WithWorkers(n int) Option { return func(s *System) { s.workers = n } }
 // seed-derived fault schedule. The zero config keeps every run
 // byte-identical to a fault-free build.
 func WithFaults(fc FaultConfig) Option { return func(s *System) { s.faultCfg = fc } }
+
+// WithObservability streams every session's structured events (and the
+// derived metric aggregates) into the sink across all of the system's
+// entry points — Assist, OneShot, Unassisted, ABTest, Replay, Fleet,
+// Trace, Postmortem. A nil sink (the default) is a true no-op: results
+// and rendered output are byte-identical with or without it, at every
+// worker count.
+func WithObservability(sink *Sink) Option { return func(s *System) { s.sink = sink } }
 
 // WithResilientHelper switches the helper onto the resilient invocation
 // path — capped-backoff retries, per-tool circuit breaking with reroute
@@ -203,6 +244,38 @@ func (s *System) embedder() embed.Embedder {
 	return embed.NewDomainEmbedder(128)
 }
 
+// RunnerKind names the three predictor designs a System can construct.
+type RunnerKind string
+
+// Runner kinds.
+const (
+	// RunnerHelper is the paper's iterative OCE-helper.
+	RunnerHelper RunnerKind = "helper"
+	// RunnerOneShot is the retrieval-based one-shot baseline.
+	RunnerOneShot RunnerKind = "one-shot"
+	// RunnerControl is the unassisted control OCE.
+	RunnerControl RunnerKind = "control"
+)
+
+// Runner constructs the named predictor, fully configured from the
+// System's options (knowledge, history, faults, helper config). This is
+// the single place runner wiring lives: every System entry point —
+// Assist, Unassisted, ABTest, Fleet... — builds its arms here, so an
+// option such as WithFaults reaches all of them consistently. Unknown
+// kinds return nil.
+func (s *System) Runner(kind RunnerKind) harness.Runner {
+	switch kind {
+	case RunnerHelper:
+		return s.helperRunner()
+	case RunnerOneShot:
+		return &harness.OneShotRunner{History: s.history, KBase: s.kbase, Embedder: s.embedder(), Faults: s.faultCfg}
+	case RunnerControl:
+		return &harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history, Faults: s.faultCfg}
+	default:
+		return nil
+	}
+}
+
 func (s *System) helperRunner() *harness.HelperRunner {
 	return &harness.HelperRunner{
 		KBase:         s.kbase,
@@ -215,30 +288,40 @@ func (s *System) helperRunner() *harness.HelperRunner {
 	}
 }
 
+// run drives one configured runner over one incident, streaming events
+// into the system's sink when observability is on.
+func (s *System) run(kind RunnerKind, in *Instance, seed int64) Result {
+	r := s.Runner(kind)
+	if s.sink != nil {
+		if or, ok := r.(harness.ObservedRunner); ok {
+			return or.RunObserved(in, seed, s.sink)
+		}
+	}
+	return r.Run(in, seed)
+}
+
 // Assist runs the paper's iterative helper on the incident.
 func (s *System) Assist(in *Instance, seed int64) Result {
-	return s.helperRunner().Run(in, seed)
+	return s.run(RunnerHelper, in, seed)
 }
 
 // OneShot runs the retrieval-based one-shot baseline (train it first
 // with GenerateHistory).
 func (s *System) OneShot(in *Instance, seed int64) Result {
-	r := &harness.OneShotRunner{History: s.history, KBase: s.kbase, Embedder: s.embedder(), Faults: s.faultCfg}
-	return r.Run(in, seed)
+	return s.run(RunnerOneShot, in, seed)
 }
 
 // Unassisted runs the helper-free control OCE.
 func (s *System) Unassisted(in *Instance, seed int64) Result {
-	r := &harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history, Faults: s.faultCfg}
-	return r.Run(in, seed)
+	return s.run(RunnerControl, in, seed)
 }
 
 // ABTest runs §3's randomized trial: n incidents randomly assigned to the
 // helper-assisted arm or the unassisted control arm.
 func (s *System) ABTest(n int, seed int64) *ABResult {
-	return eval.ABTest(eval.ABConfig{N: n, Seed: seed, Workers: s.workers},
-		s.helperRunner(),
-		&harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history, Faults: s.faultCfg},
+	return eval.ABTest(eval.ABConfig{N: n, Seed: seed, Workers: s.workers, Obs: s.sink},
+		s.Runner(RunnerHelper),
+		s.Runner(RunnerControl),
 	)
 }
 
@@ -249,31 +332,37 @@ func (s *System) Replay(n int, seed int64) *ReplayReport {
 	c := replayer.Generate(replayer.Options{N: n, Seed: seed, KBase: s.kbase})
 	runner := s.helperRunner()
 	runner.History = c.History
-	return replayer.ReplayParallel(c, runner, s.workers)
+	return replayer.ReplayObserved(c, runner, s.workers, s.sink)
 }
 
-// Trace runs the helper on the incident and returns the full module-by-
-// module session trace (Fig. 1 in action) alongside the result.
-func (s *System) Trace(in *Instance, seed int64) (Result, string) {
-	res, trace, _ := s.runTraced(in, seed)
-	return res, trace
+// Trace runs the helper on the incident and returns the structured
+// session trace (Fig. 1 in action) alongside the result. The trace
+// prints as the classic audit log (it implements fmt.Stringer) and
+// carries the full typed event stream for programmatic use.
+func (s *System) Trace(in *Instance, seed int64) (Result, SessionTrace) {
+	res, out := s.runSession(in, seed)
+	return res, core.NewSessionTrace(out)
 }
 
 // Postmortem runs the helper on the incident and returns the result with
-// a generated incident-review document (timeline, deduction chain,
-// costs, follow-ups).
-func (s *System) Postmortem(in *Instance, seed int64) (Result, string) {
-	res, _, pm := s.runTraced(in, seed)
-	return res, pm
+// a structured incident review (timeline, deduction chain, costs,
+// follow-ups). The report prints as the classic markdown document.
+func (s *System) Postmortem(in *Instance, seed int64) (Result, *PostmortemReport) {
+	res, out := s.runSession(in, seed)
+	return res, core.NewPostmortem(in.Incident, out)
 }
 
-func (s *System) runTraced(in *Instance, seed int64) (Result, string, string) {
+func (s *System) runSession(in *Instance, seed int64) (Result, *core.Outcome) {
 	model := llm.NewSimLLM(s.kbase, seed)
 	model.HallucinationRate = s.hallucination
 	if s.window > 0 {
 		model.Window = s.window
 	}
-	return harness.RunTraced(model, s.kbase, s.cfg, s.expertise, s.history, in, seed)
+	var o obs.Observer
+	if s.sink != nil {
+		o = s.sink
+	}
+	return harness.RunSession(model, s.kbase, s.cfg, s.expertise, s.history, in, seed, o)
 }
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -288,7 +377,7 @@ type FleetReport = ops.Report
 func (s *System) Fleet(oces int, arrivalsPerHour float64, n int, seed int64) *FleetReport {
 	return ops.Simulate(ops.Config{
 		OCEs: oces, ArrivalsPerHour: arrivalsPerHour, Incidents: n, Seed: seed,
-		Runner: s.helperRunner(),
+		Runner: s.Runner(RunnerHelper), Obs: s.sink,
 	})
 }
 
@@ -296,7 +385,7 @@ func (s *System) Fleet(oces int, arrivalsPerHour float64, n int, seed int64) *Fl
 func (s *System) FleetUnassisted(oces int, arrivalsPerHour float64, n int, seed int64) *FleetReport {
 	return ops.Simulate(ops.Config{
 		OCEs: oces, ArrivalsPerHour: arrivalsPerHour, Incidents: n, Seed: seed,
-		Runner: &harness.ControlRunner{KBase: s.kbase, Expertise: 0.8, History: s.history, Faults: s.faultCfg},
+		Runner: s.Runner(RunnerControl), Obs: s.sink,
 	})
 }
 

@@ -34,9 +34,12 @@ func TestSystemTrace(t *testing.T) {
 		t.Fatalf("cascade not mitigated:\n%s", trace)
 	}
 	for _, want := range []string{"hypotheses", "tool-invoked", "plan-proposed", "executed", "verified"} {
-		if !strings.Contains(trace, want) {
+		if !strings.Contains(trace.String(), want) {
 			t.Errorf("trace missing %q", want)
 		}
+	}
+	if len(trace.Events) == 0 || len(trace.Display()) == 0 {
+		t.Error("structured trace carries no events")
 	}
 }
 
@@ -144,8 +147,11 @@ func TestSystemPostmortem(t *testing.T) {
 		t.Fatal("cascade not mitigated")
 	}
 	for _, want := range []string{"# Postmortem:", "## Timeline", "## Follow-ups"} {
-		if !strings.Contains(pm, want) {
+		if !strings.Contains(pm.String(), want) {
 			t.Errorf("postmortem missing %q", want)
 		}
+	}
+	if pm.Costs.LLMCalls == 0 || pm.Costs.CostUSD <= 0 {
+		t.Errorf("postmortem costs not populated: %+v", pm.Costs)
 	}
 }

@@ -8,6 +8,7 @@
 //	abtest [-n 200] [-seed 1] [-history 150]
 //	abtest -faultrate 0.2              # degraded telemetry, resilient helper
 //	abtest -faultrate 0.2 -naive       # same faults, no resilience
+//	abtest -trace-out events.jsonl -metrics-out metrics.prom
 package main
 
 import (
@@ -15,50 +16,23 @@ import (
 	"fmt"
 
 	"repro"
+	"repro/internal/cliflags"
 	"repro/internal/eval"
 )
 
 func main() {
 	var (
-		n         = flag.Int("n", 200, "incidents in the trial")
-		seed      = flag.Int64("seed", 1, "random seed")
-		history   = flag.Int("history", 150, "historical incidents to pre-load")
-		workers   = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
-		faultRate = flag.Float64("faultrate", 0, "tool fault-injection rate in [0,1] (0 = no faults, byte-identical to historical runs)")
-		faultSeed = flag.Int64("faultseed", 1337, "fault-schedule seed")
-		naive     = flag.Bool("naive", false, "with -faultrate: keep the naive invocation path instead of the resilient one")
+		n       = flag.Int("n", 200, "incidents in the trial")
+		history = flag.Int("history", 150, "historical incidents to pre-load")
 	)
+	c := cliflags.Register(flag.CommandLine, 1)
 	flag.Parse()
+	c.StartPProf()
 
-	opts := []aiops.Option{aiops.WithSeed(*seed), aiops.WithWorkers(*workers)}
-	if *faultRate > 0 {
-		opts = append(opts, aiops.WithFaults(aiops.FaultConfig{Rate: *faultRate, ActionRate: *faultRate / 2, Seed: *faultSeed}))
-		if !*naive {
-			opts = append(opts, aiops.WithResilientHelper())
-		}
-	}
-	sys := aiops.New(opts...)
-	sys.GenerateHistory(*history, *seed^0x1157)
-	res := sys.ABTest(*n, *seed)
+	sys := aiops.New(c.SystemOptions()...)
+	sys.GenerateHistory(*history, c.Seed^0x1157)
+	res := sys.ABTest(*n, c.Seed)
 
-	arms := eval.NewTable("A/B trial: helper-assisted vs unassisted control",
-		"arm", "n", "meanTTM(m)", "medianTTM(m)", "p95TTM(m)", "mitigated", "correct", "wrong", "secondary")
-	for _, a := range []*eval.ArmStats{&res.Treatment, &res.Control} {
-		arms.AddRow(a.Name, a.N, a.MeanTTM(), a.MedianTTM(), eval.Percentile(a.TTMMinutes, 95),
-			eval.Pct(a.MitigationRate()), eval.Pct(a.CorrectRate()), a.Wrong, a.Secondary)
-	}
-	fmt.Println(arms)
-
-	tests := eval.NewTable("significance of the TTM difference", "test", "statistic", "p-value")
-	tests.AddRow("Welch t", res.Welch.T, fmt.Sprintf("%.4g", res.Welch.P))
-	tests.AddRow("Mann-Whitney U (z)", res.MannWhitney.T, fmt.Sprintf("%.4g", res.MannWhitney.P))
-	tests.AddRow("permutation", "-", fmt.Sprintf("%.4g", res.PermP))
-	tests.AddRow("bootstrap 95% CI (min)", fmt.Sprintf("[%.1f, %.1f]", res.DiffLo, res.DiffHi), "-")
-	fmt.Println(tests)
-
-	if res.SignificantAt(0.05) {
-		fmt.Println("TTM difference significant at alpha=0.05")
-	} else {
-		fmt.Println("TTM difference NOT significant at alpha=0.05 (increase -n)")
-	}
+	fmt.Print(eval.RenderABReport(res))
+	c.MustExport()
 }

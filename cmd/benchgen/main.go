@@ -8,6 +8,7 @@
 //	benchgen -exp e2,e3      # a subset
 //	benchgen -trials 30      # bigger cells
 //	benchgen -exp e13 -faultrate 0.4   # robustness ladder up to 40% fault rate
+//	benchgen -exp e4 -trace-out events.jsonl -metrics-out metrics.prom
 package main
 
 import (
@@ -16,21 +17,20 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/eval"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiment ids (e1..e13) or 'all'")
-		trials    = flag.Int("trials", 20, "incidents per experiment cell")
-		seed      = flag.Int64("seed", 42, "base random seed")
-		html      = flag.String("html", "", "also write a self-contained HTML report to this path")
-		workers   = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
-		faultRate = flag.Float64("faultrate", 0, "top of E13's fault-rate ladder (0 keeps E13's default 0.4)")
-		faultSeed = flag.Int64("faultseed", 1337, "fault-schedule seed for E13")
+		exp    = flag.String("exp", "all", "comma-separated experiment ids (e1..e13) or 'all'")
+		trials = flag.Int("trials", 20, "incidents per experiment cell")
+		html   = flag.String("html", "", "also write a self-contained HTML report to this path")
 	)
+	c := cliflags.Register(flag.CommandLine, 42)
 	flag.Parse()
+	c.StartPProf()
 
 	want := map[string]bool{}
 	if *exp != "all" {
@@ -38,8 +38,12 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	p := experiments.Params{Trials: *trials, Seed: *seed, Workers: *workers, FaultRate: *faultRate, FaultSeed: *faultSeed}
-	report := eval.NewHTMLReport("AI-driven Network Incident Management — experiment tables", *seed, *trials)
+	p := experiments.Params{
+		Trials: *trials, Seed: c.Seed, Workers: c.Workers,
+		FaultRate: c.FaultRate, FaultSeed: c.FaultSeed, Naive: c.Naive,
+		Obs: c.Sink(),
+	}
+	report := eval.NewHTMLReport("AI-driven Network Incident Management — experiment tables", c.Seed, *trials)
 	ran := 0
 	for _, e := range experiments.Registry {
 		if len(want) > 0 && !want[e.ID] {
@@ -81,4 +85,5 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *html)
 	}
+	c.MustExport()
 }

@@ -9,6 +9,7 @@
 //	replay [-n 150] [-seed 1]
 //	replay -faultrate 0.2              # degraded telemetry, resilient helper
 //	replay -faultrate 0.2 -naive       # same faults, no resilience
+//	replay -trace-out events.jsonl -metrics-out metrics.prom
 package main
 
 import (
@@ -16,65 +17,19 @@ import (
 	"fmt"
 
 	"repro"
-	"repro/internal/eval"
+	"repro/internal/cliflags"
+	"repro/internal/replayer"
 )
 
 func main() {
-	var (
-		n         = flag.Int("n", 150, "historical incidents to generate and replay")
-		seed      = flag.Int64("seed", 1, "random seed")
-		workers   = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
-		faultRate = flag.Float64("faultrate", 0, "tool fault-injection rate in [0,1] (0 = no faults, byte-identical to historical runs)")
-		faultSeed = flag.Int64("faultseed", 1337, "fault-schedule seed")
-		naive     = flag.Bool("naive", false, "with -faultrate: keep the naive invocation path instead of the resilient one")
-	)
+	n := flag.Int("n", 150, "historical incidents to generate and replay")
+	c := cliflags.Register(flag.CommandLine, 1)
 	flag.Parse()
+	c.StartPProf()
 
-	opts := []aiops.Option{aiops.WithSeed(*seed), aiops.WithWorkers(*workers)}
-	if *faultRate > 0 {
-		opts = append(opts, aiops.WithFaults(aiops.FaultConfig{Rate: *faultRate, ActionRate: *faultRate / 2, Seed: *faultSeed}))
-		if !*naive {
-			opts = append(opts, aiops.WithResilientHelper())
-		}
-	}
-	sys := aiops.New(opts...)
-	rep := sys.Replay(*n, *seed)
+	sys := aiops.New(c.SystemOptions()...)
+	rep := sys.Replay(*n, c.Seed)
 
-	t := eval.NewTable("historical replay through the helper", "metric", "value")
-	t.AddRow("corpus size", len(rep.Items))
-	t.AddRow("mitigation matched", rep.Matched)
-	t.AddRow("mitigation mismatched", rep.Mismatched)
-	t.AddRow("helper unresolved", rep.Unresolved)
-	t.AddRow("match fraction", eval.Pct(rep.MatchFraction()))
-	t.AddRow("mean TTM savings, matched (min)", rep.MeanSavings.Minutes())
-	t.AddRow("mismatches with conditional estimate", rep.CondCovered)
-	t.AddRow("mean TTM savings incl. conditional (min)", rep.MeanCondSavings.Minutes())
-	fmt.Println(t)
-
-	byClass := eval.NewTable("per-class replay detail", "scenario", "n", "matched", "mean orig TTM(m)", "mean helper TTM(m)")
-	type agg struct {
-		n, matched int
-		orig, help float64
-	}
-	cls := map[string]*agg{}
-	var order []string
-	for _, it := range rep.Items {
-		a := cls[it.Scenario]
-		if a == nil {
-			a = &agg{}
-			cls[it.Scenario] = a
-			order = append(order, it.Scenario)
-		}
-		a.n++
-		if it.Match {
-			a.matched++
-		}
-		a.orig += it.OriginalTTM.Minutes()
-		a.help += it.HelperTTM.Minutes()
-	}
-	for _, name := range order {
-		a := cls[name]
-		byClass.AddRow(name, a.n, a.matched, a.orig/float64(a.n), a.help/float64(a.n))
-	}
-	fmt.Println(byClass)
+	fmt.Print(replayer.RenderReport(rep))
+	c.MustExport()
 }

@@ -1,0 +1,136 @@
+// Package cliflags registers the flag set shared by the evaluation
+// CLIs (benchgen, abtest, replay): the determinism knobs (-seed,
+// -workers), the fault-injection ladder (-faultrate, -faultseed,
+// -naive), and the observability exports (-trace-out, -metrics-out,
+// -pprof). Registering through one helper keeps the commands'
+// vocabularies identical and lands new cross-cutting flags everywhere
+// at once; command-specific flags (-n, -trials, -exp, ...) stay in
+// their own main packages.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
+	"os"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// Common holds the parsed values of the shared flags.
+type Common struct {
+	Seed       int64
+	Workers    int
+	FaultRate  float64
+	FaultSeed  int64
+	Naive      bool
+	TraceOut   string
+	MetricsOut string
+	PProfAddr  string
+
+	sink *obs.Sink
+}
+
+// Register installs the shared flags on fs and returns the struct their
+// parsed values land in. seedDefault is per-command (benchgen has
+// always defaulted to 42, abtest and replay to 1) so historical
+// invocations keep producing their historical bytes.
+func Register(fs *flag.FlagSet, seedDefault int64) *Common {
+	c := &Common{}
+	fs.Int64Var(&c.Seed, "seed", seedDefault, "base random seed")
+	fs.IntVar(&c.Workers, "workers", 0, "parallel trial workers (0 = one per CPU; never changes results)")
+	fs.Float64Var(&c.FaultRate, "faultrate", 0, "tool fault-injection rate in [0,1] (0 = no faults, byte-identical to historical runs; for benchgen it sets the top of E13's ladder)")
+	fs.Int64Var(&c.FaultSeed, "faultseed", 1337, "fault-schedule seed")
+	fs.BoolVar(&c.Naive, "naive", false, "with -faultrate: keep the naive invocation path instead of the resilient one")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write the structured session event log (JSON lines) to this path")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write aggregate metrics (Prometheus text format) to this path")
+	fs.StringVar(&c.PProfAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the life of the run")
+	return c
+}
+
+// Sink returns the run's observability sink, allocated on first use —
+// or nil when neither -trace-out nor -metrics-out was given, which is
+// the signal every layer below treats as "observability off".
+func (c *Common) Sink() *obs.Sink {
+	if c.sink == nil && (c.TraceOut != "" || c.MetricsOut != "") {
+		c.sink = obs.NewSink()
+	}
+	return c.sink
+}
+
+// SystemOptions assembles the aiops options the shared flags imply:
+// seeding, workers, fault injection with the resilient helper unless
+// -naive, and observability when an export path was requested.
+func (c *Common) SystemOptions() []aiops.Option {
+	opts := []aiops.Option{aiops.WithSeed(c.Seed), aiops.WithWorkers(c.Workers)}
+	if c.FaultRate > 0 {
+		opts = append(opts, aiops.WithFaults(aiops.FaultConfig{Rate: c.FaultRate, ActionRate: c.FaultRate / 2, Seed: c.FaultSeed}))
+		if !c.Naive {
+			opts = append(opts, aiops.WithResilientHelper())
+		}
+	}
+	if s := c.Sink(); s != nil {
+		opts = append(opts, aiops.WithObservability(s))
+	}
+	return opts
+}
+
+// StartPProf serves net/http/pprof in the background when -pprof was
+// given; a no-op otherwise. Serve errors are reported on stderr rather
+// than failing the run — profiling is advisory.
+func (c *Common) StartPProf() {
+	if c.PProfAddr == "" {
+		return
+	}
+	addr := c.PProfAddr
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+		}
+	}()
+}
+
+// Export writes the requested observability files from the sink. All
+// progress goes to stderr; stdout stays reserved for the command's
+// tables, which must remain byte-identical with exports on or off.
+func (c *Common) Export() error {
+	if c.sink == nil {
+		return nil
+	}
+	if c.TraceOut != "" {
+		if err := writeFile(c.TraceOut, c.sink.WriteEvents); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events)\n", c.TraceOut, len(c.sink.Events()))
+	}
+	if c.MetricsOut != "" {
+		if err := writeFile(c.MetricsOut, c.sink.WriteMetrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", c.MetricsOut)
+	}
+	return nil
+}
+
+// MustExport is Export with the standard CLI failure mode.
+func (c *Common) MustExport() {
+	if err := c.Export(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

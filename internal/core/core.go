@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/llm"
 	"repro/internal/mitigation"
+	"repro/internal/obs"
 )
 
 // Config tunes the helper. Zero values select the defaults documented on
@@ -199,7 +200,14 @@ type Outcome struct {
 	// Applied is the union of executed actions.
 	Applied mitigation.Plan
 	// Trace is the full audit log.
+	//
+	// Deprecated: Trace carries only the display lines. Events is the
+	// superset: every display line plus the structural observations
+	// (hypotheses, tool dispositions, LLM costs, mitigation actions).
 	Trace []TraceStep
+	// Events is the structured session event stream, in emission order,
+	// with simulated-clock timestamps. NewSessionTrace renders it.
+	Events []obs.Event
 	// LLMUsage aggregates model token usage for the session (§3 system
 	// cost).
 	LLMUsage llm.Meter

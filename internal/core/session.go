@@ -10,6 +10,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/mitigation"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/risk"
 	"repro/internal/tools"
 )
@@ -27,6 +28,10 @@ type Helper struct {
 	// breaking mid-plan: every executed action is vetted through it
 	// first. The harness wires the fault injector in here.
 	ActionFaults ActionFaults
+	// Obs, when non-nil, receives every session event live (in addition
+	// to the Outcome.Events buffer, which is always populated). Nil is a
+	// true no-op: behaviour and output are byte-identical either way.
+	Obs obs.Observer
 }
 
 // verifyLatency is the simulated cost of one verification pass (watching
@@ -127,7 +132,9 @@ func (s *session) iterate() (progressed, done bool) {
 	}
 
 	// --- Module 2: hypothesis tester -------------------------------------
-	switch s.testHypothesis(chosen) {
+	verdict := s.testHypothesis(chosen)
+	s.emit(obs.Event{Type: obs.EvHypothesisTested, Hypothesis: chosen.Concept, Verdict: verdict.String()})
+	switch verdict {
 	case testSupported:
 		s.confirm(chosen.Concept)
 	case testInconclusive:
@@ -195,6 +202,20 @@ const (
 	testInconclusive
 )
 
+// String names the verdict for the event stream (hypothesis-tested).
+func (t testOutcome) String() string {
+	switch t {
+	case testSupported:
+		return "supported"
+	case testUnsupported:
+		return "unsupported"
+	case testInconclusive:
+		return "inconclusive"
+	default:
+		return "no-test"
+	}
+}
+
 // complete sends a request, advances the clock by inference latency, and
 // meters usage.
 func (s *session) complete(req llm.Request) (llm.Response, error) {
@@ -203,7 +224,16 @@ func (s *session) complete(req llm.Request) (llm.Response, error) {
 		return resp, err
 	}
 	s.w.Clock.Advance(resp.Latency)
-	s.out.LLMUsage.Record(resp, llm.DefaultPricing())
+	p := llm.DefaultPricing()
+	s.out.LLMUsage.Record(resp, p)
+	s.emit(obs.Event{
+		Type:             obs.EvLLMCall,
+		PromptTokens:     resp.Usage.PromptTokens,
+		CompletionTokens: resp.Usage.CompletionTokens,
+		Latency:          resp.Latency,
+		CostUSD: float64(resp.Usage.PromptTokens)/1000*p.PromptPer1K +
+			float64(resp.Usage.CompletionTokens)/1000*p.CompletionPer1K,
+	})
 	return resp, nil
 }
 
@@ -225,6 +255,9 @@ func (s *session) formHypotheses() []llm.Hypothesis {
 		if h.Concept != "escalation_needed" {
 			out = append(out, h)
 		}
+	}
+	for _, h := range out {
+		s.emit(obs.Event{Type: obs.EvHypothesis, Hypothesis: h.Concept, Confidence: h.Confidence})
 	}
 	return out
 }
@@ -337,6 +370,7 @@ func (s *session) invokeTool(tool tools.Tool, args map[string]string) (tools.Res
 	s.w.Clock.Advance(tool.Latency())
 	res, err := tool.Invoke(s.w, args)
 	s.out.ToolCalls++
+	s.emitToolCall(tool.Name(), tool.Latency(), res, err)
 	r := s.cfg.Resilience
 	if !r.Enabled() {
 		return res, err
@@ -353,6 +387,7 @@ func (s *session) invokeTool(tool tools.Tool, args map[string]string) (tools.Res
 		s.w.Clock.Advance(tool.Latency())
 		res, err = tool.Invoke(s.w, args)
 		s.out.ToolCalls++
+		s.emitToolCall(tool.Name(), tool.Latency(), res, err)
 	}
 	if err != nil {
 		s.recordToolFailure(tool.Name())
@@ -408,6 +443,7 @@ func (s *session) rerouteTest(broken string) {
 	s.w.Clock.Advance(cc.Latency())
 	res, err := cc.Invoke(s.w, map[string]string{"monitor": broken})
 	s.out.ToolCalls++
+	s.emitToolCall(kb.ToolMonitorCheck, cc.Latency(), res, err)
 	if err != nil {
 		s.addEvidence(fmt.Sprintf("tool %s failed: %v", kb.ToolMonitorCheck, err))
 		s.trace(StepToolInvoked, fmt.Sprintf("%s failed: %v", kb.ToolMonitorCheck, err))
@@ -566,6 +602,9 @@ func (s *session) executeAndVerify(cause string, plan mitigation.Plan) execStatu
 		return execFailedToApply
 	}
 	s.out.Applied.Actions = append(s.out.Applied.Actions, plan.Actions...)
+	for _, a := range plan.Actions {
+		s.emit(obs.Event{Type: obs.EvMitigation, Action: a.String()})
+	}
 	s.trace(StepExecuted, plan.String())
 
 	s.w.Clock.Advance(verifyLatency)
@@ -690,9 +729,40 @@ func (s *session) trace(kind StepKind, detail string) {
 	s.out.Trace = append(s.out.Trace, TraceStep{
 		At: s.w.Clock.Now(), Round: s.round, Kind: kind, Detail: detail,
 	})
+	s.emit(obs.Event{Type: obs.Type(kind), Detail: detail})
+}
+
+// emit records one structured event: simulated-clock timestamp and round
+// are stamped, the event joins the outcome's stream, and a configured
+// observer sees it live. This is the single choke point through which
+// every session observation flows.
+func (s *session) emit(e obs.Event) {
+	e.At = s.w.Clock.Now()
+	if e.Round == 0 {
+		e.Round = s.round
+	}
+	s.out.Events = append(s.out.Events, e)
+	obs.Emit(s.h.Obs, e)
+}
+
+// emitToolCall classifies one invocation attempt's disposition for the
+// event stream.
+func (s *session) emitToolCall(name string, latency time.Duration, res tools.Result, err error) {
+	disposition := "ok"
+	switch {
+	case err != nil:
+		disposition = "error"
+	case res.Degraded:
+		disposition = "degraded"
+	}
+	s.emit(obs.Event{Type: obs.EvToolCall, Tool: name, Disposition: disposition, Latency: latency})
 }
 
 // FormatTrace renders a trace for CLI display.
+//
+// Deprecated: render Outcome.Events via NewSessionTrace instead; this
+// remains for the legacy []TraceStep audit log and produces the same
+// bytes.
 func FormatTrace(steps []TraceStep) string {
 	var b strings.Builder
 	for _, st := range steps {

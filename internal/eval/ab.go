@@ -1,10 +1,13 @@
 package eval
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/scenarios"
 )
@@ -20,6 +23,8 @@ type ArmStats struct {
 	Wrong      int
 	Secondary  int
 	Tokens     int
+	// CostUSD totals the arm's model inference bill (§3 system cost).
+	CostUSD float64
 }
 
 // MeanTTM returns the arm's mean penalized TTM in minutes.
@@ -60,6 +65,7 @@ func (a *ArmStats) add(r harness.Result) {
 	a.Wrong += r.Wrong
 	a.Secondary += r.Secondary
 	a.Tokens += r.Tokens
+	a.CostUSD += r.CostUSD
 }
 
 // ABResult is the full randomized-trial outcome.
@@ -92,6 +98,11 @@ type ABConfig struct {
 	Mix     []scenarios.Scenario
 	Seed    int64
 	Workers int // parallel trial workers (<= 0: GOMAXPROCS)
+	// Obs, when non-nil, collects every trial's event stream and metric
+	// aggregates. Trials buffer into private recorders and the sink
+	// absorbs them in draw order, so -trace-out / -metrics-out exports
+	// are byte-identical at every worker count. Nil costs nothing.
+	Obs *obs.Sink
 }
 
 // ABTest randomly assigns each sampled incident to the treatment
@@ -129,13 +140,26 @@ func ABTest(cfg ABConfig, treatment, control harness.Runner) *ABResult {
 		seed := rng.Int63()
 		draws[i] = draw{sc: sc, seed: seed, treatment: rng.Intn(2) == 0}
 	}
+	var recs []*obs.Recorder
+	if cfg.Obs != nil {
+		recs = make([]*obs.Recorder, cfg.N)
+	}
 	trials := parallel.RunTrials(cfg.N, cfg.Workers, cfg.Seed, func(_ int64, i int) harness.Result {
 		d := draws[i]
-		if d.treatment {
-			return harness.BuildAndRun(treatment, d.sc, d.seed)
+		var o obs.Observer
+		if recs != nil {
+			rec := obs.NewRecorder(fmt.Sprintf("ab/%04d", i))
+			recs[i] = rec
+			o = rec
 		}
-		return harness.BuildAndRun(control, d.sc, d.seed)
+		if d.treatment {
+			return harness.BuildAndRunObserved(treatment, d.sc, d.seed, o)
+		}
+		return harness.BuildAndRunObserved(control, d.sc, d.seed, o)
 	})
+	for _, rec := range recs {
+		cfg.Obs.Absorb(rec)
+	}
 	for i, tr := range trials {
 		if tr.Err != nil {
 			res.TrialErrors++
@@ -181,6 +205,13 @@ func resample(xs []float64, rng *rand.Rand) float64 {
 // runner from the same seed, and aggregation happens in stream order,
 // so the matrix is identical at any worker count.
 func RunMatrix(n, workers int, mix []scenarios.Scenario, seed int64, runners ...harness.Runner) map[string]*ArmStats {
+	return RunMatrixObserved(n, workers, mix, seed, nil, runners...)
+}
+
+// RunMatrixObserved is RunMatrix with per-trial event capture into sink
+// (nil sink: identical to RunMatrix). Each trial's runners share one
+// recorder, absorbed in stream order.
+func RunMatrixObserved(n, workers int, mix []scenarios.Scenario, seed int64, sink *obs.Sink, runners ...harness.Runner) map[string]*ArmStats {
 	if len(mix) == 0 {
 		mix = scenarios.All()
 	}
@@ -197,13 +228,26 @@ func RunMatrix(n, workers int, mix []scenarios.Scenario, seed int64, runners ...
 	for i := range draws {
 		draws[i] = draw{sc: mix[rng.Intn(len(mix))], seed: rng.Int63()}
 	}
+	var recs []*obs.Recorder
+	if sink != nil {
+		recs = make([]*obs.Recorder, n)
+	}
 	trials := parallel.RunTrials(n, workers, seed, func(_ int64, i int) []harness.Result {
+		var o obs.Observer
+		if recs != nil {
+			rec := obs.NewRecorder(fmt.Sprintf("matrix/%04d", i))
+			recs[i] = rec
+			o = rec
+		}
 		row := make([]harness.Result, len(runners))
 		for j, r := range runners {
-			row[j] = harness.BuildAndRun(r, draws[i].sc, draws[i].seed)
+			row[j] = harness.BuildAndRunObserved(r, draws[i].sc, draws[i].seed, o)
 		}
 		return row
 	})
+	for _, rec := range recs {
+		sink.Absorb(rec)
+	}
 	for _, tr := range trials {
 		if tr.Err != nil {
 			continue
@@ -213,6 +257,35 @@ func RunMatrix(n, workers int, mix []scenarios.Scenario, seed int64, runners ...
 		}
 	}
 	return out
+}
+
+// RenderABReport renders the abtest CLI report — the arm comparison, the
+// significance tests, and the verdict line — exactly as the command has
+// always printed it. Factoring the rendering here lets golden tests pin
+// the bytes without shelling out.
+func RenderABReport(res *ABResult) string {
+	var b strings.Builder
+	arms := NewTable("A/B trial: helper-assisted vs unassisted control",
+		"arm", "n", "meanTTM(m)", "medianTTM(m)", "p95TTM(m)", "mitigated", "correct", "wrong", "secondary")
+	for _, a := range []*ArmStats{&res.Treatment, &res.Control} {
+		arms.AddRow(a.Name, a.N, a.MeanTTM(), a.MedianTTM(), Percentile(a.TTMMinutes, 95),
+			Pct(a.MitigationRate()), Pct(a.CorrectRate()), a.Wrong, a.Secondary)
+	}
+	fmt.Fprintln(&b, arms)
+
+	tests := NewTable("significance of the TTM difference", "test", "statistic", "p-value")
+	tests.AddRow("Welch t", res.Welch.T, fmt.Sprintf("%.4g", res.Welch.P))
+	tests.AddRow("Mann-Whitney U (z)", res.MannWhitney.T, fmt.Sprintf("%.4g", res.MannWhitney.P))
+	tests.AddRow("permutation", "-", fmt.Sprintf("%.4g", res.PermP))
+	tests.AddRow("bootstrap 95% CI (min)", fmt.Sprintf("[%.1f, %.1f]", res.DiffLo, res.DiffHi), "-")
+	fmt.Fprintln(&b, tests)
+
+	if res.SignificantAt(0.05) {
+		fmt.Fprintln(&b, "TTM difference significant at alpha=0.05")
+	} else {
+		fmt.Fprintln(&b, "TTM difference NOT significant at alpha=0.05 (increase -n)")
+	}
+	return b.String()
 }
 
 // MinutesOf converts a duration to float minutes; tiny readability

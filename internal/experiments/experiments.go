@@ -19,6 +19,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/kb"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/parallel"
 	"repro/internal/replayer"
@@ -36,6 +37,13 @@ type Params struct {
 	FaultRate float64
 	// FaultSeed selects E13's fault schedules (default 1337).
 	FaultSeed int64
+	// Naive drops E13's resilient-helper arm, leaving the naive helper
+	// and the control — the CLIs' -naive flag.
+	Naive bool
+	// Obs, when non-nil, collects every trial's event stream and the
+	// aggregate metrics across whichever experiments run. Tables are
+	// byte-identical with or without it.
+	Obs *obs.Sink
 }
 
 func (p Params) withDefaults() Params {
@@ -43,6 +51,14 @@ func (p Params) withDefaults() Params {
 		p.Trials = 20
 	}
 	return p
+}
+
+// sub derives the per-cell Params every experiment hands runCell: same
+// sizing, workers and sink, seed shifted by the experiment's offset.
+func (p Params) sub(seedOffset int64) Params {
+	p2 := p
+	p2.Seed = p.Seed + seedOffset
+	return p2
 }
 
 // currentKB returns the up-to-date knowledge base (base corpus plus the
@@ -120,7 +136,7 @@ func maxf(a, b float64) float64 {
 // cell is bit-identical at any worker count.
 func runCell(sc scenarios.Scenario, r harness.Runner, p Params) *cell {
 	c := &cell{}
-	for _, tr := range harness.RunPool(sc, r, p.Trials, p.Workers, p.Seed) {
+	for _, tr := range harness.RunPoolObserved(sc, r, p.Trials, p.Workers, p.Seed, p.Obs) {
 		c.add(harness.PoolResult(sc, tr))
 	}
 	return c
@@ -145,7 +161,8 @@ func E1FrameworkTrace(p Params) (string, []*eval.Table) {
 	sc := &scenarios.Cascade{Stage: 5}
 	in := sc.Build(rand.New(rand.NewSource(p.Seed)))
 	model := llm.NewSimLLM(kbase, p.Seed)
-	res, trace, _ := harness.RunTraced(model, kbase, core.DefaultConfig(), 0.9, kb.NewHistory(), in, p.Seed)
+	res, out := harness.RunSession(model, kbase, core.DefaultConfig(), 0.9, kb.NewHistory(), in, p.Seed, p.Obs.Observer())
+	trace := core.NewSessionTrace(out).String()
 
 	t := eval.NewTable("E1 (Fig.1): framework session summary — full Casc-1 incident",
 		"metric", "value")
@@ -189,8 +206,8 @@ func E2IterativeVsOneShot(p Params) []*eval.Table {
 		rows = append(rows, row{
 			name:  sc.Name(),
 			depth: depth,
-			os:    runCell(sc, oneShot, Params{Trials: p.Trials, Seed: p.Seed + 11, Workers: p.Workers}),
-			it:    runCell(sc, iter, Params{Trials: p.Trials, Seed: p.Seed + 11, Workers: p.Workers}),
+			os:    runCell(sc, oneShot, p.sub(11)),
+			it:    runCell(sc, iter, p.sub(11)),
 		})
 	}
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].depth < rows[j].depth })
@@ -234,7 +251,7 @@ func E3Adaptivity(p Params) []*eval.Table {
 	t := eval.NewTable("E3 (Fig.3): adaptivity on the novel-protocol (Tokyo) incident",
 		"helper", "correct", "escalated", "TTM(m)", "rounds")
 	for _, r := range runners {
-		c := runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 31, Workers: p.Workers})
+		c := runCell(sc, r, p.sub(31))
 		t.AddRow(r.Name(), eval.Pct(c.rate(c.correct)), eval.Pct(c.rate(c.escalated)), c.meanTTM(), c.meanRounds())
 	}
 	return []*eval.Table{t}
@@ -251,7 +268,7 @@ func E4ABTest(p Params) []*eval.Table {
 	n := p.Trials * 8 // the AB harness needs volume; Trials scales it
 	kbase := currentKB()
 	hist := routineHistory(p.Seed^0x4444, 120).History
-	res := eval.ABTest(eval.ABConfig{N: n, Seed: p.Seed + 41, Workers: p.Workers},
+	res := eval.ABTest(eval.ABConfig{N: n, Seed: p.Seed + 41, Workers: p.Workers, Obs: p.Obs},
 		&harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig(), History: hist},
 		&harness.ControlRunner{KBase: kbase, Expertise: 0.8, History: hist},
 	)
@@ -284,7 +301,7 @@ func E5Replay(p Params) []*eval.Table {
 	mix := append(scenarios.Routine(), &scenarios.Cascade{Stage: 5})
 	c := replayer.Generate(replayer.Options{N: p.Trials * 6, Seed: p.Seed ^ 0x5555, Mix: mix})
 	runner := &harness.HelperRunner{KBase: currentKB(), Config: core.DefaultConfig(), History: c.History}
-	rep := replayer.ReplayParallel(c, runner, p.Workers)
+	rep := replayer.ReplayObserved(c, runner, p.Workers, p.Obs)
 
 	t := eval.NewTable("E5 (§3): historical replay through the helper", "metric", "value")
 	t.AddRow("corpus size", len(rep.Items))
@@ -320,8 +337,8 @@ func E6Costs(p Params) []*eval.Table {
 	infer := eval.NewTable("E6 (§3): helper inference cost vs SLA exposure saved",
 		"scenario", "tokens/incident", "LLM cost $", "TTM saved (m)", "SLA $ saved", "cost ratio")
 	for _, sc := range scenarios.All() {
-		ch := runCell(sc, helper, Params{Trials: p.Trials, Seed: p.Seed + 61, Workers: p.Workers})
-		cc := runCell(sc, control, Params{Trials: p.Trials, Seed: p.Seed + 61, Workers: p.Workers})
+		ch := runCell(sc, helper, p.sub(61))
+		cc := runCell(sc, control, p.sub(61))
 		sev := sc.Build(rand.New(rand.NewSource(1))).Incident.Severity
 		saved := cc.meanTTM() - ch.meanTTM()
 		slaSaved := saved * slaCostPerMinute[sev]
@@ -378,7 +395,7 @@ func E7RiskAblation(p Params) []*eval.Table {
 		agg := &cell{}
 		for _, sc := range workload {
 			r := &harness.HelperRunner{KBase: kbase, Config: v.cfg, Hallucination: 0.15}
-			c := runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 71, Workers: p.Workers})
+			c := runCell(sc, r, p.sub(71))
 			agg.merge(c)
 		}
 		t.AddRow(v.name, eval.Pct(agg.rate(agg.correct)), agg.wrong, agg.secondary, agg.planErr, agg.meanTTM())
@@ -485,7 +502,7 @@ func E8Embeddings(p Params) []*eval.Table {
 		agg := &cell{}
 		for _, sc := range scenarios.Routine() {
 			r := &paraphrasedRunner{inner: &harness.OneShotRunner{History: corpus.History, KBase: kbase, Embedder: e}}
-			agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 82, Workers: p.Workers}))
+			agg.merge(runCell(sc, r, p.sub(82)))
 		}
 		t.AddRow(e.Name(),
 			eval.Pct(float64(fullHits)/float64(total)),
@@ -578,7 +595,7 @@ func E9Sensitivity(p Params) []*eval.Table {
 			agg := &cell{}
 			for _, sc := range workload {
 				r := &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig(), Hallucination: h, Expertise: ex}
-				agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 91, Workers: p.Workers}))
+				agg.merge(runCell(sc, r, p.sub(91)))
 			}
 			hal.AddRow(h, ex, eval.Pct(agg.rate(agg.correct)), agg.secondary, agg.meanTTM())
 		}
@@ -595,7 +612,7 @@ func E9Sensitivity(p Params) []*eval.Table {
 		agg := &cell{}
 		for _, sc := range workload {
 			r := &harness.HelperRunner{KBase: kbase, Config: cfg, Hallucination: 0.2}
-			agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 92, Workers: p.Workers}))
+			agg.merge(runCell(sc, r, p.sub(92)))
 		}
 		beam.AddRow(b, eval.Pct(agg.rate(agg.correct)), agg.meanTTM(), agg.meanRounds(), agg.meanTokens())
 	}
@@ -606,7 +623,9 @@ func E9Sensitivity(p Params) []*eval.Table {
 		cfg := core.DefaultConfig()
 		cfg.SelfConsistency = v
 		r := &harness.HelperRunner{KBase: kbase, Config: cfg, Hallucination: 0.3, Expertise: 0.3}
-		c := runCell(&scenarios.GrayLink{}, r, Params{Trials: p.Trials * 2, Seed: p.Seed + 94, Workers: p.Workers})
+		pp := p.sub(94)
+		pp.Trials = p.Trials * 2
+		c := runCell(&scenarios.GrayLink{}, r, pp)
 		sc.AddRow(v, eval.Pct(c.rate(c.correct)), c.meanTTM(), c.meanTokens())
 	}
 
@@ -616,7 +635,7 @@ func E9Sensitivity(p Params) []*eval.Table {
 		cfg := core.DefaultConfig()
 		cfg.InContextRules = fastpathRules()
 		r := &harness.HelperRunner{KBase: staleKB(), OCEKB: currentKB(), Config: cfg, Window: w}
-		c := runCell(&scenarios.NovelProtocol{}, r, Params{Trials: p.Trials, Seed: p.Seed + 93, Workers: p.Workers})
+		c := runCell(&scenarios.NovelProtocol{}, r, p.sub(93))
 		win.AddRow(w, eval.Pct(c.rate(c.correct)), eval.Pct(c.rate(c.escalated)), c.meanTTM())
 	}
 	return []*eval.Table{hal, beam, win, sc}
@@ -685,6 +704,13 @@ func E10FleetLoad(p Params) []*eval.Table {
 		name string
 		rep  *ops.Report
 	}
+	// Each cell is a whole sub-simulation, so observability uses a
+	// private sink per cell, merged in cell order afterwards — the same
+	// absorb-in-deterministic-order contract the trial pool uses.
+	var cellSinks []*obs.Sink
+	if p.Obs != nil {
+		cellSinks = make([]*obs.Sink, len(cells))
+	}
 	rows := parallel.RunTrials(len(cells), p.Workers, p.Seed, func(_ int64, i int) fleetRow {
 		c := cells[i]
 		var arm harness.Runner
@@ -693,11 +719,19 @@ func E10FleetLoad(p Params) []*eval.Table {
 		} else {
 			arm = &harness.ControlRunner{Label: "control", KBase: kbase}
 		}
+		var sink *obs.Sink
+		if cellSinks != nil {
+			sink = obs.NewSink()
+			cellSinks[i] = sink
+		}
 		return fleetRow{arm.Name(), ops.Simulate(ops.Config{
 			OCEs: 2, ArrivalsPerHour: c.lambda, Incidents: p.Trials * 4,
-			Seed: p.Seed + 101, Runner: arm,
+			Seed: p.Seed + 101, Runner: arm, Obs: sink,
 		})}
 	})
+	for _, sink := range cellSinks {
+		p.Obs.AbsorbSink(sink)
+	}
 
 	t := eval.NewTable("E10 (extension): fleet of 2 OCEs under incident load",
 		"arrivals/h", "arm", "meanQueue(m)", "meanTotal(m)", "p95Total(m)", "utilization")
@@ -736,11 +770,10 @@ func E11LearningCurve(p Params) []*eval.Table {
 		agg := &cell{}
 		for _, sc := range scenarios.Routine() {
 			r := &harness.OneShotRunner{History: hist, KBase: kbase}
-			agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 111, Workers: p.Workers}))
+			agg.merge(runCell(sc, r, p.sub(111)))
 		}
 		novel := runCell(&scenarios.NovelProtocol{},
-			&harness.OneShotRunner{History: hist, KBase: kbase},
-			Params{Trials: p.Trials, Seed: p.Seed + 112, Workers: p.Workers})
+			&harness.OneShotRunner{History: hist, KBase: kbase}, p.sub(112))
 		t.AddRow(n, eval.Pct(agg.rate(agg.correct)), eval.Pct(novel.rate(novel.correct)), agg.meanTTM())
 	}
 	return []*eval.Table{t}
@@ -784,7 +817,7 @@ func E12SmallModels(p Params) []*eval.Table {
 			agg := &cell{}
 			for _, sc := range workload {
 				r := &harness.HelperRunner{KBase: kbase, Config: cfg, Recall: recall}
-				agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 121, Workers: p.Workers}))
+				agg.merge(runCell(sc, r, p.sub(121)))
 			}
 			ragLabel := "no"
 			if rag {

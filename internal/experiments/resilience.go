@@ -74,10 +74,14 @@ func E13Resilience(p Params) []*eval.Table {
 			&harness.HelperRunner{Label: "naive-helper", KBase: kbase, Config: core.DefaultConfig(), Faults: fc},
 			&harness.ControlRunner{Label: "control-oce", KBase: kbase, Faults: fc},
 		}
+		if p.Naive {
+			// -naive: measure the unprotected path only.
+			arms = arms[1:]
+		}
 		for _, r := range arms {
 			agg := &cell{}
 			for i, sc := range e13Workload() {
-				agg.merge(runCell(sc, r, Params{Trials: p.Trials, Seed: p.Seed + 131 + int64(i), Workers: p.Workers}))
+				agg.merge(runCell(sc, r, p.sub(131+int64(i))))
 			}
 			t.AddRow(fmt.Sprintf("%.2f", rate), r.Name(), eval.Pct(agg.rate(agg.correct)),
 				agg.wrong, agg.secondary, eval.Pct(agg.rate(agg.escalated)),

@@ -15,6 +15,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/llm"
 	"repro/internal/mitigation"
+	"repro/internal/obs"
 	"repro/internal/oce"
 	"repro/internal/risk"
 	"repro/internal/scenarios"
@@ -36,6 +37,9 @@ type Result struct {
 	ToolCalls  int
 	Tokens     int // LLM tokens (0 for non-LLM runners)
 	LLMCalls   int
+	// CostUSD is the model inference bill for the session (§3 system
+	// cost; 0 for non-LLM runners).
+	CostUSD float64
 	// Retries and Quarantined expose the resilient path's bookkeeping
 	// (0 for naive runners and for fault-free runs).
 	Retries     int
@@ -118,6 +122,14 @@ func (h *HelperRunner) Name() string {
 
 // Run implements Runner.
 func (h *HelperRunner) Run(in *scenarios.Instance, seed int64) Result {
+	return h.RunObserved(in, seed, nil)
+}
+
+// RunObserved implements ObservedRunner. The core session emits the rich
+// tool/LLM/hypothesis events itself (including retries and breaker
+// trips), so the helper's registry is not re-wrapped here.
+func (h *HelperRunner) RunObserved(in *scenarios.Instance, seed int64, o obs.Observer) Result {
+	o = obs.WithRunner(o, h.Name())
 	model := llm.NewSimLLM(h.KBase, seed)
 	model.HallucinationRate = h.Hallucination
 	if h.Recall > 0 {
@@ -129,7 +141,7 @@ func (h *HelperRunner) Run(in *scenarios.Instance, seed int64) Result {
 	reg := newRegistry(in, h.History, embed.NewDomainEmbedder(128))
 	_ = reg.Register("im", tools.NewNLQueryTool(model)) // verified NL query, §4.4
 	reg, inj := injectFaults(reg, h.Faults, seed)
-	helper := &core.Helper{Model: model, Tools: reg, Quant: &risk.Assessor{}, Config: h.Config}
+	helper := &core.Helper{Model: model, Tools: reg, Quant: &risk.Assessor{}, Config: h.Config, Obs: o}
 	if inj != nil {
 		helper.ActionFaults = inj
 	}
@@ -142,8 +154,16 @@ func (h *HelperRunner) Run(in *scenarios.Instance, seed int64) Result {
 		oceKB = h.KBase
 	}
 	watcher := core.NewOCE(exp, oceKB, rand.New(rand.NewSource(seed^0x5eed)))
+	emitStart(o, in, seed)
 	out := helper.Run(in.World, in.Incident, watcher)
 
+	res := helperResult(in, out)
+	emitEnd(o, in, res)
+	return res
+}
+
+// helperResult maps a core session outcome onto the uniform Result.
+func helperResult(in *scenarios.Instance, out *core.Outcome) Result {
 	res := Result{
 		Scenario:    in.Scenario.Name(),
 		Mitigated:   out.Mitigated,
@@ -156,6 +176,7 @@ func (h *HelperRunner) Run(in *scenarios.Instance, seed int64) Result {
 		ToolCalls:   out.ToolCalls,
 		Tokens:      out.LLMUsage.Prompt + out.LLMUsage.Completion,
 		LLMCalls:    out.LLMUsage.Calls,
+		CostUSD:     out.LLMUsage.DollarCost(llm.DefaultPricing()),
 		Retries:     out.ToolRetries,
 		Quarantined: out.Quarantined,
 		Applied:     out.Applied,
@@ -192,6 +213,14 @@ func (o *OneShotRunner) Name() string {
 
 // Run implements Runner.
 func (o *OneShotRunner) Run(in *scenarios.Instance, seed int64) Result {
+	return o.RunObserved(in, seed, nil)
+}
+
+// RunObserved implements ObservedRunner: the baseline's toolbox is
+// wrapped (outermost, after fault injection) so every invocation and its
+// disposition lands in the event stream.
+func (o *OneShotRunner) RunObserved(in *scenarios.Instance, seed int64, ob obs.Observer) Result {
+	ob = obs.WithRunner(ob, o.Name())
 	emb := o.Embedder
 	if emb == nil {
 		emb = embed.NewDomainEmbedder(128)
@@ -199,6 +228,8 @@ func (o *OneShotRunner) Run(in *scenarios.Instance, seed int64) Result {
 	pred := baseline.Train(o.History, o.KBase, emb)
 	reg := newRegistry(in, o.History, emb)
 	reg, _ = injectFaults(reg, o.Faults, seed)
+	reg = observeRegistry(reg, ob)
+	emitStart(ob, in, seed)
 	out := pred.Execute(in.World, in.Incident, reg)
 	res := Result{
 		Scenario:  in.Scenario.Name(),
@@ -212,6 +243,7 @@ func (o *OneShotRunner) Run(in *scenarios.Instance, seed int64) Result {
 	}
 	res.Correct = out.Mitigated && in.Succeeded(out.Applied)
 	res.RootCause = out.Predicted == in.Incident.Truth.RootCause
+	emitEnd(ob, in, res)
 	return res
 }
 
@@ -238,6 +270,14 @@ func (c *ControlRunner) Name() string {
 
 // Run implements Runner.
 func (c *ControlRunner) Run(in *scenarios.Instance, seed int64) Result {
+	return c.RunObserved(in, seed, nil)
+}
+
+// RunObserved implements ObservedRunner: the engineer's toolbox is
+// wrapped (outermost, after fault injection) so every invocation and its
+// disposition lands in the event stream.
+func (c *ControlRunner) RunObserved(in *scenarios.Instance, seed int64, o obs.Observer) Result {
+	o = obs.WithRunner(o, c.Name())
 	exp := c.Expertise
 	if exp == 0 {
 		exp = 0.8
@@ -245,6 +285,8 @@ func (c *ControlRunner) Run(in *scenarios.Instance, seed int64) Result {
 	eng := &oce.Engineer{Expertise: exp, KBase: c.KBase, Rng: rand.New(rand.NewSource(seed ^ 0xabcdef))}
 	reg := newRegistry(in, c.History, embed.NewDomainEmbedder(128))
 	reg, _ = injectFaults(reg, c.Faults, seed)
+	reg = observeRegistry(reg, o)
+	emitStart(o, in, seed)
 	out := eng.Solve(in.World, in.Incident, reg)
 	res := Result{
 		Scenario:  in.Scenario.Name(),
@@ -257,40 +299,37 @@ func (c *ControlRunner) Run(in *scenarios.Instance, seed int64) Result {
 		Applied:   out.Applied,
 	}
 	res.Correct = out.Mitigated && in.Succeeded(out.Applied)
+	emitEnd(o, in, res)
 	return res
 }
 
-// RunTraced runs the iterative helper with an explicit model and returns
-// the uniform result, the rendered session trace (the audit log the CLIs
-// and the quickstart example display), and a generated postmortem.
-func RunTraced(model llm.Model, kbase *kb.KB, cfg core.Config, expertise float64, hist *kb.History, in *scenarios.Instance, seed int64) (Result, string, string) {
+// RunSession runs the iterative helper with an explicit model and
+// returns the uniform result plus the full structured outcome — the
+// typed event stream (render with core.NewSessionTrace) and everything
+// core.NewPostmortem needs. Events stream into o live when non-nil.
+func RunSession(model llm.Model, kbase *kb.KB, cfg core.Config, expertise float64, hist *kb.History, in *scenarios.Instance, seed int64, o obs.Observer) (Result, *core.Outcome) {
+	o = obs.WithRunner(o, "iterative-helper")
 	reg := newRegistry(in, hist, embed.NewDomainEmbedder(128))
 	_ = reg.Register("im", tools.NewNLQueryTool(model)) // verified NL query, §4.4
-	helper := &core.Helper{Model: model, Tools: reg, Quant: &risk.Assessor{}, Config: cfg}
+	helper := &core.Helper{Model: model, Tools: reg, Quant: &risk.Assessor{}, Config: cfg, Obs: o}
 	if expertise == 0 {
 		expertise = 0.9
 	}
 	watcher := core.NewOCE(expertise, kbase, rand.New(rand.NewSource(seed^0x5eed)))
+	emitStart(o, in, seed)
 	out := helper.Run(in.World, in.Incident, watcher)
-	res := Result{
-		Scenario:   in.Scenario.Name(),
-		Mitigated:  out.Mitigated,
-		Escalated:  out.Escalated,
-		TTM:        out.TTM,
-		Wrong:      out.WrongMitigations,
-		Secondary:  out.SecondaryImpact,
-		PlanErrors: out.PlanErrors,
-		Rounds:     out.Rounds,
-		ToolCalls:  out.ToolCalls,
-		Tokens:     out.LLMUsage.Prompt + out.LLMUsage.Completion,
-		LLMCalls:   out.LLMUsage.Calls,
-		Applied:    out.Applied,
-	}
-	res.Correct = out.Mitigated && in.Succeeded(out.Applied)
-	for _, c := range out.Confirmed {
-		if c == in.Incident.Truth.RootCause {
-			res.RootCause = true
-		}
-	}
-	return res, core.FormatTrace(out.Trace), core.Postmortem(in.Incident, out)
+	res := helperResult(in, out)
+	emitEnd(o, in, res)
+	return res, out
+}
+
+// RunTraced runs the iterative helper with an explicit model and returns
+// the uniform result, the rendered session trace, and a generated
+// postmortem.
+//
+// Deprecated: the flat string pair carries no structure; use RunSession
+// and render core.NewSessionTrace / core.NewPostmortem (same bytes).
+func RunTraced(model llm.Model, kbase *kb.KB, cfg core.Config, expertise float64, hist *kb.History, in *scenarios.Instance, seed int64) (Result, string, string) {
+	res, out := RunSession(model, kbase, cfg, expertise, hist, in, seed, nil)
+	return res, core.NewSessionTrace(out).String(), core.NewPostmortem(in.Incident, out).String()
 }

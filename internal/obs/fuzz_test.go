@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// FuzzEventRoundTrip drives the event-log encoder/decoder with
+// arbitrary field values and asserts Write → Read is the identity. The
+// -trace-out log is the durable interface of the observability layer;
+// any event the emitters can build must survive the codec bit-exactly.
+func FuzzEventRoundTrip(f *testing.F) {
+	f.Add(int64(1), "ab/0001", int64(180e9), 2, "tool-call", "pingmesh -> 3 findings",
+		"iterative-helper", "cascade-5", "link_congested", 0.7, "pingmesh", "ok", int64(90e9), 120, 30, 0.25, true)
+	f.Add(int64(9), "replay/0042", int64(0), 0, "session-end", "",
+		"unassisted-oce", "gray-link", "", 0.0, "", "", int64(0), 0, 0, 0.0, false)
+	f.Fuzz(func(t *testing.T, seq int64, session string, at int64, round int, typ, detail,
+		runner, scenario, hypothesis string, confidence float64, tool, disposition string,
+		latency int64, promptTok, completionTok int, cost float64, withOutcome bool) {
+		if math.IsNaN(confidence) || math.IsInf(confidence, 0) || math.IsNaN(cost) || math.IsInf(cost, 0) {
+			t.Skip("JSON cannot carry non-finite floats")
+		}
+		for _, s := range []string{session, typ, detail, runner, scenario, hypothesis, tool, disposition} {
+			if !utf8.ValidString(s) {
+				t.Skip("encoding/json coerces invalid UTF-8 to U+FFFD")
+			}
+		}
+		e := Event{
+			Seq: seq, Session: session, At: time.Duration(at), Round: round,
+			Type: Type(typ), Detail: detail, Runner: runner, Scenario: scenario,
+			Hypothesis: hypothesis, Confidence: confidence,
+			Tool: tool, Disposition: disposition, Latency: time.Duration(latency),
+			PromptTokens: promptTok, CompletionTokens: completionTok, CostUSD: cost,
+		}
+		if withOutcome {
+			e.Outcome = &SessionOutcome{
+				Mitigated: promptTok%2 == 0, Escalated: completionTok%2 == 0,
+				TTMMinutes: confidence, Rounds: round, Tokens: promptTok + completionTok,
+				Wrong: round % 3, CostUSD: cost,
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteEventLog(&buf, []Event{e}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := ReadEventLog(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v (log %q)", err, buf.String())
+		}
+		if len(got) != 1 || !reflect.DeepEqual(got[0], e) {
+			t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", e, got)
+		}
+	})
+}

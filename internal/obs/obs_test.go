@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilObserverEmitIsNoOp(t *testing.T) {
+	t.Parallel()
+	Emit(nil, Event{Type: EvLLMCall}) // must not panic
+	if o := WithRunner(nil, "helper"); o != nil {
+		t.Fatalf("WithRunner(nil) = %v, want nil", o)
+	}
+}
+
+func TestRecorderStampsSessionAndRunner(t *testing.T) {
+	t.Parallel()
+	rec := NewRecorder("trial-7")
+	o := WithRunner(rec, "iterative-helper")
+	o.Emit(Event{Type: EvToolCall, Tool: "pingmesh"})
+	o.Emit(Event{Type: EvToolCall, Tool: "syslog", Runner: "other", Session: "s2"})
+	if rec.Events[0].Session != "trial-7" || rec.Events[0].Runner != "iterative-helper" {
+		t.Fatalf("stamp missing: %+v", rec.Events[0])
+	}
+	if rec.Events[1].Runner != "other" || rec.Events[1].Session != "s2" {
+		t.Fatalf("explicit labels overwritten: %+v", rec.Events[1])
+	}
+}
+
+func TestEventLogRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := []Event{
+		{Seq: 1, Session: "ab/0001", At: 3 * time.Minute, Round: 2, Type: EvHypothesis, Hypothesis: "link_congested", Confidence: 0.7},
+		{Seq: 2, Session: "ab/0001", At: 5 * time.Minute, Type: EvToolCall, Tool: "pingmesh", Disposition: "ok", Latency: 90 * time.Second},
+		{Seq: 3, At: 8 * time.Minute, Type: EvSessionEnd, Runner: "iterative-helper", Outcome: &SessionOutcome{Mitigated: true, TTMMinutes: 8, Rounds: 2, CostUSD: 0.25}},
+	}
+	var buf bytes.Buffer
+	if err := WriteEventLog(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEventLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestSinkAbsorbAssignsGlobalSeq(t *testing.T) {
+	t.Parallel()
+	s := NewSink()
+	a := NewRecorder("t0")
+	a.Emit(Event{Type: EvHypothesis})
+	a.Emit(Event{Type: EvHypothesisTested, Verdict: "supported"})
+	b := NewRecorder("t1")
+	b.Emit(Event{Type: EvHypothesis})
+	s.Absorb(a)
+	s.Absorb(b)
+	ev := s.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if ev[2].Session != "t1" {
+		t.Fatalf("absorb order broken: %+v", ev[2])
+	}
+}
+
+func TestRegistryMergeMatchesDirect(t *testing.T) {
+	t.Parallel()
+	events := []Event{
+		{Type: EvToolCall, Tool: "pingmesh", Disposition: "ok", Latency: time.Minute},
+		{Type: EvToolCall, Tool: "pingmesh", Disposition: "error", Latency: 2 * time.Minute},
+		{Type: EvLLMCall, Runner: "h", PromptTokens: 100, CompletionTokens: 20, Latency: 30 * time.Second},
+		{Type: EvSessionEnd, Runner: "h", Outcome: &SessionOutcome{Mitigated: true, TTMMinutes: 42, Rounds: 3, Wrong: 1, CostUSD: 0.5}},
+	}
+	direct := NewAIOpsRegistry()
+	for _, e := range events {
+		Collect(direct, e)
+	}
+	// Split across two registries and merge.
+	r1, r2 := NewAIOpsRegistry(), NewAIOpsRegistry()
+	for i, e := range events {
+		if i%2 == 0 {
+			Collect(r1, e)
+		} else {
+			Collect(r2, e)
+		}
+	}
+	r1.Merge(r2)
+	var a, b strings.Builder
+	if err := direct.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("merged export differs from direct export:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if got := direct.CounterValue(MToolCalls, Labels{"tool": "pingmesh", "disposition": "ok"}); got != 1 {
+		t.Fatalf("tool ok counter = %v", got)
+	}
+	if got := direct.HistogramCount(MTTM, Labels{"runner": "h"}); got != 1 {
+		t.Fatalf("ttm histogram count = %v", got)
+	}
+}
+
+func TestPrometheusExportShape(t *testing.T) {
+	t.Parallel()
+	r := NewAIOpsRegistry()
+	Collect(r, Event{Type: EvToolCall, Tool: "syslog", Disposition: "ok", Latency: time.Minute})
+	r.Set(MFleetUtil, nil, 0.75)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE aiops_tool_invocations_total counter",
+		`aiops_tool_invocations_total{disposition="ok",tool="syslog"} 1`,
+		`aiops_tool_latency_minutes_bucket{tool="syslog",le="1"} 1`,
+		`aiops_tool_latency_minutes_bucket{tool="syslog",le="+Inf"} 1`,
+		`aiops_tool_latency_minutes_count{tool="syslog"} 1`,
+		"# TYPE aiops_fleet_utilization gauge",
+		"aiops_fleet_utilization 0.75",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q in:\n%s", want, out)
+		}
+	}
+	// Undeclared families with no series must not appear.
+	if strings.Contains(out, MQuarantined) {
+		t.Errorf("empty family exported:\n%s", out)
+	}
+}

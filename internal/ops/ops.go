@@ -14,11 +14,13 @@
 package ops
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/eval"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/scenarios"
 )
 
@@ -35,6 +37,11 @@ type Config struct {
 	// Runner handles each incident.
 	Runner harness.Runner
 	Seed   int64
+	// Obs, when non-nil, collects every session's event stream plus the
+	// fleet-level arrivals (queueing delay per incident) and sets the
+	// pool-utilization gauge. The simulation is serial, so sessions emit
+	// straight into the sink in arrival order.
+	Obs *obs.Sink
 }
 
 // IncidentOutcome is one arrival's fleet-level record.
@@ -100,7 +107,14 @@ func Simulate(cfg Config) *Report {
 		sc := mix[rng.Intn(len(mix))]
 		seed := rng.Int63()
 		in := sc.Build(rand.New(rand.NewSource(seed)))
-		res := cfg.Runner.Run(in, seed)
+		var res harness.Result
+		if or, ok := cfg.Runner.(harness.ObservedRunner); ok && cfg.Obs != nil {
+			rec := obs.NewRecorder(fmt.Sprintf("fleet/%04d", i))
+			res = or.RunObserved(in, seed, rec)
+			cfg.Obs.Absorb(rec)
+		} else {
+			res = cfg.Runner.Run(in, seed)
+		}
 
 		// Assign to the earliest-free responder.
 		idx := 0
@@ -128,6 +142,12 @@ func Simulate(cfg Config) *Report {
 		}
 		if res.Mitigated {
 			mitigated++
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.Emit(obs.Event{
+				Type: obs.EvFleetIncident, At: now, Session: fmt.Sprintf("fleet/%04d", i),
+				Runner: cfg.Runner.Name(), Scenario: sc.Name(), Queue: out.Queue,
+			})
 		}
 		rep.Outcomes = append(rep.Outcomes, out)
 	}
@@ -158,5 +178,8 @@ func Simulate(cfg Config) *Report {
 		rep.Utilization = float64(busySum) / (float64(makespan) * float64(cfg.OCEs))
 	}
 	rep.MitigatedRate = float64(mitigated) / float64(n)
+	if cfg.Obs != nil {
+		cfg.Obs.Registry().Set(obs.MFleetUtil, nil, rep.Utilization)
+	}
 	return rep
 }

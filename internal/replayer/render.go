@@ -1,0 +1,54 @@
+package replayer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eval"
+)
+
+// RenderReport renders the replay CLI report — the aggregate metrics and
+// the per-class detail — exactly as the command has always printed it.
+// Factoring the rendering here lets golden tests pin the bytes without
+// shelling out.
+func RenderReport(rep *Report) string {
+	var b strings.Builder
+	t := eval.NewTable("historical replay through the helper", "metric", "value")
+	t.AddRow("corpus size", len(rep.Items))
+	t.AddRow("mitigation matched", rep.Matched)
+	t.AddRow("mitigation mismatched", rep.Mismatched)
+	t.AddRow("helper unresolved", rep.Unresolved)
+	t.AddRow("match fraction", eval.Pct(rep.MatchFraction()))
+	t.AddRow("mean TTM savings, matched (min)", rep.MeanSavings.Minutes())
+	t.AddRow("mismatches with conditional estimate", rep.CondCovered)
+	t.AddRow("mean TTM savings incl. conditional (min)", rep.MeanCondSavings.Minutes())
+	fmt.Fprintln(&b, t)
+
+	byClass := eval.NewTable("per-class replay detail", "scenario", "n", "matched", "mean orig TTM(m)", "mean helper TTM(m)")
+	type agg struct {
+		n, matched int
+		orig, help float64
+	}
+	cls := map[string]*agg{}
+	var order []string
+	for _, it := range rep.Items {
+		a := cls[it.Scenario]
+		if a == nil {
+			a = &agg{}
+			cls[it.Scenario] = a
+			order = append(order, it.Scenario)
+		}
+		a.n++
+		if it.Match {
+			a.matched++
+		}
+		a.orig += it.OriginalTTM.Minutes()
+		a.help += it.HelperTTM.Minutes()
+	}
+	for _, name := range order {
+		a := cls[name]
+		byClass.AddRow(name, a.n, a.matched, a.orig/float64(a.n), a.help/float64(a.n))
+	}
+	fmt.Fprintln(&b, byClass)
+	return b.String()
+}

@@ -11,6 +11,7 @@
 package replayer
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/kb"
 	"repro/internal/mitigation"
+	"repro/internal/obs"
 	"repro/internal/oce"
 	"repro/internal/parallel"
 	"repro/internal/scenarios"
@@ -184,6 +186,12 @@ func kindsOf(p mitigation.Plan) []mitigation.Action {
 // against the historical record, using one worker per CPU.
 func Replay(c *Corpus, r harness.Runner) *Report { return ReplayParallel(c, r, 0) }
 
+// ReplayParallel is Replay with an explicit worker count (<= 0 means
+// GOMAXPROCS); see ReplayObserved for the full contract.
+func ReplayParallel(c *Corpus, r harness.Runner, workers int) *Report {
+	return ReplayObserved(c, r, workers, nil)
+}
+
 // replayOutcome is one item's full per-trial computation; everything
 // that touches the (read-only) corpus history happens inside the trial,
 // so aggregation is a pure fold in item order.
@@ -194,20 +202,37 @@ type replayOutcome struct {
 	unresolved bool
 }
 
-// ReplayParallel is Replay with an explicit worker count (<= 0 means
-// GOMAXPROCS). Each corpus item rebuilds its identical instance from
-// its recorded seed in its own trial — independent world, model, and
-// toolbox — and the report aggregates in corpus order, so the output is
-// bit-identical for every worker count.
-func ReplayParallel(c *Corpus, r harness.Runner, workers int) *Report {
+// ReplayObserved replays with an explicit worker count (<= 0 means
+// GOMAXPROCS) and optional event capture. Each corpus item rebuilds its
+// identical instance from its recorded seed in its own trial —
+// independent world, model, and toolbox — and the report aggregates in
+// corpus order, so the output is bit-identical for every worker count.
+// When sink is non-nil, each item's events buffer into a private
+// recorder and absorb in corpus order (same determinism contract).
+func ReplayObserved(c *Corpus, r harness.Runner, workers int, sink *obs.Sink) *Report {
+	var recs []*obs.Recorder
+	if sink != nil {
+		recs = make([]*obs.Recorder, len(c.Items))
+	}
 	outcomes := parallel.RunTrials(len(c.Items), workers, 0, func(_ int64, i int) replayOutcome {
 		item := c.Items[i]
 		sc := scenarios.ByName(item.Scenario)
 		if sc == nil {
 			return replayOutcome{skip: true}
 		}
+		var ob obs.Observer
+		if recs != nil {
+			rec := obs.NewRecorder(fmt.Sprintf("replay/%04d", i))
+			recs[i] = rec
+			ob = rec
+		}
 		in := sc.Build(rand.New(rand.NewSource(item.Seed)))
-		res := r.Run(in, item.Seed)
+		var res harness.Result
+		if or, ok := r.(harness.ObservedRunner); ok && ob != nil {
+			res = or.RunObserved(in, item.Seed, ob)
+		} else {
+			res = r.Run(in, item.Seed)
+		}
 		o := replayOutcome{item: ReplayItem{
 			ID:          item.Record.ID,
 			Scenario:    item.Scenario,
@@ -242,6 +267,9 @@ func ReplayParallel(c *Corpus, r harness.Runner, workers int) *Report {
 		}
 		return o
 	})
+	for _, rec := range recs {
+		sink.Absorb(rec)
+	}
 
 	rep := &Report{}
 	var savingsSum, condSum time.Duration
