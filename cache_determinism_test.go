@@ -1,0 +1,94 @@
+package aiops
+
+// Cache neutrality: the what-if fast-path caches (route DAGs, embedding
+// memo) are pure speed optimizations — every rendered byte must be
+// identical with caches on or off, serial or parallel, and the
+// observability exports must stay worker-independent with the caches in
+// either state.
+//
+// These tests toggle process-wide cache switches, so they must NOT call
+// t.Parallel(): Go runs them to completion during the sequential phase,
+// before any paused parallel test resumes, and they restore the default
+// (caches on) before returning.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/eval"
+	"repro/internal/netsim"
+)
+
+func setCaches(on bool) {
+	netsim.SetRouteCacheEnabled(on)
+	embed.SetEmbedCacheEnabled(on)
+}
+
+// TestCachesAreOutputNeutral renders the same A/B trial in all four
+// (caches, workers) corners and requires byte equality everywhere.
+func TestCachesAreOutputNeutral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full A/B renders are slow")
+	}
+	defer setCaches(true)
+	render := func(on bool, workers int) string {
+		setCaches(on)
+		sys := New(WithSeed(17), WithWorkers(workers))
+		sys.GenerateHistory(24, 17)
+		return eval.RenderABReport(sys.ABTest(16, 17))
+	}
+	on1 := render(true, 1)
+	off1 := render(false, 1)
+	on8 := render(true, 8)
+	off8 := render(false, 8)
+	if on1 != off1 {
+		t.Error("caches changed rendered output at workers=1")
+	}
+	if on1 != on8 {
+		t.Error("cached run differs between workers=1 and workers=8")
+	}
+	if off1 != off8 {
+		t.Error("uncached run differs between workers=1 and workers=8")
+	}
+}
+
+// TestObservabilityWorkerIndependenceCachesOff repeats the export
+// determinism contract with the caches disabled: the event log and the
+// metrics dump (now without aiops_cache_* series) must still be
+// byte-identical at every worker count.
+func TestObservabilityWorkerIndependenceCachesOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full export captures are slow")
+	}
+	setCaches(false)
+	defer setCaches(true)
+	capture := func(workers int) (events, metrics string) {
+		sink := NewSink()
+		sys := New(WithSeed(13), WithWorkers(workers), WithObservability(sink))
+		sys.GenerateHistory(20, 13)
+		sys.ABTest(12, 13)
+		var ev, m bytes.Buffer
+		if err := sink.WriteEvents(&ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.WriteMetrics(&m); err != nil {
+			t.Fatal(err)
+		}
+		return ev.String(), m.String()
+	}
+	ev1, m1 := capture(1)
+	ev8, m8 := capture(8)
+	if ev1 == "" || m1 == "" {
+		t.Fatal("sink captured nothing")
+	}
+	if ev1 != ev8 {
+		t.Error("caches-off event log differs between workers=1 and workers=8")
+	}
+	if m1 != m8 {
+		t.Error("caches-off metrics dump differs between workers=1 and workers=8")
+	}
+	if bytes.Contains([]byte(m1), []byte("aiops_cache_hits_total")) {
+		t.Error("caches-off metrics should carry no aiops_cache_* series")
+	}
+}

@@ -28,6 +28,7 @@ func main() {
 	c := cliflags.Register(flag.CommandLine, 1)
 	flag.Parse()
 	c.StartPProf()
+	c.ApplyCaches()
 
 	sys := aiops.New(c.SystemOptions()...)
 	sys.GenerateHistory(*history, c.Seed^0x1157)

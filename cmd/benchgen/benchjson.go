@@ -1,0 +1,207 @@
+package main
+
+// The -bench-json mode runs the repository's benchmark set in-process —
+// the thirteen experiment tables at the bench_test.go cell size plus the
+// substrate micro-kernels (routing, cloning, embeddings, search, LLM,
+// risk, whole sessions) — and writes one JSON record per benchmark:
+// {name, ns/op, allocs/op, headline}. Committed snapshots
+// (BENCH_<date>.json at the repo root) give the performance trajectory a
+// baseline that `go test -bench` output alone never leaves behind.
+//
+// Cell sizes are pinned (Trials=4, Seed=1000+i) to match the
+// BenchmarkE* functions, independent of -trials/-seed, so snapshots
+// taken months apart measure the same work. Timings are wall-clock and
+// machine-dependent; allocs/op is stable. Combine with -nocache to
+// snapshot the slow path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/kb"
+	"repro/internal/llm"
+	"repro/internal/mitigation"
+	"repro/internal/netsim"
+	"repro/internal/replayer"
+	"repro/internal/risk"
+	"repro/internal/scenarios"
+)
+
+// benchRecord is one benchmark's line item.
+type benchRecord struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	Headline    string `json:"headline"`
+}
+
+// benchFile is the whole snapshot.
+type benchFile struct {
+	Date       string        `json:"date"`
+	Go         string        `json:"go"`
+	Caches     bool          `json:"caches"`
+	TrialsCell int           `json:"trials_per_cell"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+const benchTrials = 4 // matches bench_test.go's cell size
+
+func benchParams(i int) experiments.Params {
+	return experiments.Params{Trials: benchTrials, Seed: int64(1000 + i)}
+}
+
+// runBenchJSON executes the benchmark set and writes the snapshot.
+func runBenchJSON(c *cliflags.Common, path string) error {
+	out := benchFile{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		Caches:     !c.NoCache,
+		TrialsCell: benchTrials,
+	}
+
+	// add measures iters calls of fn: wall time from a monotonic clock,
+	// allocations from the Mallocs delta around the loop (GC first so
+	// the sweep doesn't land inside the window). fn returns the headline
+	// string so it can report a measured quantity, not a guess.
+	add := func(name string, iters int, fn func(i int) string) {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		var headline string
+		for i := 0; i < iters; i++ {
+			headline = fn(i)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		rec := benchRecord{
+			Name:        name,
+			NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+			AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / int64(iters),
+			Headline:    headline,
+		}
+		out.Benchmarks = append(out.Benchmarks, rec)
+		fmt.Fprintf(os.Stderr, "%-24s %14d ns/op %12d allocs/op   %s\n",
+			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.Headline)
+	}
+
+	// Experiment benches: one full run per experiment at the pinned cell
+	// size, same IDs as the registry / BenchmarkE* functions.
+	for _, e := range experiments.Registry {
+		e := e
+		add(e.ID, 1, func(i int) string {
+			tables := e.Run(benchParams(i))
+			if len(tables) == 0 {
+				panic("bench-json: " + e.ID + " produced no tables")
+			}
+			return fmt.Sprintf("%s (%d tables @ %d trials/cell)", e.Desc, len(tables), benchTrials)
+		})
+	}
+
+	// Substrate micro-kernels, mirroring bench_test.go.
+	w := scenarios.StandardWorld(rand.New(rand.NewSource(1)))
+	add("RouteTraffic", 50, func(int) string {
+		w.Invalidate()
+		w.Recompute()
+		return "full fixed-point recompute over the standard world"
+	})
+	add("RouteDAG", 200, func(int) string {
+		if d := netsim.RouteDAGFor(w.Net, "us-east-host-p0-t0-h0", "eu-north-host-p0-t0-h0", nil); d == nil {
+			panic("bench-json: no DAG")
+		}
+		return "one src-dst ECMP DAG, direct compute (no cache)"
+	})
+	w.Recompute()
+	add("WorldClone", 500, func(int) string {
+		if w.Clone() == nil {
+			panic("bench-json: nil clone")
+		}
+		return "COW what-if snapshot of the recomputed standard world"
+	})
+	add("EmbedDomain", 500, func(int) string {
+		e := embed.NewDomainEmbedder(128)
+		if v := e.Embed("severe packet loss and retransmissions after config push in us-east; devices resetting"); len(v) != 128 {
+			panic("bench-json: bad vector")
+		}
+		return "one 128-dim domain embedding"
+	})
+	corpus := replayer.Generate(replayer.Options{N: 150, Seed: 5})
+	store := embed.NewStore(embed.NewDomainEmbedder(128))
+	for _, r := range corpus.History.All() {
+		store.Add(r.ID, r.Text())
+	}
+	add("VectorSearchANN", 200, func(int) string {
+		if hits := store.SearchANN("packet drops in the web tier after deploy", 3); len(hits) == 0 {
+			panic("bench-json: no hits")
+		}
+		return "top-3 ANN query over a 150-incident corpus"
+	})
+	model := llm.NewSimLLM(kb.Default(), 1)
+	req := llm.BuildFormHypotheses(llm.PromptContext{Symptoms: []string{kb.CPacketLoss}}, 3)
+	add("SimLLMFormHypotheses", 200, func(int) string {
+		if _, err := model.Complete(req); err != nil {
+			panic(err)
+		}
+		return "one simulated-LLM hypothesis completion"
+	})
+	riskIn := (&scenarios.Cascade{Stage: 5}).Build(rand.New(rand.NewSource(3)))
+	assessor := &risk.Assessor{}
+	plan := mitigation.Plan{Actions: []mitigation.Action{
+		{Kind: mitigation.OverrideWAN, Target: "B4", Param: "healthy"},
+	}}
+	add("RiskAssessPlan", 20, func(int) string {
+		if rep := assessor.AssessPlan(riskIn.World, plan); rep == nil {
+			panic("bench-json: nil risk report")
+		}
+		return "what-if risk report for one WAN override on cascade-5"
+	})
+	kbase := kb.Default()
+	kb.ApplyFastpathUpdate(kbase)
+	helper := &harness.HelperRunner{KBase: kbase, Config: core.DefaultConfig()}
+	add("HelperSessionCascade", 5, func(i int) string {
+		in := (&scenarios.Cascade{Stage: 5}).Build(rand.New(rand.NewSource(int64(i))))
+		if res := helper.Run(in, int64(i)); !res.Mitigated {
+			panic("bench-json: cascade not mitigated")
+		}
+		return "one full helper session on cascade-5"
+	})
+	add("HelperSessionGrayLink", 10, func(i int) string {
+		in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(int64(i))))
+		if res := helper.Run(in, int64(i)); !res.Mitigated {
+			panic("bench-json: gray-link not mitigated")
+		}
+		return "one full helper session on gray-link"
+	})
+	oneShot := &harness.OneShotRunner{History: corpus.History, KBase: kbase}
+	add("OneShotSession", 10, func(i int) string {
+		in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(int64(i))))
+		oneShot.Run(in, int64(i))
+		return "one one-shot recommendation session on gray-link"
+	})
+	control := &harness.ControlRunner{KBase: kbase}
+	add("UnassistedSession", 10, func(i int) string {
+		in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(int64(i))))
+		control.Run(in, int64(i))
+		return "one unassisted control session on gray-link"
+	})
+
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks, caches=%v)\n", path, len(out.Benchmarks), out.Caches)
+	return nil
+}

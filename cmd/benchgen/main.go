@@ -9,6 +9,8 @@
 //	benchgen -trials 30      # bigger cells
 //	benchgen -exp e13 -faultrate 0.4   # robustness ladder up to 40% fault rate
 //	benchgen -exp e4 -trace-out events.jsonl -metrics-out metrics.prom
+//	benchgen -bench-json BENCH_$(date +%F).json           # performance snapshot
+//	benchgen -bench-json BENCH_nocache.json -nocache      # slow-path snapshot
 package main
 
 import (
@@ -24,13 +26,23 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment ids (e1..e13) or 'all'")
-		trials = flag.Int("trials", 20, "incidents per experiment cell")
-		html   = flag.String("html", "", "also write a self-contained HTML report to this path")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids (e1..e13) or 'all'")
+		trials    = flag.Int("trials", 20, "incidents per experiment cell")
+		html      = flag.String("html", "", "also write a self-contained HTML report to this path")
+		benchJSON = flag.String("bench-json", "", "run the benchmark set (E1-E13 + substrate micro-kernels) and write {name, ns/op, allocs/op, headline} records to this JSON path instead of generating tables")
 	)
 	c := cliflags.Register(flag.CommandLine, 42)
 	flag.Parse()
 	c.StartPProf()
+	c.ApplyCaches()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(c, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	if *exp != "all" {

@@ -26,6 +26,7 @@ func main() {
 	c := cliflags.Register(flag.CommandLine, 1)
 	flag.Parse()
 	c.StartPProf()
+	c.ApplyCaches()
 
 	sys := aiops.New(c.SystemOptions()...)
 	rep := sys.Replay(*n, c.Seed)

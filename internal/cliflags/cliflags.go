@@ -17,6 +17,8 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/embed"
+	"repro/internal/netsim"
 	"repro/internal/obs"
 )
 
@@ -27,6 +29,7 @@ type Common struct {
 	FaultRate  float64
 	FaultSeed  int64
 	Naive      bool
+	NoCache    bool
 	TraceOut   string
 	MetricsOut string
 	PProfAddr  string
@@ -45,10 +48,20 @@ func Register(fs *flag.FlagSet, seedDefault int64) *Common {
 	fs.Float64Var(&c.FaultRate, "faultrate", 0, "tool fault-injection rate in [0,1] (0 = no faults, byte-identical to historical runs; for benchgen it sets the top of E13's ladder)")
 	fs.Int64Var(&c.FaultSeed, "faultseed", 1337, "fault-schedule seed")
 	fs.BoolVar(&c.Naive, "naive", false, "with -faultrate: keep the naive invocation path instead of the resilient one")
+	fs.BoolVar(&c.NoCache, "nocache", false, "disable the what-if fast-path caches (route DAGs, embeddings); output bytes never change, only speed")
 	fs.StringVar(&c.TraceOut, "trace-out", "", "write the structured session event log (JSON lines) to this path")
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write aggregate metrics (Prometheus text format) to this path")
 	fs.StringVar(&c.PProfAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the life of the run")
 	return c
+}
+
+// ApplyCaches applies the -nocache flag to the process-wide cache
+// switches. Call it after flag.Parse, before any simulation work.
+func (c *Common) ApplyCaches() {
+	if c.NoCache {
+		netsim.SetRouteCacheEnabled(false)
+		embed.SetEmbedCacheEnabled(false)
+	}
 }
 
 // Sink returns the run's observability sink, allocated on first use —

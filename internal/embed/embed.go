@@ -155,6 +155,17 @@ var domainSynonyms = map[string]string{
 // domainWeight boosts canonical domain tokens relative to filler words.
 const domainWeight = 3
 
+// domainCanon is the set of canonical domain tokens, precomputed so the
+// per-token domain check is a map lookup instead of a scan over the
+// synonym table's values.
+var domainCanon = func() map[string]bool {
+	set := make(map[string]bool, len(domainSynonyms))
+	for _, canon := range domainSynonyms {
+		set[canon] = true
+	}
+	return set
+}()
+
 // DomainEmbedder is the network-specialized embedder: word tokens with
 // synonym folding and domain-term weighting, plus bigrams of the folded
 // stream.
@@ -206,17 +217,9 @@ func (e *DomainEmbedder) Embed(text string) []float32 {
 		}
 		v[idx] += sign * w
 	}
-	isDomain := func(tok string) bool {
-		for _, canon := range domainSynonyms {
-			if tok == canon {
-				return true
-			}
-		}
-		return false
-	}
 	for i, tok := range toks {
 		w := float32(1)
-		if isDomain(tok) {
+		if domainCanon[tok] {
 			w = domainWeight
 		}
 		add(tok, w)
@@ -235,13 +238,19 @@ type Hit struct {
 
 // Store is a vector database over an embedder.
 type Store struct {
-	emb  Embedder
-	ids  []string
-	vecs [][]float32
-	byID map[string]int
+	emb   Embedder
+	ids   []string
+	vecs  [][]float32
+	norms []float64 // squared L2 norm per vector, aligned with vecs
+	byID  map[string]int
 
 	planes [][]float32 // LSH hyperplanes; built lazily
 	bucket map[uint64][]int
+
+	// Embedding-memo accounting; see cache.go.
+	local        map[memoKey]memoEntry
+	epoch        int64
+	hits, misses int64
 }
 
 // NewStore returns an empty vector store over the embedder.
@@ -257,13 +266,15 @@ func (s *Store) Len() int { return len(s.ids) }
 
 // Add embeds and stores text under id, replacing any existing entry.
 func (s *Store) Add(id, text string) {
-	v := s.emb.Embed(text)
+	v, n := s.embedText(text)
 	if i, ok := s.byID[id]; ok {
 		s.vecs[i] = v
+		s.norms[i] = n
 	} else {
 		s.byID[id] = len(s.ids)
 		s.ids = append(s.ids, id)
 		s.vecs = append(s.vecs, v)
+		s.norms = append(s.norms, n)
 	}
 	s.planes, s.bucket = nil, nil // invalidate LSH index
 }
@@ -271,10 +282,10 @@ func (s *Store) Add(id, text string) {
 // Search returns the k nearest stored entries to the query text by exact
 // cosine similarity, ties broken by ID for determinism.
 func (s *Store) Search(query string, k int) []Hit {
-	q := s.emb.Embed(query)
+	q, qn := s.embedText(query)
 	hits := make([]Hit, 0, len(s.ids))
 	for i, id := range s.ids {
-		hits = append(hits, Hit{ID: id, Score: Cosine(q, s.vecs[i])})
+		hits = append(hits, Hit{ID: id, Score: cosineWithNorms(q, s.vecs[i], qn, s.norms[i])})
 	}
 	sortHits(hits)
 	if k > 0 && len(hits) > k {
@@ -324,7 +335,7 @@ func (s *Store) SearchANN(query string, k int) []Hit {
 	if s.planes == nil {
 		s.buildLSH()
 	}
-	q := s.emb.Embed(query)
+	q, qn := s.embedText(query)
 	base := s.sig(q)
 	cand := map[int]bool{}
 	addBucket := func(sig uint64) {
@@ -343,7 +354,7 @@ func (s *Store) SearchANN(query string, k int) []Hit {
 	}
 	hits := make([]Hit, 0, len(cand))
 	for i := range cand {
-		hits = append(hits, Hit{ID: s.ids[i], Score: Cosine(q, s.vecs[i])})
+		hits = append(hits, Hit{ID: s.ids[i], Score: cosineWithNorms(q, s.vecs[i], qn, s.norms[i])})
 	}
 	sortHits(hits)
 	if k > 0 && len(hits) > k {

@@ -148,7 +148,7 @@ func ABTest(cfg ABConfig, treatment, control harness.Runner) *ABResult {
 		d := draws[i]
 		var o obs.Observer
 		if recs != nil {
-			rec := obs.NewRecorder(fmt.Sprintf("ab/%04d", i))
+			rec := obs.AcquireRecorder(fmt.Sprintf("ab/%04d", i))
 			recs[i] = rec
 			o = rec
 		}
@@ -159,6 +159,7 @@ func ABTest(cfg ABConfig, treatment, control harness.Runner) *ABResult {
 	})
 	for _, rec := range recs {
 		cfg.Obs.Absorb(rec)
+		rec.Release()
 	}
 	for i, tr := range trials {
 		if tr.Err != nil {
@@ -235,7 +236,7 @@ func RunMatrixObserved(n, workers int, mix []scenarios.Scenario, seed int64, sin
 	trials := parallel.RunTrials(n, workers, seed, func(_ int64, i int) []harness.Result {
 		var o obs.Observer
 		if recs != nil {
-			rec := obs.NewRecorder(fmt.Sprintf("matrix/%04d", i))
+			rec := obs.AcquireRecorder(fmt.Sprintf("matrix/%04d", i))
 			recs[i] = rec
 			o = rec
 		}
@@ -247,6 +248,7 @@ func RunMatrixObserved(n, workers int, mix []scenarios.Scenario, seed int64, sin
 	})
 	for _, rec := range recs {
 		sink.Absorb(rec)
+		rec.Release()
 	}
 	for _, tr := range trials {
 		if tr.Err != nil {

@@ -67,15 +67,17 @@ type Runner interface {
 	Run(in *scenarios.Instance, seed int64) Result
 }
 
-// newRegistry builds the per-incident toolbox.
-func newRegistry(in *scenarios.Instance, hist *kb.History, emb embed.Embedder) *tools.Registry {
+// newRegistry builds the per-incident toolbox. It also returns the
+// vector store backing the similar-incidents tool so the session can
+// report the store's embedding-cache counters at session end.
+func newRegistry(in *scenarios.Instance, hist *kb.History, emb embed.Embedder) (*tools.Registry, *embed.Store) {
 	store := embed.NewStore(emb)
 	if hist != nil {
 		for _, rec := range hist.All() {
 			store.Add(rec.ID, rec.Text())
 		}
 	}
-	return tools.NewDefaultRegistry(store, hist, in.Incident.Title+" "+in.Incident.Summary, in.Incident.Service)
+	return tools.NewDefaultRegistry(store, hist, in.Incident.Title+" "+in.Incident.Summary, in.Incident.Service), store
 }
 
 // injectFaults wraps a registry with a per-trial fault injector when the
@@ -138,7 +140,7 @@ func (h *HelperRunner) RunObserved(in *scenarios.Instance, seed int64, o obs.Obs
 	if h.Window > 0 {
 		model.Window = h.Window
 	}
-	reg := newRegistry(in, h.History, embed.NewDomainEmbedder(128))
+	reg, store := newRegistry(in, h.History, embed.NewDomainEmbedder(128))
 	_ = reg.Register("im", tools.NewNLQueryTool(model)) // verified NL query, §4.4
 	reg, inj := injectFaults(reg, h.Faults, seed)
 	helper := &core.Helper{Model: model, Tools: reg, Quant: &risk.Assessor{}, Config: h.Config, Obs: o}
@@ -158,6 +160,7 @@ func (h *HelperRunner) RunObserved(in *scenarios.Instance, seed int64, o obs.Obs
 	out := helper.Run(in.World, in.Incident, watcher)
 
 	res := helperResult(in, out)
+	emitCacheStats(o, in, store)
 	emitEnd(o, in, res)
 	return res
 }
@@ -226,7 +229,7 @@ func (o *OneShotRunner) RunObserved(in *scenarios.Instance, seed int64, ob obs.O
 		emb = embed.NewDomainEmbedder(128)
 	}
 	pred := baseline.Train(o.History, o.KBase, emb)
-	reg := newRegistry(in, o.History, emb)
+	reg, store := newRegistry(in, o.History, emb)
 	reg, _ = injectFaults(reg, o.Faults, seed)
 	reg = observeRegistry(reg, ob)
 	emitStart(ob, in, seed)
@@ -243,6 +246,7 @@ func (o *OneShotRunner) RunObserved(in *scenarios.Instance, seed int64, ob obs.O
 	}
 	res.Correct = out.Mitigated && in.Succeeded(out.Applied)
 	res.RootCause = out.Predicted == in.Incident.Truth.RootCause
+	emitCacheStats(ob, in, store)
 	emitEnd(ob, in, res)
 	return res
 }
@@ -283,7 +287,7 @@ func (c *ControlRunner) RunObserved(in *scenarios.Instance, seed int64, o obs.Ob
 		exp = 0.8
 	}
 	eng := &oce.Engineer{Expertise: exp, KBase: c.KBase, Rng: rand.New(rand.NewSource(seed ^ 0xabcdef))}
-	reg := newRegistry(in, c.History, embed.NewDomainEmbedder(128))
+	reg, store := newRegistry(in, c.History, embed.NewDomainEmbedder(128))
 	reg, _ = injectFaults(reg, c.Faults, seed)
 	reg = observeRegistry(reg, o)
 	emitStart(o, in, seed)
@@ -299,6 +303,7 @@ func (c *ControlRunner) RunObserved(in *scenarios.Instance, seed int64, o obs.Ob
 		Applied:   out.Applied,
 	}
 	res.Correct = out.Mitigated && in.Succeeded(out.Applied)
+	emitCacheStats(o, in, store)
 	emitEnd(o, in, res)
 	return res
 }
@@ -309,7 +314,7 @@ func (c *ControlRunner) RunObserved(in *scenarios.Instance, seed int64, o obs.Ob
 // core.NewPostmortem needs. Events stream into o live when non-nil.
 func RunSession(model llm.Model, kbase *kb.KB, cfg core.Config, expertise float64, hist *kb.History, in *scenarios.Instance, seed int64, o obs.Observer) (Result, *core.Outcome) {
 	o = obs.WithRunner(o, "iterative-helper")
-	reg := newRegistry(in, hist, embed.NewDomainEmbedder(128))
+	reg, store := newRegistry(in, hist, embed.NewDomainEmbedder(128))
 	_ = reg.Register("im", tools.NewNLQueryTool(model)) // verified NL query, §4.4
 	helper := &core.Helper{Model: model, Tools: reg, Quant: &risk.Assessor{}, Config: cfg, Obs: o}
 	if expertise == 0 {
@@ -319,6 +324,7 @@ func RunSession(model llm.Model, kbase *kb.KB, cfg core.Config, expertise float6
 	emitStart(o, in, seed)
 	out := helper.Run(in.World, in.Incident, watcher)
 	res := helperResult(in, out)
+	emitCacheStats(o, in, store)
 	emitEnd(o, in, res)
 	return res, out
 }

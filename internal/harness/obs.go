@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/embed"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -53,6 +54,31 @@ func emitEnd(o obs.Observer, in *scenarios.Instance, res Result) {
 			Quarantined: res.Quarantined,
 			CostUSD:     res.CostUSD,
 		},
+	})
+}
+
+// emitCacheStats reports the session's fast-path cache counters: the
+// world's route-DAG cache (shared across its what-if clones) and the
+// vector store's embedding memo. Both counts are deterministic per trial
+// — they depend only on the session's own lookup sequence — so the
+// resulting events and aiops_cache_* aggregates stay byte-identical at
+// every worker count. With caches disabled the counts are zero and the
+// metrics layer emits no series.
+func emitCacheStats(o obs.Observer, in *scenarios.Instance, store *embed.Store) {
+	if o == nil {
+		return
+	}
+	rh, rm := in.World.Net.RouteCacheStats()
+	obs.Emit(o, obs.Event{
+		Type: obs.EvCacheStats, At: in.World.Clock.Now(),
+		Scenario: in.Scenario.Name(),
+		Cache:    "route", CacheHits: rh, CacheMisses: rm,
+	})
+	eh, em := store.CacheStats()
+	obs.Emit(o, obs.Event{
+		Type: obs.EvCacheStats, At: in.World.Clock.Now(),
+		Scenario: in.Scenario.Name(),
+		Cache:    "embed", CacheHits: eh, CacheMisses: em,
 	})
 }
 
@@ -125,12 +151,13 @@ func RunPoolObserved(sc scenarios.Scenario, r Runner, n, workers int, seed int64
 	}
 	recs := make([]*obs.Recorder, n)
 	trials := parallel.RunTrials(n, workers, seed, func(s int64, i int) Result {
-		rec := obs.NewRecorder(fmt.Sprintf("%s/%04d", sc.Name(), i))
+		rec := obs.AcquireRecorder(fmt.Sprintf("%s/%04d", sc.Name(), i))
 		recs[i] = rec
 		return BuildAndRunObserved(r, sc, s, rec)
 	})
 	for _, rec := range recs {
 		sink.Absorb(rec)
+		rec.Release()
 	}
 	return trials
 }

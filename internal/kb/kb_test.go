@@ -3,6 +3,7 @@ package kb
 import (
 	"testing"
 
+	"repro/internal/embed"
 	"repro/internal/mitigation"
 )
 
@@ -258,5 +259,29 @@ func TestKBHistoryAttachedAndSharedAcrossSnapshots(t *testing.T) {
 	s := k.Snapshot(1)
 	if s.History().Len() != 1 {
 		t.Error("snapshot should share the incident history store")
+	}
+}
+
+// Bump is the fleet's "knowledge changed" signal; it must evict the
+// process-wide embedding memo so vectors derived from retired corpus
+// text cannot be served to later sessions. Not parallel: it touches the
+// shared memo.
+func TestBumpEvictsEmbeddingMemo(t *testing.T) {
+	if !embed.EmbedCacheEnabled() {
+		t.Skip("embed cache disabled")
+	}
+	s := embed.NewStore(embed.NewDomainEmbedder(64))
+	s.Add("a", "packet loss in us-east")
+	s.Search("packet loss in us-east", 1)
+	h0, m0 := s.CacheStats()
+	if h0 == 0 {
+		t.Fatal("setup: repeat lookup should have warmed the memo")
+	}
+
+	Default().Bump()
+
+	s.Search("packet loss in us-east", 1)
+	if h, m := s.CacheStats(); h != h0 || m != m0+1 {
+		t.Fatalf("post-Bump lookup should miss: %d hits / %d misses, want %d / %d", h, m, h0, m0+1)
 	}
 }

@@ -168,21 +168,21 @@ func (e *Executor) Execute(a Action) error {
 
 	switch a.Kind {
 	case IsolateLink, DeisolateLink:
-		l := w.Net.Link(netsim.LinkID(a.Target))
+		l := w.Net.MutLink(netsim.LinkID(a.Target))
 		if l == nil {
 			return fmt.Errorf("mitigation: unknown link %q", a.Target)
 		}
 		l.Isolated = a.Kind == IsolateLink
 		record(a.String(), l.A, l.B)
 	case IsolateDevice, DeisolateDevice:
-		nd := w.Net.Node(netsim.NodeID(a.Target))
+		nd := w.Net.MutNode(netsim.NodeID(a.Target))
 		if nd == nil {
 			return fmt.Errorf("mitigation: unknown device %q", a.Target)
 		}
 		nd.Isolated = a.Kind == IsolateDevice
 		record(a.String(), nd.ID)
 	case RestartDevice:
-		nd := w.Net.Node(netsim.NodeID(a.Target))
+		nd := w.Net.MutNode(netsim.NodeID(a.Target))
 		if nd == nil {
 			return fmt.Errorf("mitigation: unknown device %q", a.Target)
 		}
@@ -212,8 +212,10 @@ func (e *Executor) Execute(a Action) error {
 			if a.Param != "" && nd.WANName != a.Param {
 				continue
 			}
-			if _, has := nd.Protocols[a.Target]; has || enable {
-				nd.Protocols[a.Target] = enable
+			// Skip nodes the write wouldn't change, so a no-op toggle
+			// doesn't copy-on-write every node in the fleet.
+			if cur, has := nd.Protocols[a.Target]; (has || enable) && cur != enable {
+				w.Net.MutNode(nd.ID).Protocols[a.Target] = enable
 			}
 		}
 		record(a.String())

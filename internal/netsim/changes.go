@@ -66,6 +66,13 @@ func changeID(n int) string {
 	return string(buf)
 }
 
+// Clone returns a copy of the log that preserves the ID counter, so
+// records added to a what-if clone never collide with IDs the parent
+// assigns later.
+func (c *ChangeLog) Clone() *ChangeLog {
+	return &ChangeLog{records: append([]ChangeRecord(nil), c.records...), nextID: c.nextID}
+}
+
 // All returns every record ordered by time then ID.
 func (c *ChangeLog) All() []ChangeRecord {
 	out := append([]ChangeRecord(nil), c.records...)

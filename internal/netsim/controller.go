@@ -188,6 +188,13 @@ func (c *Controller) FilterFor(f *Flow) NodeFilter {
 	}
 }
 
+// FilterKey implements FilterKeyer: the filter FilterFor builds depends
+// only on the assigned WAN (and on immutable node Kind/WANName fields),
+// so the WAN name keys the route cache exactly.
+func (c *Controller) FilterKey(f *Flow) (string, bool) {
+	return "wan:" + c.AssignWAN(f), true
+}
+
 // String summarizes controller state for traces and logs.
 func (c *Controller) String() string {
 	return fmt.Sprintf("controller{failed=%v inconsistent=%v announcements=%d}",

@@ -24,7 +24,7 @@ func (f *LinkDownFault) Description() string { return fmt.Sprintf("link %s is do
 
 // Apply implements Fault.
 func (f *LinkDownFault) Apply(w *World) {
-	if l := w.Net.Link(f.Link); l != nil {
+	if l := w.Net.MutLink(f.Link); l != nil {
 		l.Down = true
 		w.Logf(l.A, SevError, "link %s to %s: carrier lost", f.Link, l.B)
 	}
@@ -32,7 +32,7 @@ func (f *LinkDownFault) Apply(w *World) {
 
 // Revert implements Fault.
 func (f *LinkDownFault) Revert(w *World) {
-	if l := w.Net.Link(f.Link); l != nil {
+	if l := w.Net.MutLink(f.Link); l != nil {
 		l.Down = false
 		w.Logf(l.A, SevInfo, "link %s restored", f.Link)
 	}
@@ -51,7 +51,7 @@ func (f *DeviceDownFault) Description() string { return fmt.Sprintf("device %s i
 
 // Apply implements Fault.
 func (f *DeviceDownFault) Apply(w *World) {
-	if nd := w.Net.Node(f.Node); nd != nil {
+	if nd := w.Net.MutNode(f.Node); nd != nil {
 		nd.Healthy = false
 		w.Logf(f.Node, SevCritical, "device unresponsive: watchdog reset loop")
 	}
@@ -59,7 +59,7 @@ func (f *DeviceDownFault) Apply(w *World) {
 
 // Revert implements Fault.
 func (f *DeviceDownFault) Revert(w *World) {
-	if nd := w.Net.Node(f.Node); nd != nil {
+	if nd := w.Net.MutNode(f.Node); nd != nil {
 		nd.Healthy = true
 		w.Logf(f.Node, SevInfo, "device recovered")
 	}
@@ -83,7 +83,7 @@ func (f *LinkCorruptionFault) Description() string {
 
 // Apply implements Fault.
 func (f *LinkCorruptionFault) Apply(w *World) {
-	if l := w.Net.Link(f.Link); l != nil {
+	if l := w.Net.MutLink(f.Link); l != nil {
 		l.CorruptRate = f.Rate
 		w.Logf(l.A, SevWarning, "link %s: FCS error rate rising", f.Link)
 	}
@@ -91,7 +91,7 @@ func (f *LinkCorruptionFault) Apply(w *World) {
 
 // Revert implements Fault.
 func (f *LinkCorruptionFault) Revert(w *World) {
-	if l := w.Net.Link(f.Link); l != nil {
+	if l := w.Net.MutLink(f.Link); l != nil {
 		l.CorruptRate = 0
 	}
 }
@@ -243,7 +243,7 @@ func (t *protocolBugTrigger) Fire(w *World, rep *TrafficReport) bool {
 			if nd == nil || !nd.Usable() || !nd.ProtocolEnabled(t.fault.Protocol) {
 				continue
 			}
-			nd.Healthy = false
+			w.Net.MutNode(id).Healthy = false
 			changed = true
 			w.Logf(id, SevCritical, "network OS fatal exception in %s packet handler; device wedged", t.fault.Protocol)
 		}

@@ -9,10 +9,50 @@ import (
 // mutation; experiments run single-threaded against a simulated clock,
 // and the evaluation harnesses clone Networks per trial instead of
 // sharing them.
+//
+// Clone is copy-on-write: the node/link/adjacency maps are shared across
+// a clone lineage until someone writes. All mutations of node or link
+// state MUST therefore go through MutNode/MutLink (or AddNode/AddLink),
+// which materialize private copies of the touched structures; Node/Link
+// return read-only views. Immutable identity fields (Node.ID, Node.Kind,
+// Node.Region, Node.WANName, Link.ID, Link.A, Link.B, Link.PropDelayMs,
+// Link.CapacityGbps) are never rewritten after construction — the routing
+// cache and shared route DAGs rely on that.
 type Network struct {
 	nodes map[NodeID]*Node
 	links map[LinkID]*Link
 	adj   map[NodeID][]LinkID // sorted for determinism
+
+	// Copy-on-write state. cow is set once the network has ever been
+	// cloned; from then on the maps (while shared*) and the pointed-to
+	// structs (until recorded in own*) may be shared with other lineage
+	// members and must be copied before writing.
+	cow         bool
+	sharedNodes bool
+	sharedLinks bool
+	sharedAdj   bool
+	ownNodes    map[NodeID]bool
+	ownLinks    map[LinkID]bool
+
+	// structVer is the topology generation: bumped by AddNode/AddLink.
+	// Route-cache entries are tagged with it so structural growth (which
+	// can only happen through those methods) invalidates them wholesale.
+	structVer int
+
+	// nbr caches, per node, the resolved (neighbor node, link) pointer
+	// pairs for its adjacency — eliminating two map lookups per edge in
+	// the routing hot path. Dropped whenever a struct is materialized or
+	// the topology grows, since stale pointers would read old state.
+	nbr map[NodeID][]nbrRef
+
+	// sortedNodes/sortedLinks cache the ID-sorted views handed out by
+	// Nodes()/Links(); same invalidation rule as nbr.
+	sortedNodes []*Node
+	sortedLinks []*Link
+
+	// rc is the route cache, shared by every member of a clone lineage so
+	// what-if clones reuse the parent's DAGs (see pathcache.go).
+	rc *routeCache
 }
 
 // NewNetwork returns an empty network.
@@ -21,7 +61,59 @@ func NewNetwork() *Network {
 		nodes: make(map[NodeID]*Node),
 		links: make(map[LinkID]*Link),
 		adj:   make(map[NodeID][]LinkID),
+		rc:    newRouteCache(),
 	}
+}
+
+// invalidateDerived drops the pointer-holding caches after any change
+// that replaces structs or alters adjacency.
+func (n *Network) invalidateDerived() {
+	n.nbr = nil
+	n.sortedNodes = nil
+	n.sortedLinks = nil
+}
+
+// materializeNodes gives this instance a private nodes map (entries still
+// point at possibly-shared structs).
+func (n *Network) materializeNodes() {
+	if !n.sharedNodes {
+		return
+	}
+	m := make(map[NodeID]*Node, len(n.nodes))
+	for k, v := range n.nodes {
+		m[k] = v
+	}
+	n.nodes = m
+	n.sharedNodes = false
+}
+
+// materializeLinks gives this instance a private links map.
+func (n *Network) materializeLinks() {
+	if !n.sharedLinks {
+		return
+	}
+	m := make(map[LinkID]*Link, len(n.links))
+	for k, v := range n.links {
+		m[k] = v
+	}
+	n.links = m
+	n.sharedLinks = false
+}
+
+// materializeAdj gives this instance a private adjacency map with private
+// slices (AddLink mutates the slices in place).
+func (n *Network) materializeAdj() {
+	if !n.sharedAdj {
+		return
+	}
+	m := make(map[NodeID][]LinkID, len(n.adj))
+	for k, v := range n.adj {
+		cp := make([]LinkID, len(v))
+		copy(cp, v)
+		m[k] = cp
+	}
+	n.adj = m
+	n.sharedAdj = false
 }
 
 // AddNode inserts a node. Unset health defaults to healthy. It returns the
@@ -34,6 +126,13 @@ func (n *Network) AddNode(node Node) *Node {
 	if _, ok := n.nodes[node.ID]; ok {
 		panic(fmt.Sprintf("netsim: duplicate node %q", node.ID))
 	}
+	if n.cow {
+		n.materializeNodes()
+		if n.ownNodes == nil {
+			n.ownNodes = make(map[NodeID]bool)
+		}
+		n.ownNodes[node.ID] = true
+	}
 	node.Healthy = true
 	if node.Protocols == nil {
 		node.Protocols = make(map[string]bool)
@@ -43,6 +142,8 @@ func (n *Network) AddNode(node Node) *Node {
 	}
 	stored := node
 	n.nodes[node.ID] = &stored
+	n.structVer++
+	n.invalidateDerived()
 	return &stored
 }
 
@@ -59,10 +160,20 @@ func (n *Network) AddLink(a, b NodeID, capacityGbps, propDelayMs float64) *Link 
 	if _, ok := n.links[id]; ok {
 		panic(fmt.Sprintf("netsim: duplicate link %q", id))
 	}
+	if n.cow {
+		n.materializeLinks()
+		n.materializeAdj()
+		if n.ownLinks == nil {
+			n.ownLinks = make(map[LinkID]bool)
+		}
+		n.ownLinks[id] = true
+	}
 	l := &Link{ID: id, A: a, B: b, CapacityGbps: capacityGbps, PropDelayMs: propDelayMs}
 	n.links[id] = l
 	n.adj[a] = insertSorted(n.adj[a], id)
 	n.adj[b] = insertSorted(n.adj[b], id)
+	n.structVer++
+	n.invalidateDerived()
 	return l
 }
 
@@ -74,11 +185,59 @@ func insertSorted(ids []LinkID, id LinkID) []LinkID {
 	return ids
 }
 
-// Node returns the node with the given ID, or nil if absent.
+// Node returns the node with the given ID, or nil if absent. The result
+// is a read-only view when the network has been cloned; use MutNode
+// before writing.
 func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
 
-// Link returns the link with the given ID, or nil if absent.
+// Link returns the link with the given ID, or nil if absent. The result
+// is a read-only view when the network has been cloned; use MutLink
+// before writing.
 func (n *Network) Link(id LinkID) *Link { return n.links[id] }
+
+// MutNode returns the node for mutation, materializing a private copy of
+// the map and struct when they are shared with a clone lineage. Every
+// write of mutable node state (Healthy, Isolated, OSVersion, Protocols,
+// Attrs) must go through it.
+func (n *Network) MutNode(id NodeID) *Node {
+	nd := n.nodes[id]
+	if nd == nil || !n.cow {
+		return nd
+	}
+	if n.ownNodes[id] {
+		return nd
+	}
+	n.materializeNodes()
+	cp := nd.clone()
+	n.nodes[id] = cp
+	if n.ownNodes == nil {
+		n.ownNodes = make(map[NodeID]bool)
+	}
+	n.ownNodes[id] = true
+	n.invalidateDerived()
+	return cp
+}
+
+// MutLink is MutNode for links: it must guard every write of mutable link
+// state (Down, Isolated, CorruptRate).
+func (n *Network) MutLink(id LinkID) *Link {
+	l := n.links[id]
+	if l == nil || !n.cow {
+		return l
+	}
+	if n.ownLinks[id] {
+		return l
+	}
+	n.materializeLinks()
+	cp := l.clone()
+	n.links[id] = cp
+	if n.ownLinks == nil {
+		n.ownLinks = make(map[LinkID]bool)
+	}
+	n.ownLinks[id] = true
+	n.invalidateDerived()
+	return cp
+}
 
 // LinkBetween returns the link connecting a and b, or nil if none exists.
 func (n *Network) LinkBetween(a, b NodeID) *Link { return n.links[MakeLinkID(a, b)] }
@@ -92,23 +251,39 @@ func (n *Network) NumLinks() int { return len(n.links) }
 // Nodes returns all nodes sorted by ID. The slice is fresh; the pointed-to
 // nodes are live.
 func (n *Network) Nodes() []*Node {
-	out := make([]*Node, 0, len(n.nodes))
-	for _, nd := range n.nodes {
-		out = append(out, nd)
+	if n.sortedNodes == nil {
+		out := make([]*Node, 0, len(n.nodes))
+		for _, nd := range n.nodes {
+			out = append(out, nd)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		n.sortedNodes = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	out := make([]*Node, len(n.sortedNodes))
+	copy(out, n.sortedNodes)
 	return out
 }
 
 // Links returns all links sorted by ID. The slice is fresh; the pointed-to
 // links are live.
 func (n *Network) Links() []*Link {
-	out := make([]*Link, 0, len(n.links))
-	for _, l := range n.links {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	out := make([]*Link, len(n.linksSorted()))
+	copy(out, n.sortedLinks)
 	return out
+}
+
+// linksSorted returns the cached ID-sorted link view (shared; callers
+// must not keep or mutate it).
+func (n *Network) linksSorted() []*Link {
+	if n.sortedLinks == nil {
+		out := make([]*Link, 0, len(n.links))
+		for _, l := range n.links {
+			out = append(out, l)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		n.sortedLinks = out
+	}
+	return n.sortedLinks
 }
 
 // NodesByKind returns all nodes of the given kind, sorted by ID.
@@ -156,48 +331,89 @@ func (n *Network) IncidentLinks(id NodeID) []LinkID {
 	return out
 }
 
+// nbrRef is one resolved adjacency edge: the neighbor node and connecting
+// link as live pointers plus their IDs, so the routing hot path avoids
+// re-hashing string IDs on every traversal.
+type nbrRef struct {
+	nd  *Node
+	l   *Link
+	id  NodeID
+	lid LinkID
+}
+
+// neighborRefs returns the resolved adjacency of id, building and caching
+// it on first use. The cache is dropped whenever structs are materialized
+// (MutNode/MutLink) or the topology grows, so the pointers always refer
+// to this instance's live structs.
+func (n *Network) neighborRefs(id NodeID) []nbrRef {
+	if n.nbr == nil {
+		n.nbr = make(map[NodeID][]nbrRef, len(n.nodes))
+	}
+	refs, ok := n.nbr[id]
+	if !ok {
+		adj := n.adj[id]
+		if len(adj) > 0 {
+			refs = make([]nbrRef, 0, len(adj))
+			for _, lid := range adj {
+				l := n.links[lid]
+				other := l.Other(id)
+				refs = append(refs, nbrRef{nd: n.nodes[other], l: l, id: other, lid: lid})
+			}
+		}
+		n.nbr[id] = refs
+	}
+	return refs
+}
+
 // usableNeighbors yields (neighbor, link) pairs reachable from id over
 // usable links to usable nodes, in deterministic order. allow filters the
 // nodes considered; nil allows every node.
 func (n *Network) usableNeighbors(id NodeID, allow func(*Node) bool) []neighbor {
 	var out []neighbor
-	for _, lid := range n.adj[id] {
-		l := n.links[lid]
-		if !l.Usable() {
+	for _, r := range n.neighborRefs(id) {
+		if !r.l.Usable() || !r.nd.Usable() {
 			continue
 		}
-		other := n.nodes[l.Other(id)]
-		if !other.Usable() {
+		if allow != nil && !allow(r.nd) {
 			continue
 		}
-		if allow != nil && !allow(other) {
-			continue
-		}
-		out = append(out, neighbor{node: other.ID, link: lid})
+		out = append(out, neighbor{node: r.id, link: r.lid, l: r.l})
 	}
 	return out
 }
 
+// neighbor is one usable adjacency edge as seen from a node. The link
+// pointer is retained in route DAGs shared across clone lineages, so
+// consumers may only read its immutable fields (ID, A, B, PropDelayMs);
+// mutable state (Down, Isolated, CorruptRate) must be read through the
+// live network.
 type neighbor struct {
 	node NodeID
 	link LinkID
+	l    *Link
 }
 
-// Clone returns a deep copy of the network. Risk assessment relies on
-// cloning to evaluate "what if we applied this mitigation" without
-// touching live state.
+// Clone returns a copy-on-write snapshot of the network: the maps and
+// structs are shared with this instance (and tagged so either side copies
+// before writing), and the route cache is shared outright so what-if
+// clones reuse already-computed DAGs. Risk assessment relies on cloning
+// to evaluate "what if we applied this mitigation" without touching live
+// state.
 func (n *Network) Clone() *Network {
-	c := NewNetwork()
-	for id, nd := range n.nodes {
-		c.nodes[id] = nd.clone()
+	n.cow = true
+	n.sharedNodes, n.sharedLinks, n.sharedAdj = true, true, true
+	// Structs this instance privately copied are now visible to the new
+	// clone through the shared maps, so ownership resets on both sides.
+	n.ownNodes, n.ownLinks = nil, nil
+	return &Network{
+		nodes:       n.nodes,
+		links:       n.links,
+		adj:         n.adj,
+		cow:         true,
+		sharedNodes: true,
+		sharedLinks: true,
+		sharedAdj:   true,
+		structVer:   n.structVer,
+		rc:          n.rc,
 	}
-	for id, l := range n.links {
-		c.links[id] = l.clone()
-	}
-	for id, ids := range n.adj {
-		cp := make([]LinkID, len(ids))
-		copy(cp, ids)
-		c.adj[id] = cp
-	}
-	return c
 }

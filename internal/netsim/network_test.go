@@ -143,9 +143,9 @@ func TestCloneIsDeep(t *testing.T) {
 	n.Node("a").Protocols["bgp"] = true
 
 	c := n.Clone()
-	c.Node("a").Healthy = false
-	c.Node("a").Protocols["bgp"] = false
-	c.Link(MakeLinkID("a", "b")).Down = true
+	c.MutNode("a").Healthy = false
+	c.MutNode("a").Protocols["bgp"] = false
+	c.MutLink(MakeLinkID("a", "b")).Down = true
 
 	if !n.Node("a").Healthy {
 		t.Error("clone mutation leaked into original node health")
@@ -155,6 +155,20 @@ func TestCloneIsDeep(t *testing.T) {
 	}
 	if n.Link(MakeLinkID("a", "b")).Down {
 		t.Error("clone mutation leaked into original link")
+	}
+
+	// And the reverse direction: parent writes must not leak into the
+	// clone (Clone marks both sides copy-on-write).
+	n.MutNode("b").Isolated = true
+	if c.Node("b").Isolated {
+		t.Error("parent mutation leaked into clone")
+	}
+
+	// Structural growth on the clone stays private too.
+	c.AddNode(Node{ID: "z"})
+	c.AddLink("a", "z", 10, 1)
+	if n.Node("z") != nil || n.LinkBetween("a", "z") != nil {
+		t.Error("clone topology growth leaked into original")
 	}
 }
 

@@ -1,0 +1,223 @@
+package netsim
+
+import "sync/atomic"
+
+// This file implements the what-if fast path's routing cache: ECMP route
+// DAGs are computed once per (topology state, src, dst, filter) and
+// reused across the RouteTraffic fixed-point rounds, across risk
+// assessment's clone/recompute cycles, and across every clone in a
+// lineage (Clone shares the cache pointer).
+//
+// Soundness does not rely on invalidation signals. Each entry records,
+// at compute time, (a) the topology generation, (b) the IDs of every
+// node/link the DAG traverses, and (c) the IDs of every node/link that
+// was unusable. A lookup revalidates against live state: the generation
+// must match, every DAG element must still be usable, and every
+// then-unusable element must still be unusable. Under those conditions
+// the current usable set is a subset of the compute-time one that still
+// contains the whole DAG, so the min-hop distance and the ECMP path set
+// are provably unchanged and a fresh compute would be bit-identical.
+// Because validation reads live structs on every lookup, any mutation —
+// fault injection, mitigation, Clock.Advance-driven triggers, even
+// direct writes in tests — is picked up with no bookkeeping at the
+// mutation site.
+//
+// The cache is intentionally not locked: a Network lineage (a world and
+// its what-if clones) is only ever used from one goroutine; the parallel
+// harness gives each trial its own world.
+
+// routeCacheEnabled globally gates the cache so benchmarks and the
+// determinism tests can diff cached vs uncached output byte-for-byte.
+var routeCacheEnabled atomic.Bool
+
+func init() { routeCacheEnabled.Store(true) }
+
+// SetRouteCacheEnabled toggles the route DAG cache process-wide (the
+// -nocache CLI flag and the cache-off determinism tests use it). Toggle
+// between runs, not mid-run.
+func SetRouteCacheEnabled(on bool) { routeCacheEnabled.Store(on) }
+
+// RouteCacheEnabled reports whether the route DAG cache is active.
+func RouteCacheEnabled() bool { return routeCacheEnabled.Load() }
+
+// FilterKeyer is an optional PathSelector refinement: selectors that can
+// summarize the routing constraint they would impose on a flow as a
+// stable string key unlock the route cache. Two flows mapping to the
+// same (src, dst, key) must route identically. Selectors that cannot
+// promise this simply don't implement the interface and bypass the
+// cache.
+type FilterKeyer interface {
+	PathSelector
+	// FilterKey returns the constraint key for f, and whether the
+	// selector's FilterFor(f) semantics are fully captured by it.
+	FilterKey(f *Flow) (string, bool)
+}
+
+type routeKey struct {
+	src, dst NodeID
+	filter   string
+}
+
+// downSet is the set of unusable elements at DAG compute time. One
+// capture is shared by every cache store within a single RouteTraffic
+// pass (the network cannot change mid-pass).
+type downSet struct {
+	nodes []NodeID
+	links []LinkID
+}
+
+type routeEntry struct {
+	structVer int
+	dag       *RouteDAG // nil = dst unreachable at compute time
+	nodes     []NodeID  // DAG elements (empty for nil dag)
+	links     []LinkID
+	down      *downSet
+}
+
+// routeCache holds two entries per key (MRU first) so risk assessment's
+// parent/clone alternation — same flows, pre- and post-mitigation
+// usable sets — doesn't thrash. Hit/miss counters feed the
+// aiops_cache_* metrics.
+type routeCache struct {
+	entries      map[routeKey][2]*routeEntry
+	hits, misses int64
+}
+
+func newRouteCache() *routeCache {
+	return &routeCache{entries: make(map[routeKey][2]*routeEntry)}
+}
+
+func (c *routeCache) store(k routeKey, e *routeEntry) {
+	b := c.entries[k]
+	b[1] = b[0]
+	b[0] = e
+	c.entries[k] = b
+}
+
+func newRouteEntry(dag *RouteDAG, ver int, down *downSet) *routeEntry {
+	e := &routeEntry{structVer: ver, dag: dag, down: down}
+	if dag == nil {
+		return e
+	}
+	e.nodes = make([]NodeID, 0, len(dag.NodeFrac))
+	for id := range dag.NodeFrac {
+		e.nodes = append(e.nodes, id)
+	}
+	seen := make(map[LinkID]struct{}, len(dag.LinkFrac))
+	e.links = make([]LinkID, 0, len(dag.LinkFrac))
+	for dl := range dag.LinkFrac {
+		if _, ok := seen[dl.Link]; ok {
+			continue
+		}
+		seen[dl.Link] = struct{}{}
+		e.links = append(e.links, dl.Link)
+	}
+	return e
+}
+
+// captureDown records every currently-unusable node and link.
+func (n *Network) captureDown() *downSet {
+	d := &downSet{}
+	for id, nd := range n.nodes {
+		if !nd.Usable() {
+			d.nodes = append(d.nodes, id)
+		}
+	}
+	for lid, l := range n.links {
+		if !l.Usable() {
+			d.links = append(d.links, lid)
+		}
+	}
+	return d
+}
+
+// entryValid revalidates a cache entry against live network state; see
+// the file comment for the argument that validity implies bit-identical
+// recomputation.
+func (n *Network) entryValid(e *routeEntry) bool {
+	if e.structVer != n.structVer {
+		return false
+	}
+	for _, id := range e.nodes {
+		nd := n.nodes[id]
+		if nd == nil || !nd.Usable() {
+			return false
+		}
+	}
+	for _, lid := range e.links {
+		l := n.links[lid]
+		if l == nil || !l.Usable() {
+			return false
+		}
+	}
+	for _, id := range e.down.nodes {
+		if nd := n.nodes[id]; nd != nil && nd.Usable() {
+			return false
+		}
+	}
+	for _, lid := range e.down.links {
+		if l := n.links[lid]; l != nil && l.Usable() {
+			return false
+		}
+	}
+	return true
+}
+
+// cachedRouteDAG routes flow f under sel, serving from the lineage cache
+// when the selector is keyable. dc is the lazily-built pass-shared down
+// capture.
+func (n *Network) cachedRouteDAG(f *Flow, sel PathSelector, dc **downSet) *RouteDAG {
+	key, keyable := "", sel == nil
+	if sel != nil {
+		if fk, ok := sel.(FilterKeyer); ok {
+			key, keyable = fk.FilterKey(f)
+		}
+	}
+	if !keyable || n.rc == nil || !routeCacheEnabled.Load() {
+		var filter NodeFilter
+		if sel != nil {
+			filter = sel.FilterFor(f)
+		}
+		return RouteDAGFor(n, f.Src, f.Dst, filter)
+	}
+	rk := routeKey{src: f.Src, dst: f.Dst, filter: key}
+	b := n.rc.entries[rk]
+	for i, e := range b {
+		if e != nil && n.entryValid(e) {
+			n.rc.hits++
+			if i == 1 {
+				b[0], b[1] = b[1], b[0]
+				n.rc.entries[rk] = b
+			}
+			return e.dag
+		}
+	}
+	n.rc.misses++
+	var filter NodeFilter
+	if sel != nil {
+		filter = sel.FilterFor(f)
+	}
+	dag := RouteDAGFor(n, f.Src, f.Dst, filter)
+	if *dc == nil {
+		*dc = n.captureDown()
+	}
+	n.rc.store(rk, newRouteEntry(dag, n.structVer, *dc))
+	return dag
+}
+
+// RouteFlowDAG routes a single flow under sel through the route cache;
+// telemetry probes use it so repeated probing of a stable topology costs
+// one DAG computation.
+func RouteFlowDAG(n *Network, f *Flow, sel PathSelector) *RouteDAG {
+	var dc *downSet
+	return n.cachedRouteDAG(f, sel, &dc)
+}
+
+// RouteCacheStats reports the lineage-shared cache's cumulative hit and
+// miss counts (zero when caching is disabled).
+func (n *Network) RouteCacheStats() (hits, misses int64) {
+	if n.rc == nil {
+		return 0, 0
+	}
+	return n.rc.hits, n.rc.misses
+}

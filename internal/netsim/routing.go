@@ -3,6 +3,7 @@ package netsim
 import (
 	"container/heap"
 	"sort"
+	"sync"
 )
 
 // Path is a loop-free node/link sequence between two devices.
@@ -132,7 +133,8 @@ func ShortestPath(n *Network, src, dst NodeID, allow NodeFilter) (Path, bool) {
 	}
 	distTo := map[NodeID]float64{src: 0}
 	prev := map[NodeID]prevHop{}
-	pq := &nodePQ{{id: src, dist: 0}}
+	pq := acquirePQ(src)
+	defer releasePQ(pq)
 	done := map[NodeID]bool{}
 	for pq.Len() > 0 {
 		cur := heap.Pop(pq).(pqItem)
@@ -144,7 +146,7 @@ func ShortestPath(n *Network, src, dst NodeID, allow NodeFilter) (Path, bool) {
 			break
 		}
 		for _, nb := range n.usableNeighbors(cur.id, inner) {
-			nd := cur.dist + n.Link(nb.link).PropDelayMs
+			nd := cur.dist + nb.l.PropDelayMs
 			if old, ok := distTo[nb.node]; !ok || nd < old {
 				distTo[nb.node] = nd
 				prev[nb.node] = prevHop{node: cur.id, link: nb.link}
@@ -196,6 +198,22 @@ func (q nodePQ) Less(i, j int) bool {
 func (q nodePQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 func (q *nodePQ) Push(x any)   { *q = append(*q, x.(pqItem)) }
 func (q *nodePQ) Pop() any     { old := *q; it := old[len(old)-1]; *q = old[:len(old)-1]; return it }
+
+// pqPool recycles Dijkstra priority-queue backing arrays; ShortestPath
+// is called per customer tunnel per telemetry query, and the queue is
+// the only allocation that survives long enough to matter.
+var pqPool = sync.Pool{New: func() any { return new(nodePQ) }}
+
+func acquirePQ(src NodeID) *nodePQ {
+	pq := pqPool.Get().(*nodePQ)
+	*pq = append((*pq)[:0], pqItem{id: src, dist: 0})
+	return pq
+}
+
+func releasePQ(pq *nodePQ) {
+	*pq = (*pq)[:0]
+	pqPool.Put(pq)
+}
 
 // Reachable reports whether dst is reachable from src under the filter.
 func Reachable(n *Network, src, dst NodeID, allow NodeFilter) bool {

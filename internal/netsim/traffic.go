@@ -128,8 +128,7 @@ func RouteDAGFor(n *Network, src, dst NodeID, allow NodeFilter) *RouteDAG {
 			share := fu / float64(len(succ))
 			for _, nb := range succ {
 				d.NodeFrac[nb.node] += share
-				l := n.Link(nb.link)
-				d.LinkFrac[DirLink{Link: nb.link, Forward: l.A == u}] += share
+				d.LinkFrac[DirLink{Link: nb.link, Forward: nb.l.A == u}] += share
 				nextSet[nb.node] = true
 			}
 		}
@@ -144,8 +143,10 @@ func RouteDAGFor(n *Network, src, dst NodeID, allow NodeFilter) *RouteDAG {
 
 // deliveredFraction runs the delivery dynamic program: the probability a
 // unit of traffic injected at src reaches dst given per-directed-link
-// loss rates.
-func (d *RouteDAG) deliveredFraction(n *Network, loss func(DirLink) float64) float64 {
+// loss rates. It reads only immutable link fields through the cached
+// neighbor pointers, so a DAG shared across clone lineages evaluates
+// identically from any member.
+func (d *RouteDAG) deliveredFraction(loss func(DirLink) float64) float64 {
 	memo := map[NodeID]float64{d.Dst: 1}
 	var dp func(u NodeID) float64
 	dp = func(u NodeID) float64 {
@@ -159,8 +160,7 @@ func (d *RouteDAG) deliveredFraction(n *Network, loss func(DirLink) float64) flo
 		}
 		var sum float64
 		for _, nb := range succ {
-			l := n.Link(nb.link)
-			dl := DirLink{Link: nb.link, Forward: l.A == u}
+			dl := DirLink{Link: nb.link, Forward: nb.l.A == u}
 			sum += (1 - loss(dl)) * dp(nb.node)
 		}
 		v := sum / float64(len(succ))
@@ -172,7 +172,7 @@ func (d *RouteDAG) deliveredFraction(n *Network, loss func(DirLink) float64) flo
 
 // expectedDelayMs runs the latency dynamic program: mean path propagation
 // delay under equal per-hop splitting.
-func (d *RouteDAG) expectedDelayMs(n *Network) float64 {
+func (d *RouteDAG) expectedDelayMs() float64 {
 	memo := map[NodeID]float64{d.Dst: 0}
 	var dp func(u NodeID) float64
 	dp = func(u NodeID) float64 {
@@ -186,7 +186,7 @@ func (d *RouteDAG) expectedDelayMs(n *Network) float64 {
 		}
 		var sum float64
 		for _, nb := range succ {
-			sum += n.Link(nb.link).PropDelayMs + dp(nb.node)
+			sum += nb.l.PropDelayMs + dp(nb.node)
 		}
 		v := sum / float64(len(succ))
 		memo[u] = v
@@ -304,18 +304,17 @@ func RouteTraffic(n *Network, flows []*Flow, sel PathSelector) *TrafficReport {
 		LinkStats:    make(map[LinkID]*LinkStats, n.NumLinks()),
 		ServiceStats: make(map[string]*ServiceStats),
 	}
-	for _, l := range n.Links() {
+	for _, l := range n.linksSorted() {
 		rep.LinkStats[l.ID] = &LinkStats{Link: l.ID}
 	}
 
-	// Pass 1: route each flow, accumulate directed loads.
+	// Pass 1: route each flow, accumulate directed loads. Routing goes
+	// through the lineage route cache; the down-set capture is shared by
+	// every miss in this pass since the network cannot change mid-pass.
+	var dc *downSet
 	for _, f := range flows {
-		var filter NodeFilter
-		if sel != nil {
-			filter = sel.FilterFor(f)
-		}
 		fs := &FlowStats{Flow: f}
-		fs.DAG = RouteDAGFor(n, f.Src, f.Dst, filter)
+		fs.DAG = n.cachedRouteDAG(f, sel, &dc)
 		fs.Routed = fs.DAG != nil
 		rep.FlowStats = append(rep.FlowStats, fs)
 		if !fs.Routed {
@@ -365,8 +364,8 @@ func RouteTraffic(n *Network, flows []*Flow, sel PathSelector) *TrafficReport {
 			svc.Unrouted++
 			continue
 		}
-		fs.LossRate = clamp01(1 - fs.DAG.deliveredFraction(n, lossFn))
-		fs.LatencyMs = fs.DAG.expectedDelayMs(n)
+		fs.LossRate = clamp01(1 - fs.DAG.deliveredFraction(lossFn))
+		fs.LatencyMs = fs.DAG.expectedDelayMs()
 		rep.TotalDelivered += fs.Delivered()
 		svc.Delivered += fs.Delivered()
 		if fs.LatencyMs > svc.MaxLatency {
@@ -424,6 +423,7 @@ func UniformMeshFlows(endpoints []NodeID, demandGbps float64, service string) []
 // traversing dag, given the per-link loss rates already computed in rep.
 // Telemetry probes (PingMesh) use it so probing does not perturb load.
 func ProbeLossOverDAG(dag *RouteDAG, n *Network, rep *TrafficReport) float64 {
+	_ = n // retained for API stability; the DAG carries its link data
 	loss := func(dl DirLink) float64 {
 		ls := rep.LinkStats[dl.Link]
 		if ls == nil {
@@ -434,5 +434,5 @@ func ProbeLossOverDAG(dag *RouteDAG, n *Network, rep *TrafficReport) float64 {
 		}
 		return ls.LossBA
 	}
-	return clamp01(1 - dag.deliveredFraction(n, loss))
+	return clamp01(1 - dag.deliveredFraction(loss))
 }

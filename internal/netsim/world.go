@@ -315,11 +315,14 @@ func (w *World) ActiveFaults() []string {
 // FaultActive reports whether the fault with the given ID is unresolved.
 func (w *World) FaultActive(id string) bool { _, ok := w.faults[id]; return ok }
 
-// Clone returns a deep what-if copy of the world: network, controller,
-// flows, broken monitors and triggers are copied; the clock, change log
-// and syslog are shared-by-value snapshots (risk assessment only reads
-// them). Mutating the clone never affects the original — the risk
-// assessor relies on this to evaluate candidate mitigations safely.
+// Clone returns a what-if copy of the world. The network is a
+// copy-on-write snapshot (Network.Clone shares the topology maps until
+// either side writes); flows are slab-copied in one allocation because
+// mitigations mutate them in place; controller, broken monitors and
+// triggers are copied; the clock, change log and syslog are
+// shared-by-value snapshots (risk assessment only reads them). Mutating
+// the clone never affects the original — the risk assessor relies on
+// this to evaluate candidate mitigations safely.
 func (w *World) Clone() *World {
 	var ctl *Controller
 	if w.Ctl != nil {
@@ -327,13 +330,22 @@ func (w *World) Clone() *World {
 	}
 	c := NewWorld(w.Net.Clone(), ctl, w.Backbone)
 	c.Clock.Advance(w.Clock.Now())
-	for _, f := range w.flows {
-		cf := *f
-		cf.Attrs = make(map[string]string, len(f.Attrs))
-		for k, v := range f.Attrs {
-			cf.Attrs[k] = v
+	if len(w.flows) > 0 {
+		slab := make([]Flow, len(w.flows))
+		c.flows = make([]*Flow, len(w.flows))
+		for i, f := range w.flows {
+			slab[i] = *f
+			// Copy any non-nil Attrs map: MoveService writes into a
+			// flow's Attrs, and even an empty map must not be aliased.
+			if f.Attrs != nil {
+				m := make(map[string]string, len(f.Attrs))
+				for k, v := range f.Attrs {
+					m[k] = v
+				}
+				slab[i].Attrs = m
+			}
+			c.flows[i] = &slab[i]
 		}
-		c.flows = append(c.flows, &cf)
 	}
 	for m := range w.BrokenMonitors {
 		c.BrokenMonitors[m] = true
@@ -350,9 +362,7 @@ func (w *World) Clone() *World {
 	for id, f := range w.faults {
 		c.faults[id] = f
 	}
-	for _, r := range w.Changes.All() {
-		c.Changes.Add(r)
-	}
+	c.Changes = w.Changes.Clone()
 	c.events = append(c.events, w.events...)
 	return c
 }

@@ -45,6 +45,8 @@ const (
 	MFleetIncidents = "aiops_fleet_incidents_total"
 	MFleetQueue     = "aiops_fleet_queue_minutes"
 	MFleetUtil      = "aiops_fleet_utilization"
+	MCacheHits      = "aiops_cache_hits_total"
+	MCacheMisses    = "aiops_cache_misses_total"
 )
 
 // NewAIOpsRegistry declares the §3 metric families with their fixed
@@ -74,6 +76,8 @@ func NewAIOpsRegistry() *Registry {
 	r.DeclareCounter(MFleetIncidents, "fleet-level incident arrivals")
 	r.DeclareHistogram(MFleetQueue, "fleet queueing delay before a responder frees up, minutes", QueueBuckets)
 	r.DeclareGauge(MFleetUtil, "responder-pool busy fraction over the makespan")
+	r.DeclareCounter(MCacheHits, "what-if fast-path cache hits by cache (route|embed) — avoided recomputation, i.e. saved system cost")
+	r.DeclareCounter(MCacheMisses, "what-if fast-path cache misses by cache (route|embed)")
 	return r
 }
 
@@ -131,6 +135,13 @@ func Collect(r *Registry, e Event) {
 	case EvFleetIncident:
 		r.Inc(MFleetIncidents, Labels{"runner": e.Runner}, 1)
 		r.Observe(MFleetQueue, Labels{"runner": e.Runner}, e.Queue.Minutes())
+	case EvCacheStats:
+		if e.CacheHits > 0 {
+			r.Inc(MCacheHits, Labels{"cache": e.Cache, "runner": e.Runner}, float64(e.CacheHits))
+		}
+		if e.CacheMisses > 0 {
+			r.Inc(MCacheMisses, Labels{"cache": e.Cache, "runner": e.Runner}, float64(e.CacheMisses))
+		}
 	case "approval":
 		r.Inc(MApprovals, Labels{"runner": e.Runner, "mode": e.Disposition}, 1)
 	case "veto":

@@ -21,7 +21,10 @@
 // exactly as a build without this package.
 package obs
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Type classifies events. Display-trace events reuse the session trace
 // step kinds verbatim (see internal/core's StepKind); the constants
@@ -48,6 +51,9 @@ const (
 	EvMitigation Type = "mitigation-action"
 	// EvFleetIncident is one fleet-level arrival (queueing delay).
 	EvFleetIncident Type = "fleet-incident"
+	// EvCacheStats reports one cache's per-session hit/miss counts (the
+	// what-if fast path's route cache and the embedding memo).
+	EvCacheStats Type = "cache-stats"
 )
 
 // Event is one structured observation. Only the fields relevant to the
@@ -98,6 +104,12 @@ type Event struct {
 
 	// Queue is the fleet-level queueing delay (fleet-incident events).
 	Queue time.Duration `json:"queue,omitempty"`
+
+	// Cache fields (cache-stats events): which cache, and its counts
+	// over the session.
+	Cache       string `json:"cache,omitempty"`
+	CacheHits   int64  `json:"cache_hits,omitempty"`
+	CacheMisses int64  `json:"cache_misses,omitempty"`
 
 	// Outcome is the session summary (session-end events only).
 	Outcome *SessionOutcome `json:"outcome,omitempty"`
@@ -158,6 +170,28 @@ type Recorder struct {
 // NewRecorder builds a recorder that stamps the session label onto every
 // buffered event.
 func NewRecorder(session string) *Recorder { return &Recorder{Session: session} }
+
+// recorderPool recycles Recorders (and, more importantly, their event
+// buffers) across trials: the parallel harnesses allocate one recorder
+// per trial, and the buffers grow to hundreds of events.
+var recorderPool = sync.Pool{New: func() any { return new(Recorder) }}
+
+// AcquireRecorder returns a pooled recorder labelled with session. Pair
+// it with Release once the recorder's events have been absorbed.
+func AcquireRecorder(session string) *Recorder {
+	r := recorderPool.Get().(*Recorder)
+	r.Session = session
+	return r
+}
+
+// Release returns the recorder to the pool, keeping its buffer capacity.
+// Callers must not touch the recorder afterwards; the Sink copies events
+// on absorb, so absorbed events survive recycling.
+func (r *Recorder) Release() {
+	r.Session = ""
+	r.Events = r.Events[:0]
+	recorderPool.Put(r)
+}
 
 // Emit implements Observer.
 func (r *Recorder) Emit(e Event) {

@@ -109,9 +109,10 @@ func Simulate(cfg Config) *Report {
 		in := sc.Build(rand.New(rand.NewSource(seed)))
 		var res harness.Result
 		if or, ok := cfg.Runner.(harness.ObservedRunner); ok && cfg.Obs != nil {
-			rec := obs.NewRecorder(fmt.Sprintf("fleet/%04d", i))
+			rec := obs.AcquireRecorder(fmt.Sprintf("fleet/%04d", i))
 			res = or.RunObserved(in, seed, rec)
 			cfg.Obs.Absorb(rec)
+			rec.Release()
 		} else {
 			res = cfg.Runner.Run(in, seed)
 		}

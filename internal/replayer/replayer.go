@@ -222,7 +222,7 @@ func ReplayObserved(c *Corpus, r harness.Runner, workers int, sink *obs.Sink) *R
 		}
 		var ob obs.Observer
 		if recs != nil {
-			rec := obs.NewRecorder(fmt.Sprintf("replay/%04d", i))
+			rec := obs.AcquireRecorder(fmt.Sprintf("replay/%04d", i))
 			recs[i] = rec
 			ob = rec
 		}
@@ -268,7 +268,10 @@ func ReplayObserved(c *Corpus, r harness.Runner, workers int, sink *obs.Sink) *R
 		return o
 	})
 	for _, rec := range recs {
-		sink.Absorb(rec)
+		if rec != nil {
+			sink.Absorb(rec)
+			rec.Release()
+		}
 	}
 
 	rep := &Report{}

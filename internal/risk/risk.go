@@ -75,7 +75,10 @@ type Assessor struct{}
 // AssessPlan evaluates the plan on a cloned world and returns the report.
 // The live world is never mutated.
 func (a *Assessor) AssessPlan(w *netsim.World, p mitigation.Plan) *Report {
-	before := w.Recompute()
+	// Report() reuses the world's cached fixed point when it is still
+	// valid; every mutation path invalidates it, so this is identical to
+	// Recompute() minus the redundant re-solve per candidate plan.
+	before := w.Report()
 	clone := w.Clone()
 	r := &Report{Plan: p}
 

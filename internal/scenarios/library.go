@@ -307,7 +307,7 @@ func (s *NovelProtocol) Build(rng *rand.Rand) *Instance {
 	// The rollout happened weeks before the incident.
 	for _, nd := range w.Net.Nodes() {
 		if nd.WANName == "B4" {
-			nd.Protocols[kb.FastpathProtocol] = true
+			w.Net.MutNode(nd.ID).Protocols[kb.FastpathProtocol] = true
 		}
 	}
 	rollout := w.Changes.Add(netsim.ChangeRecord{
@@ -359,7 +359,7 @@ func (f *maintenanceFault) Description() string {
 
 func (f *maintenanceFault) Apply(w *netsim.World) {
 	for _, lid := range f.links {
-		if l := w.Net.Link(lid); l != nil {
+		if l := w.Net.MutLink(lid); l != nil {
 			l.Down = true
 			w.Logf(l.A, netsim.SevError, "link %s to %s: carrier lost", lid, l.B)
 		}
@@ -368,7 +368,7 @@ func (f *maintenanceFault) Apply(w *netsim.World) {
 
 func (f *maintenanceFault) Revert(w *netsim.World) {
 	for _, lid := range f.links {
-		if l := w.Net.Link(lid); l != nil {
+		if l := w.Net.MutLink(lid); l != nil {
 			l.Down = false
 			w.Logf(l.A, netsim.SevInfo, "link %s restored", lid)
 		}
@@ -465,7 +465,7 @@ func (s *GrayLinkFlapping) Build(rng *rand.Rand) *Instance {
 	var toggle func(on bool) func(*netsim.World)
 	toggle = func(on bool) func(*netsim.World) {
 		return func(ww *netsim.World) {
-			l := ww.Net.Link(lid)
+			l := ww.Net.MutLink(lid)
 			if l == nil || !ww.FaultActive(fault.ID()) {
 				return
 			}

@@ -108,11 +108,11 @@ func (p *PingMesh) Query() []PairLoss {
 // per-link loss rates.
 func probeLoss(w *netsim.World, rep *netsim.TrafficReport, src, dst netsim.NodeID) float64 {
 	probe := &netsim.Flow{ID: "probe", Src: src, Dst: dst, Service: "probe"}
-	var filter netsim.NodeFilter
+	var sel netsim.PathSelector
 	if w.Ctl != nil {
-		filter = w.Ctl.FilterFor(probe)
+		sel = w.Ctl
 	}
-	dag := netsim.RouteDAGFor(w.Net, src, dst, filter)
+	dag := netsim.RouteFlowDAG(w.Net, probe, sel)
 	if dag == nil {
 		return 1
 	}
