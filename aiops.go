@@ -164,8 +164,16 @@ func WithWorkers(n int) Option { return func(s *System) { s.workers = n } }
 // WithFaults enables deterministic fault injection: every toolbox
 // invocation (and mitigation action, when ActionRate > 0) draws from a
 // seed-derived fault schedule. The zero config keeps every run
-// byte-identical to a fault-free build.
-func WithFaults(fc FaultConfig) Option { return func(s *System) { s.faultCfg = fc } }
+// byte-identical to a fault-free build. An invalid config — any
+// probability outside [0,1] — panics immediately: out-of-range rates
+// used to be silently capped by the injector, producing tables for a
+// configuration that never existed.
+func WithFaults(fc FaultConfig) Option {
+	if err := fc.Validate(); err != nil {
+		panic("aiops.WithFaults: " + err.Error())
+	}
+	return func(s *System) { s.faultCfg = fc }
+}
 
 // WithObservability streams every session's structured events (and the
 // derived metric aggregates) into the sink across all of the system's

@@ -155,3 +155,18 @@ func TestSystemPostmortem(t *testing.T) {
 		t.Errorf("postmortem costs not populated: %+v", pm.Costs)
 	}
 }
+
+func TestWithFaultsRejectsInvalidConfig(t *testing.T) {
+	t.Parallel()
+	for _, fc := range []FaultConfig{{Rate: 1.5}, {Rate: -0.1}, {ActionRate: 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WithFaults(%+v) did not panic", fc)
+				}
+			}()
+			WithFaults(fc)
+		}()
+	}
+	WithFaults(FaultConfig{Rate: 0.5, ActionRate: 0.25}) // legal: must not panic
+}

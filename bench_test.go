@@ -15,11 +15,14 @@ package aiops
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/harness"
+	"repro/internal/incident"
 	"repro/internal/kb"
 	"repro/internal/llm"
 	"repro/internal/mitigation"
@@ -296,6 +299,55 @@ func BenchmarkE12_SmallModels(b *testing.B) {
 		tables := experiments.E12SmallModels(benchParams(i))
 		if len(tables[0].Rows) != 8 {
 			b.Fatal("E12 should emit 4 recalls x 2 RAG arms")
+		}
+	}
+}
+
+func BenchmarkE13_Resilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E13Resilience(benchParams(i))
+		if len(tables[0].Rows) != 12 {
+			b.Fatal("E13 should emit 4 fault rates x 3 arms")
+		}
+	}
+}
+
+func BenchmarkE14_OfferedLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E14OfferedLoad(benchParams(i))
+		if len(tables) != 2 || len(tables[0].Rows) != 15 {
+			b.Fatal("E14 should emit a 5-rung x 3-arm ladder plus the knee table")
+		}
+	}
+}
+
+// benchFlatScenario / benchFlatRunner isolate the fleet scheduler's own
+// cost (admission, priority queues, aging, drain) from session time.
+type benchFlatScenario struct{}
+
+func (benchFlatScenario) Name() string           { return "flat" }
+func (benchFlatScenario) RootCauseClass() string { return "bench" }
+func (benchFlatScenario) Build(rng *rand.Rand) *scenarios.Instance {
+	return &scenarios.Instance{Incident: &incident.Incident{Severity: rng.Intn(4)}, Scenario: benchFlatScenario{}}
+}
+
+type benchFlatRunner struct{}
+
+func (benchFlatRunner) Name() string { return "flat" }
+func (benchFlatRunner) Run(in *scenarios.Instance, seed int64) harness.Result {
+	return harness.Result{Scenario: in.Scenario.Name(), Mitigated: true, Correct: true, TTM: 45 * time.Minute}
+}
+
+func BenchmarkFleetSchedule(b *testing.B) {
+	cfg := fleet.Config{
+		OCEs: 3, ArrivalsPerHour: 8, Incidents: 256, QueueLimit: 8,
+		Mix: []scenarios.Scenario{benchFlatScenario{}}, Runner: benchFlatRunner{},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if rep := fleet.Simulate(cfg); rep.Admitted+rep.Shed != 256 {
+			b.Fatal("fleet lost arrivals")
 		}
 	}
 }

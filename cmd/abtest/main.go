@@ -27,6 +27,7 @@ func main() {
 	)
 	c := cliflags.Register(flag.CommandLine, 1)
 	flag.Parse()
+	c.MustValidate()
 	c.StartPProf()
 	c.ApplyCaches()
 

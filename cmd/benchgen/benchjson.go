@@ -1,9 +1,10 @@
 package main
 
 // The -bench-json mode runs the repository's benchmark set in-process —
-// the thirteen experiment tables at the bench_test.go cell size plus the
+// the fourteen experiment tables at the bench_test.go cell size plus the
 // substrate micro-kernels (routing, cloning, embeddings, search, LLM,
-// risk, whole sessions) — and writes one JSON record per benchmark:
+// risk, whole sessions, the fleet scheduler) — and writes one JSON
+// record per benchmark:
 // {name, ns/op, allocs/op, headline}. Committed snapshots
 // (BENCH_<date>.json at the repo root) give the performance trajectory a
 // baseline that `go test -bench` output alone never leaves behind.
@@ -26,7 +27,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/harness"
+	"repro/internal/incident"
 	"repro/internal/kb"
 	"repro/internal/llm"
 	"repro/internal/mitigation"
@@ -35,6 +38,24 @@ import (
 	"repro/internal/risk"
 	"repro/internal/scenarios"
 )
+
+// flatScenario and flatRunner isolate the fleet scheduler's own cost —
+// admission, priority queues, aging, drain — from session and
+// world-build time.
+type flatScenario struct{}
+
+func (flatScenario) Name() string           { return "flat" }
+func (flatScenario) RootCauseClass() string { return "bench" }
+func (flatScenario) Build(rng *rand.Rand) *scenarios.Instance {
+	return &scenarios.Instance{Incident: &incident.Incident{Severity: rng.Intn(4)}, Scenario: flatScenario{}}
+}
+
+type flatRunner struct{}
+
+func (flatRunner) Name() string { return "flat" }
+func (flatRunner) Run(in *scenarios.Instance, seed int64) harness.Result {
+	return harness.Result{Scenario: in.Scenario.Name(), Mitigated: true, Correct: true, TTM: 45 * time.Minute}
+}
 
 // benchRecord is one benchmark's line item.
 type benchRecord struct {
@@ -192,6 +213,26 @@ func runBenchJSON(c *cliflags.Common, path string) error {
 		in := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(int64(i))))
 		control.Run(in, int64(i))
 		return "one unassisted control session on gray-link"
+	})
+	add("FleetSchedule", 20, func(i int) string {
+		rep := fleet.Simulate(fleet.Config{
+			OCEs: 3, ArrivalsPerHour: 8, Incidents: 256, QueueLimit: 8,
+			Seed: int64(i), Mix: []scenarios.Scenario{flatScenario{}}, Runner: flatRunner{},
+		})
+		if rep.Admitted+rep.Shed != 256 {
+			panic("bench-json: fleet lost arrivals")
+		}
+		return "256 flat-TTM arrivals through admission + priority scheduling + drain"
+	})
+	add("FleetHelperSessions", 2, func(i int) string {
+		rep := fleet.Simulate(fleet.Config{
+			OCEs: 2, ArrivalsPerHour: 6, Incidents: 24, QueueLimit: 8,
+			Seed: int64(i), Runner: helper,
+		})
+		if len(rep.Outcomes) != 24 {
+			panic("bench-json: fleet lost arrivals")
+		}
+		return "24-incident fleet with real helper sessions (E14 cell shape)"
 	})
 
 	data, err := json.MarshalIndent(&out, "", "  ")

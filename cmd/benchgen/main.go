@@ -5,9 +5,10 @@
 // Usage:
 //
 //	benchgen                 # all experiments
-//	benchgen -exp e2,e3      # a subset
+//	benchgen -exp e2,e3      # a subset (bare numbers work too: -exp 2,3)
 //	benchgen -trials 30      # bigger cells
 //	benchgen -exp e13 -faultrate 0.4   # robustness ladder up to 40% fault rate
+//	benchgen -exp 14         # fleet-scheduler offered-load ladder
 //	benchgen -exp e4 -trace-out events.jsonl -metrics-out metrics.prom
 //	benchgen -bench-json BENCH_$(date +%F).json           # performance snapshot
 //	benchgen -bench-json BENCH_nocache.json -nocache      # slow-path snapshot
@@ -26,13 +27,14 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiment ids (e1..e13) or 'all'")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids (e1..e14; a bare number means the same experiment) or 'all'")
 		trials    = flag.Int("trials", 20, "incidents per experiment cell")
 		html      = flag.String("html", "", "also write a self-contained HTML report to this path")
-		benchJSON = flag.String("bench-json", "", "run the benchmark set (E1-E13 + substrate micro-kernels) and write {name, ns/op, allocs/op, headline} records to this JSON path instead of generating tables")
+		benchJSON = flag.String("bench-json", "", "run the benchmark set (E1-E14 + substrate micro-kernels) and write {name, ns/op, allocs/op, headline} records to this JSON path instead of generating tables")
 	)
 	c := cliflags.Register(flag.CommandLine, 42)
 	flag.Parse()
+	c.MustValidate()
 	c.StartPProf()
 	c.ApplyCaches()
 
@@ -47,7 +49,11 @@ func main() {
 	want := map[string]bool{}
 	if *exp != "all" {
 		for _, id := range strings.Split(*exp, ",") {
-			want[strings.TrimSpace(id)] = true
+			id = strings.TrimSpace(id)
+			if id != "" && id[0] >= '0' && id[0] <= '9' {
+				id = "e" + id // -exp 14 means -exp e14
+			}
+			want[id] = true
 		}
 	}
 	p := experiments.Params{

@@ -1,0 +1,85 @@
+package main
+
+// `imctl fleet` runs the fleet-scale incident scheduler — a bounded
+// responder pool under Poisson incident load with severity-classed
+// priority dispatch, aging, and admission control — and prints one
+// summary row per arm. It shares the cross-cutting flag vocabulary
+// (-seed, -workers, -faultrate, -trace-out, ...) with benchgen, abtest
+// and replay via internal/cliflags.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/harness"
+	"repro/internal/kb"
+)
+
+func fleetMain(args []string) {
+	fs := flag.NewFlagSet("imctl fleet", flag.ExitOnError)
+	var (
+		oces  = fs.Int("oces", 2, "responder pool size")
+		rate  = fs.Float64("rate", 4, "incident arrivals per hour")
+		n     = fs.Int("n", 60, "arrivals to simulate")
+		queue = fs.Int("queue", 8, "admission bound on the waiting queue (0 = unbounded, never shed)")
+		aging = fs.Duration("aging", 30*time.Minute, "queue-wait that promotes an incident one severity class (negative disables aging)")
+		fifo  = fs.Bool("fifo", false, "dispatch in strict arrival order instead of severity+aging")
+		arm   = fs.String("arm", "all", "which arm to run: assisted, unassisted, or all")
+	)
+	c := cliflags.Register(fs, 7)
+	fs.Parse(args)
+	c.MustValidate()
+	c.StartPProf()
+	c.ApplyCaches()
+
+	kbase := kb.Default()
+	kb.ApplyFastpathUpdate(kbase)
+	var fc faults.Config
+	cfg := core.DefaultConfig()
+	if c.FaultRate > 0 {
+		fc = faults.Config{Rate: c.FaultRate, ActionRate: c.FaultRate / 2, Degrade: 0.5, Seed: c.FaultSeed}
+		if !c.Naive {
+			cfg.Resilience = core.DefaultResilience()
+		}
+	}
+	runners := []harness.Runner{
+		&harness.HelperRunner{Label: "assisted-helper", KBase: kbase, Config: cfg, Faults: fc},
+		&harness.ControlRunner{Label: "unassisted-oce", KBase: kbase, Faults: fc},
+	}
+	switch *arm {
+	case "assisted":
+		runners = runners[:1]
+	case "unassisted":
+		runners = runners[1:]
+	case "all":
+	default:
+		fmt.Fprintf(os.Stderr, "invalid -arm %q: want assisted, unassisted, or all\n", *arm)
+		os.Exit(2)
+	}
+
+	policy := fleet.SeverityAging
+	if *fifo {
+		policy = fleet.FIFO
+	}
+	var arms []fleet.Arm
+	for _, r := range runners {
+		// Same seed per arm: every arm faces the identical arrival tape,
+		// so rows differ only by what the responders do with it.
+		arms = append(arms, fleet.Arm{Name: r.Name(), Report: fleet.Simulate(fleet.Config{
+			OCEs: *oces, ArrivalsPerHour: *rate, Incidents: *n,
+			Runner: r, Seed: c.Seed, Workers: c.Workers,
+			Policy: policy, QueueLimit: *queue, AgingStep: *aging,
+			Obs: c.Sink(),
+		})})
+	}
+	title := fmt.Sprintf("fleet: %d OCEs, %.3g arrivals/h, %d incidents, queue bound %d",
+		*oces, *rate, *n, *queue)
+	fmt.Println(fleet.SummaryTable(title, arms))
+	c.MustExport()
+}

@@ -1,10 +1,14 @@
 // Command imctl runs a single simulated incident through the OCE-helper
 // and prints the module-by-module session trace — Figure 1 in action.
+// The `fleet` subcommand scales that up: a whole responder pool under
+// Poisson incident load on the fleet scheduler (see internal/fleet).
 //
 // Usage:
 //
 //	imctl [-scenario cascade-5] [-seed 7] [-stale] [-hallucination 0.2]
 //	      [-incontext] [-window 8192] [-list]
+//	imctl fleet [-oces 2] [-rate 4] [-n 60] [-queue 8] [-arm all]
+//	            [-seed 7] [-workers 8] [-faultrate 0.2] [-trace-out ...]
 package main
 
 import (
@@ -27,6 +31,10 @@ func in2(sys *aiops.System, scenario string, seed int64) (*aiops.Instance, int64
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		fleetMain(os.Args[2:])
+		return
+	}
 	var (
 		scenario      = flag.String("scenario", "cascade-5", "incident class to generate")
 		seed          = flag.Int64("seed", 7, "random seed")

@@ -25,6 +25,7 @@ func main() {
 	n := flag.Int("n", 150, "historical incidents to generate and replay")
 	c := cliflags.Register(flag.CommandLine, 1)
 	flag.Parse()
+	c.MustValidate()
 	c.StartPProf()
 	c.ApplyCaches()
 

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
@@ -55,6 +56,30 @@ func Register(fs *flag.FlagSet, seedDefault int64) *Common {
 	return c
 }
 
+// Validate checks the parsed values for ranges the flag package cannot
+// express. A -faultrate outside [0,1] used to pass straight through to
+// the injector, where the MaxRate cap silently flattened it — the run
+// completed and printed plausible tables for a configuration that never
+// existed. Call it right after fs.Parse.
+func (c *Common) Validate() error {
+	if c.FaultRate < 0 || c.FaultRate > 1 {
+		return fmt.Errorf("invalid -faultrate %v: must be in [0,1]", c.FaultRate)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("invalid -workers %d: must be >= 0", c.Workers)
+	}
+	return nil
+}
+
+// MustValidate is Validate with the standard usage-error failure mode:
+// message on stderr, exit status 2 (matching flag.ExitOnError).
+func (c *Common) MustValidate() {
+	if err := c.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
 // ApplyCaches applies the -nocache flag to the process-wide cache
 // switches. Call it after flag.Parse, before any simulation work.
 func (c *Common) ApplyCaches() {
@@ -91,17 +116,33 @@ func (c *Common) SystemOptions() []aiops.Option {
 	return opts
 }
 
-// StartPProf serves net/http/pprof in the background when -pprof was
-// given; a no-op otherwise. Serve errors are reported on stderr rather
-// than failing the run — profiling is advisory.
+// StartPProf serves net/http/pprof when -pprof was given; a no-op
+// otherwise. The listener is bound synchronously so bind failures (port
+// in use, bad address) surface before the run starts, and the bound
+// address — useful with ":0" — is reported on stderr; only the accept
+// loop runs in the background. The old bare-goroutine ListenAndServe
+// raced the run's exit: short runs finished before the listener bound,
+// and bind errors were lost with it. Profiling stays advisory: failures
+// are reported, never fatal.
 func (c *Common) StartPProf() {
+	c.startPProf(os.Stderr)
+}
+
+// startPProf is StartPProf with the diagnostic stream injected for
+// tests.
+func (c *Common) startPProf(w io.Writer) {
 	if c.PProfAddr == "" {
 		return
 	}
-	addr := c.PProfAddr
+	ln, err := net.Listen("tcp", c.PProfAddr)
+	if err != nil {
+		fmt.Fprintf(w, "pprof: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "pprof: serving on http://%s/debug/pprof\n", ln.Addr())
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(w, "pprof: %v\n", err)
 		}
 	}()
 }

@@ -1,0 +1,84 @@
+package cliflags
+
+import (
+	"flag"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) (*Common, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs, 7)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return c, c.Validate()
+}
+
+func TestValidateFaultRateRange(t *testing.T) {
+	for _, bad := range []string{"1.5", "-0.1", "2", "-1"} {
+		if _, err := parse(t, "-faultrate", bad); err == nil {
+			t.Errorf("-faultrate %s: Validate accepted an out-of-range rate", bad)
+		} else if !strings.Contains(err.Error(), "faultrate") {
+			t.Errorf("-faultrate %s: error %q does not name the flag", bad, err)
+		}
+	}
+	for _, ok := range []string{"0", "0.25", "1"} {
+		if _, err := parse(t, "-faultrate", ok); err != nil {
+			t.Errorf("-faultrate %s: Validate rejected a legal rate: %v", ok, err)
+		}
+	}
+}
+
+func TestValidateWorkers(t *testing.T) {
+	if _, err := parse(t, "-workers", "-2"); err == nil {
+		t.Error("Validate accepted negative -workers")
+	}
+	if _, err := parse(t, "-workers", "8"); err != nil {
+		t.Errorf("Validate rejected -workers 8: %v", err)
+	}
+}
+
+// TestStartPProfBindsSynchronously: by the time startPProf returns, the
+// listener must be accepting connections (no bind/run-exit race) and the
+// bound address must have been reported on the diagnostic stream.
+func TestStartPProfBindsSynchronously(t *testing.T) {
+	c := &Common{PProfAddr: "127.0.0.1:0"}
+	var out strings.Builder
+	c.startPProf(&out)
+	msg := out.String()
+	const prefix = "pprof: serving on http://"
+	if !strings.HasPrefix(msg, prefix) {
+		t.Fatalf("startPProf reported %q, want %q prefix", msg, prefix)
+	}
+	addr := strings.TrimSuffix(strings.TrimPrefix(msg, prefix), "/debug/pprof\n")
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof endpoint not reachable immediately after StartPProf: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint returned %d", resp.StatusCode)
+	}
+}
+
+// TestStartPProfReportsBindError: a bad address must surface on the
+// diagnostic stream at startup, not vanish into a background goroutine.
+func TestStartPProfReportsBindError(t *testing.T) {
+	c := &Common{PProfAddr: "256.0.0.1:bogus"}
+	var out strings.Builder
+	c.startPProf(&out)
+	if !strings.HasPrefix(out.String(), "pprof: ") || strings.Contains(out.String(), "serving") {
+		t.Fatalf("bind failure reported as %q", out.String())
+	}
+}
+
+func TestStartPProfNoAddrIsNoOp(t *testing.T) {
+	var out strings.Builder
+	(&Common{}).startPProf(&out)
+	if out.Len() != 0 {
+		t.Fatalf("no-addr StartPProf wrote %q", out.String())
+	}
+}

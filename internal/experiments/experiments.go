@@ -661,6 +661,7 @@ var Registry = []struct {
 	{"e11", "one-shot learning curve (extension)", E11LearningCurve},
 	{"e12", "small models + retrieval (extension)", E12SmallModels},
 	{"e13", "robustness under degraded telemetry (extension)", E13Resilience},
+	{"e14", "offered-load ladder on the fleet scheduler (extension)", E14OfferedLoad},
 }
 
 // ByID returns the registered experiment, or nil.

@@ -125,6 +125,30 @@ type Config struct {
 // Enabled reports whether the config injects anything at all.
 func (c Config) Enabled() bool { return c.Rate > 0 || c.ActionRate > 0 }
 
+// Validate rejects configs whose probabilities leave [0,1]. Out-of-range
+// rates used to slip through silently — a rate above 1 behaves like 1
+// after the MaxRate cap and a negative rate like 0, so typos produced
+// plausible-looking but wrong experiment tables. Callers (the CLI flag
+// layer, aiops.WithFaults) fail fast instead.
+func (c Config) Validate() error {
+	if c.Rate < 0 || c.Rate > 1 {
+		return fmt.Errorf("fault rate %v out of range [0,1]", c.Rate)
+	}
+	if c.ActionRate < 0 || c.ActionRate > 1 {
+		return fmt.Errorf("action fault rate %v out of range [0,1]", c.ActionRate)
+	}
+	if c.MaxRate < 0 || c.MaxRate > 1 {
+		return fmt.Errorf("max fault rate %v out of range [0,1]", c.MaxRate)
+	}
+	if c.Degrade < 0 {
+		return fmt.Errorf("degrade slope %v negative", c.Degrade)
+	}
+	if w := c.Weights; w.Transient < 0 || w.Timeout < 0 || w.Stale < 0 || w.Corrupt < 0 {
+		return fmt.Errorf("fault class weights must be non-negative, got %+v", w)
+	}
+	return nil
+}
+
 func (c Config) maxRate() float64 {
 	if c.MaxRate <= 0 {
 		return 0.9

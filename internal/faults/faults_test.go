@@ -292,3 +292,31 @@ func TestNilInjectorActionErrorIsSafe(t *testing.T) {
 		t.Fatal("nil injector must inject nothing")
 	}
 }
+
+func TestConfigValidate(t *testing.T) {
+	t.Parallel()
+	good := []Config{
+		{},
+		{Rate: 1, ActionRate: 1, MaxRate: 1},
+		{Rate: 0.3, ActionRate: 0.15, Degrade: 0.5, Weights: Weights{Transient: 1}},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{
+		{Rate: 1.5},
+		{Rate: -0.1},
+		{ActionRate: 2},
+		{ActionRate: -1},
+		{MaxRate: 1.1},
+		{Degrade: -0.5},
+		{Weights: Weights{Corrupt: -1}},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an out-of-range config", c)
+		}
+	}
+}

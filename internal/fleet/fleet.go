@@ -1,0 +1,471 @@
+// Package fleet is the deterministic fleet-scale incident scheduler:
+// incidents arrive as a Poisson process, admission control bounds the
+// waiting queue (shedding the overflow straight to escalation),
+// severity-classed priority queues with aging decide who a freed
+// responder helps next, and a finite responder pool executes the actual
+// helper sessions concurrently on the parallel trial pool — while the
+// simulation itself stays a serial discrete-event loop on the simulated
+// clock, so every report, event log and metric dump is byte-identical
+// at any worker count.
+//
+// The paper's §1/§3 argue that Time to Mitigation is the headline
+// metric providers feel; this package models the fleet-level
+// consequence: responder pools are finite, so per-incident TTM
+// compounds into customer-visible queueing delay, and a helper that
+// halves TTM more than halves what customers experience once the pool
+// runs hot (experiments E10 and E14). The hyperscale agentic-AI
+// literature frames the same gap between per-incident agents and fleet
+// operations — admission control, backpressure and graceful drain are
+// what turn a per-incident helper into an operable system.
+//
+// Determinism is the core contract, shared with internal/parallel,
+// internal/faults and internal/obs. The simulation runs in three
+// phases:
+//
+//  1. Arrivals are pre-drawn serially from the config seed: arrival
+//     time, scenario, and session seed for arrival i are a pure
+//     function of (seed, i) — never of worker count or scheduling.
+//  2. Sessions execute speculatively on the parallel pool: each is a
+//     self-contained trial keyed by its arrival index, buffering its
+//     events in a private recorder. (Sessions for arrivals the
+//     admission controller later sheds are discarded — speculation
+//     wastes a little compute to keep the phase embarrassingly
+//     parallel.)
+//  3. The discrete-event loop replays arrivals against the responder
+//     pool serially: admission, queueing, aging, dispatch and drain
+//     are pure functions of the pre-drawn arrivals and the session
+//     TTMs, so the schedule is identical at workers=1 and workers=N.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/scenarios"
+)
+
+// Policy selects the dispatch discipline.
+type Policy int
+
+const (
+	// SeverityAging (the default) dispatches the waiting incident with
+	// the highest effective priority: severity class plus one class per
+	// AgingStep waited, ties broken by arrival order. Aging prevents
+	// starvation of low-severity incidents under sustained load.
+	SeverityAging Policy = iota
+	// FIFO dispatches in strict arrival order — the legacy internal/ops
+	// discipline, kept for byte-compatible replays of the old simulator.
+	FIFO
+)
+
+// Config parameterizes a fleet simulation. The zero value of the
+// admission and aging knobs reproduces the legacy serial simulator:
+// unbounded queue, no shedding.
+type Config struct {
+	// OCEs is the responder pool size (default 3).
+	OCEs int
+	// ArrivalsPerHour is the mean incident arrival rate (default 2).
+	ArrivalsPerHour float64
+	// Incidents is how many arrivals to simulate (default 100).
+	Incidents int
+	// Mix is the scenario mix (default scenarios.All()).
+	Mix []scenarios.Scenario
+	// Runner handles each admitted incident.
+	Runner harness.Runner
+	// Seed drives the arrival process and the per-incident session
+	// seeds; everything downstream is a pure function of it.
+	Seed int64
+	// Workers bounds the parallel session executors (<= 0: one per
+	// CPU). Worker count never changes a single output byte — only
+	// wall-clock time.
+	Workers int
+	// Policy selects the dispatch discipline (default SeverityAging).
+	Policy Policy
+	// QueueLimit bounds the waiting queue: when an arrival finds
+	// QueueLimit incidents already waiting, admission control sheds it
+	// straight to escalation. 0 means unbounded (never shed).
+	QueueLimit int
+	// AgingStep is the waiting time that promotes a queued incident by
+	// one severity class under SeverityAging (default 30 minutes;
+	// negative disables aging, leaving pure severity priority).
+	AgingStep time.Duration
+	// Obs, when non-nil, collects every admitted session's event
+	// stream (absorbed in arrival order), the fleet-level arrival and
+	// shed events, and the saturation gauges.
+	Obs *obs.Sink
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.OCEs <= 0 {
+		cfg.OCEs = 3
+	}
+	if cfg.ArrivalsPerHour <= 0 {
+		cfg.ArrivalsPerHour = 2
+	}
+	if cfg.Incidents <= 0 {
+		cfg.Incidents = 100
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = scenarios.All()
+	}
+	if cfg.AgingStep == 0 {
+		cfg.AgingStep = 30 * time.Minute
+	}
+	return cfg
+}
+
+// Outcome is one arrival's fleet-level record, in arrival order.
+type Outcome struct {
+	// Index is the arrival index; seeds and scenarios derive from it.
+	Index int
+	// Scenario names the incident class.
+	Scenario string
+	// Severity is the incident's severity class (0..3; 3 most severe).
+	Severity int
+	// Shed marks an arrival the admission controller refused: it never
+	// occupied a responder and went straight to escalation.
+	Shed bool
+	// ArrivedAt and StartedAt bracket the queueing delay.
+	ArrivedAt time.Duration
+	StartedAt time.Duration
+	// Queue is how long the incident waited for a free responder.
+	Queue time.Duration
+	// Handling is the responder's busy time (TTM, or time-to-hand-off).
+	Handling time.Duration
+	// Resolution is the customer-experienced time: exactly Queue plus
+	// the session's penalized TTM (shed arrivals carry the escalation
+	// penalty alone).
+	Resolution time.Duration
+	// Responder is the pool slot that handled the incident (-1: shed).
+	Responder int
+	// Result is the session outcome (zero-valued for shed arrivals
+	// beyond Scenario/Escalated).
+	Result harness.Result
+}
+
+// Report aggregates a fleet simulation.
+type Report struct {
+	Outcomes []Outcome
+
+	// Admitted and Shed partition the arrivals.
+	Admitted int
+	Shed     int
+
+	// Queue statistics cover admitted arrivals only (a shed arrival
+	// never queues); resolution statistics cover every arrival.
+	MeanQueue time.Duration
+	P95Queue  time.Duration
+
+	MeanResolution time.Duration
+	P50Resolution  time.Duration
+	P95Resolution  time.Duration
+	P99Resolution  time.Duration
+
+	// Utilization is the pool's busy fraction over the makespan.
+	Utilization float64
+	// MitigatedRate is the fraction of all arrivals the runner
+	// mitigated itself (shed arrivals count against it).
+	MitigatedRate float64
+	// ShedRate is Shed over all arrivals.
+	ShedRate float64
+	// PeakQueueDepth is the deepest the waiting queue ever got.
+	PeakQueueDepth int
+	// Drain is the simulated time between the last arrival and the
+	// pool going idle — the graceful-drain window on shutdown.
+	Drain time.Duration
+}
+
+// arrival is one pre-drawn arrival: a pure function of (seed, index).
+type arrival struct {
+	at       time.Duration
+	scenario scenarios.Scenario
+	seed     int64
+}
+
+// session is one speculatively executed incident session.
+type session struct {
+	res      harness.Result
+	severity int
+}
+
+const never = time.Duration(math.MaxInt64)
+
+// Simulate runs the fleet model. See the package comment for the
+// three-phase structure that keeps it worker-count-independent.
+func Simulate(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	n := cfg.Incidents
+
+	// Phase 1 — serial arrival pre-draw. The draw order per arrival
+	// (gap, scenario, session seed) matches the legacy serial simulator
+	// call for call, so seeds are byte-compatible with it.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arrivals := make([]arrival, n)
+	var now time.Duration
+	for i := 0; i < n; i++ {
+		now += time.Duration(rng.ExpFloat64() / cfg.ArrivalsPerHour * float64(time.Hour))
+		arrivals[i] = arrival{
+			at:       now,
+			scenario: cfg.Mix[rng.Intn(len(cfg.Mix))],
+			seed:     rng.Int63(),
+		}
+	}
+
+	// Phase 2 — speculative parallel session execution. Each trial is
+	// self-contained: it builds its own world from the pre-drawn seed
+	// and buffers events privately. The trial pool's own derived seeds
+	// are ignored; arrival seeds come from phase 1.
+	or, observed := cfg.Runner.(harness.ObservedRunner)
+	var recs []*obs.Recorder
+	if cfg.Obs != nil && observed {
+		recs = make([]*obs.Recorder, n)
+	}
+	trials := parallel.RunTrials(n, cfg.Workers, cfg.Seed, func(_ int64, i int) session {
+		a := arrivals[i]
+		in := a.scenario.Build(rand.New(rand.NewSource(a.seed)))
+		sev := in.Incident.Severity
+		var res harness.Result
+		if recs != nil {
+			rec := obs.AcquireRecorder(fmt.Sprintf("fleet/%04d", i))
+			recs[i] = rec
+			res = or.RunObserved(in, a.seed, rec)
+		} else {
+			res = cfg.Runner.Run(in, a.seed)
+		}
+		return session{res: res, severity: sev}
+	})
+	sessions := make([]session, n)
+	for i, tr := range trials {
+		if tr.Err != nil {
+			// A crashed session becomes a specialist hand-off, exactly
+			// as harness.PoolResult treats pooled trials.
+			sessions[i] = session{res: harness.Result{
+				Scenario: arrivals[i].scenario.Name(), Escalated: true, PlanErrors: 1,
+			}}
+			continue
+		}
+		sessions[i] = tr.Value
+	}
+
+	// Phase 3 — serial discrete-event scheduling.
+	rep := &Report{Outcomes: make([]Outcome, n)}
+	busy := make([]bool, cfg.OCEs)
+	busyUntil := make([]time.Duration, cfg.OCEs)
+	var queued []int // arrival indices, in arrival order
+	var busySum, makespan time.Duration
+	mitigated := 0
+
+	dispatch := func(r, idx int, at time.Duration) {
+		o := &rep.Outcomes[idx]
+		o.StartedAt = at
+		o.Queue = at - o.ArrivedAt
+		o.Handling = sessions[idx].res.TTM
+		o.Resolution = o.Queue + sessions[idx].res.PenalizedTTM()
+		o.Responder = r
+		busy[r] = true
+		busyUntil[r] = at + o.Handling
+		busySum += o.Handling
+		if busyUntil[r] > makespan {
+			makespan = busyUntil[r]
+		}
+	}
+
+	// pick selects which waiting incident a freed responder takes: the
+	// highest effective priority (severity plus aging boost) at time
+	// `at`, ties broken by arrival order. FIFO always takes the head.
+	pick := func(at time.Duration) int {
+		if cfg.Policy == FIFO {
+			return 0
+		}
+		best, bestPrio := 0, -1
+		for j, idx := range queued {
+			prio := rep.Outcomes[idx].Severity
+			if cfg.AgingStep > 0 {
+				prio += int((at - rep.Outcomes[idx].ArrivedAt) / cfg.AgingStep)
+			}
+			if prio > bestPrio {
+				best, bestPrio = j, prio
+			}
+		}
+		return best
+	}
+
+	nextComp := func() (time.Duration, int) {
+		t, r := never, -1
+		for i := range busy {
+			if busy[i] && busyUntil[i] < t {
+				t, r = busyUntil[i], i
+			}
+		}
+		return t, r
+	}
+
+	nextArr := 0
+	for {
+		compT, compR := nextComp()
+		arrT := never
+		if nextArr < n {
+			arrT = arrivals[nextArr].at
+		}
+		// Completions at time t resolve before arrivals at time t, so a
+		// just-freed responder can absorb a simultaneous arrival instead
+		// of the admission controller seeing a full queue.
+		if compR >= 0 && compT <= arrT {
+			busy[compR] = false
+			if len(queued) > 0 {
+				j := pick(compT)
+				idx := queued[j]
+				queued = append(queued[:j], queued[j+1:]...)
+				dispatch(compR, idx, compT)
+			}
+			continue
+		}
+		if nextArr >= n {
+			break // all arrivals processed, pool idle: drained
+		}
+		idx := nextArr
+		nextArr++
+		o := &rep.Outcomes[idx]
+		o.Index = idx
+		o.Scenario = arrivals[idx].scenario.Name()
+		o.Severity = sessions[idx].severity
+		o.ArrivedAt = arrivals[idx].at
+		o.Result = sessions[idx].res
+		idle := -1
+		for r := range busy {
+			if !busy[r] {
+				idle = r
+				break
+			}
+		}
+		switch {
+		case idle >= 0:
+			dispatch(idle, idx, o.ArrivedAt)
+		case cfg.QueueLimit <= 0 || len(queued) < cfg.QueueLimit:
+			queued = append(queued, idx)
+			if len(queued) > rep.PeakQueueDepth {
+				rep.PeakQueueDepth = len(queued)
+			}
+		default:
+			// Admission control: the queue is saturated, so the arrival
+			// sheds straight to the specialist escalation path without
+			// ever occupying a responder.
+			o.Shed = true
+			o.Responder = -1
+			o.Resolution = harness.EscalationPenalty
+			o.Result = harness.Result{Scenario: o.Scenario, Escalated: true}
+			rep.Shed++
+		}
+	}
+	rep.Admitted = n - rep.Shed
+	for i := range rep.Outcomes {
+		if !rep.Outcomes[i].Shed && rep.Outcomes[i].Result.Mitigated {
+			mitigated++
+		}
+	}
+
+	// Observability: per-arrival session streams absorb in arrival
+	// order, each followed by its fleet-level event, so the merged log
+	// is worker-count-independent. Shed arrivals discard their
+	// speculative session events — those sessions never happened.
+	if cfg.Obs != nil {
+		runnerName := cfg.Runner.Name()
+		for i := range rep.Outcomes {
+			o := &rep.Outcomes[i]
+			if o.Shed {
+				cfg.Obs.Emit(obs.Event{
+					Type: obs.EvFleetShed, At: o.ArrivedAt, Session: fmt.Sprintf("fleet/%04d", i),
+					Runner: runnerName, Scenario: o.Scenario,
+				})
+			} else {
+				if recs != nil {
+					cfg.Obs.Absorb(recs[i])
+				}
+				cfg.Obs.Emit(obs.Event{
+					Type: obs.EvFleetIncident, At: o.ArrivedAt, Session: fmt.Sprintf("fleet/%04d", i),
+					Runner: runnerName, Scenario: o.Scenario,
+					Queue: o.Queue, Resolution: o.Resolution,
+				})
+			}
+			if recs != nil && recs[i] != nil {
+				recs[i].Release()
+			}
+		}
+	}
+
+	aggregate(rep, cfg, busySum, makespan, mitigated)
+	return rep
+}
+
+// aggregate fills the report's summary statistics and saturation gauges.
+func aggregate(rep *Report, cfg Config, busySum, makespan time.Duration, mitigated int) {
+	n := len(rep.Outcomes)
+	if n == 0 {
+		return
+	}
+	queues := make([]float64, 0, n)
+	resolutions := make([]float64, n)
+	var qSum, rSum time.Duration
+	for i := range rep.Outcomes {
+		o := &rep.Outcomes[i]
+		if !o.Shed {
+			queues = append(queues, o.Queue.Minutes())
+			qSum += o.Queue
+		}
+		resolutions[i] = o.Resolution.Minutes()
+		rSum += o.Resolution
+	}
+	if rep.Admitted > 0 {
+		rep.MeanQueue = qSum / time.Duration(rep.Admitted)
+		rep.P95Queue = minutes(eval.Percentile(queues, 95))
+	}
+	rep.MeanResolution = rSum / time.Duration(n)
+	rep.P50Resolution = minutes(eval.Percentile(resolutions, 50))
+	rep.P95Resolution = minutes(eval.Percentile(resolutions, 95))
+	rep.P99Resolution = minutes(eval.Percentile(resolutions, 99))
+	if makespan > 0 {
+		rep.Utilization = float64(busySum) / (float64(makespan) * float64(cfg.OCEs))
+	}
+	rep.MitigatedRate = float64(mitigated) / float64(n)
+	rep.ShedRate = float64(rep.Shed) / float64(n)
+	if last := rep.Outcomes[n-1].ArrivedAt; makespan > last {
+		rep.Drain = makespan - last
+	}
+
+	if cfg.Obs != nil {
+		reg := cfg.Obs.Registry()
+		reg.Set(obs.MFleetUtil, nil, rep.Utilization)
+		reg.Set(obs.MFleetQueueDepth, nil, float64(rep.PeakQueueDepth))
+		reg.Set(obs.MFleetDrain, nil, rep.Drain.Minutes())
+	}
+}
+
+func minutes(m float64) time.Duration { return time.Duration(m * float64(time.Minute)) }
+
+// Arm pairs a named runner's report for rendering.
+type Arm struct {
+	Name   string
+	Report *Report
+}
+
+// SummaryTable renders one comparable row per arm — the table
+// `imctl fleet` prints and the golden tests pin.
+func SummaryTable(title string, arms []Arm) *eval.Table {
+	t := eval.NewTable(title,
+		"arm", "shed", "meanQueue(m)", "p50Res(m)", "p95Res(m)", "p99Res(m)", "mitigated", "util", "drain(m)")
+	for _, a := range arms {
+		r := a.Report
+		t.AddRow(a.Name, fmt.Sprintf("%d/%d", r.Shed, len(r.Outcomes)),
+			fmtMin(r.MeanQueue), fmtMin(r.P50Resolution), fmtMin(r.P95Resolution), fmtMin(r.P99Resolution),
+			eval.Pct(r.MitigatedRate), fmt.Sprintf("%.2f", r.Utilization), fmtMin(r.Drain))
+	}
+	return t
+}
+
+func fmtMin(d time.Duration) string { return fmt.Sprintf("%.1f", d.Minutes()) }

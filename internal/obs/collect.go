@@ -18,35 +18,43 @@ var (
 	LatencyBuckets = []float64{0.25, 0.5, 1, 2, 3, 5, 8, 12, 20}
 	// QueueBuckets spans fleet queueing delays in minutes.
 	QueueBuckets = []float64{1, 5, 15, 30, 60, 120, 240, 480, 960}
+	// ResolutionBuckets spans fleet resolution times (queue wait plus
+	// penalized TTM) in minutes — wider than TTMBuckets because queueing
+	// under saturation dominates the tail.
+	ResolutionBuckets = []float64{15, 30, 60, 120, 240, 480, 960, 1920}
 )
 
 // Metric names. DESIGN.md §3 maps each paper cost metric onto these.
 const (
-	MSessions       = "aiops_sessions_total"
-	MTTM            = "aiops_ttm_minutes"
-	MRounds         = "aiops_session_rounds"
-	MMistakes       = "aiops_mistakes_total"
-	MOCEBusy        = "aiops_oce_busy_minutes_total"
-	MEscalations    = "aiops_escalations_total"
-	MApprovals      = "aiops_oce_approvals_total"
-	MHypProposed    = "aiops_hypotheses_proposed_total"
-	MHypTested      = "aiops_hypotheses_tested_total"
-	MToolCalls      = "aiops_tool_invocations_total"
-	MToolLatency    = "aiops_tool_latency_minutes"
-	MToolRetries    = "aiops_tool_retries_total"
-	MBreakerTrips   = "aiops_breaker_trips_total"
-	MRerouted       = "aiops_rerouted_total"
-	MQuarantined    = "aiops_quarantined_total"
-	MLLMCalls       = "aiops_llm_calls_total"
-	MLLMTokens      = "aiops_llm_tokens_total"
-	MLLMCost        = "aiops_llm_cost_usd_total"
-	MLLMLatency     = "aiops_llm_latency_minutes"
-	MMitigations    = "aiops_mitigation_actions_total"
-	MFleetIncidents = "aiops_fleet_incidents_total"
-	MFleetQueue     = "aiops_fleet_queue_minutes"
-	MFleetUtil      = "aiops_fleet_utilization"
-	MCacheHits      = "aiops_cache_hits_total"
-	MCacheMisses    = "aiops_cache_misses_total"
+	MSessions        = "aiops_sessions_total"
+	MTTM             = "aiops_ttm_minutes"
+	MRounds          = "aiops_session_rounds"
+	MMistakes        = "aiops_mistakes_total"
+	MOCEBusy         = "aiops_oce_busy_minutes_total"
+	MEscalations     = "aiops_escalations_total"
+	MApprovals       = "aiops_oce_approvals_total"
+	MHypProposed     = "aiops_hypotheses_proposed_total"
+	MHypTested       = "aiops_hypotheses_tested_total"
+	MToolCalls       = "aiops_tool_invocations_total"
+	MToolLatency     = "aiops_tool_latency_minutes"
+	MToolRetries     = "aiops_tool_retries_total"
+	MBreakerTrips    = "aiops_breaker_trips_total"
+	MRerouted        = "aiops_rerouted_total"
+	MQuarantined     = "aiops_quarantined_total"
+	MLLMCalls        = "aiops_llm_calls_total"
+	MLLMTokens       = "aiops_llm_tokens_total"
+	MLLMCost         = "aiops_llm_cost_usd_total"
+	MLLMLatency      = "aiops_llm_latency_minutes"
+	MMitigations     = "aiops_mitigation_actions_total"
+	MFleetIncidents  = "aiops_fleet_incidents_total"
+	MFleetQueue      = "aiops_fleet_queue_minutes"
+	MFleetUtil       = "aiops_fleet_utilization"
+	MFleetShed       = "aiops_fleet_shed_total"
+	MFleetResolution = "aiops_fleet_resolution_minutes"
+	MFleetQueueDepth = "aiops_fleet_queue_depth_peak"
+	MFleetDrain      = "aiops_fleet_drain_minutes"
+	MCacheHits       = "aiops_cache_hits_total"
+	MCacheMisses     = "aiops_cache_misses_total"
 )
 
 // NewAIOpsRegistry declares the §3 metric families with their fixed
@@ -76,6 +84,10 @@ func NewAIOpsRegistry() *Registry {
 	r.DeclareCounter(MFleetIncidents, "fleet-level incident arrivals")
 	r.DeclareHistogram(MFleetQueue, "fleet queueing delay before a responder frees up, minutes", QueueBuckets)
 	r.DeclareGauge(MFleetUtil, "responder-pool busy fraction over the makespan")
+	r.DeclareCounter(MFleetShed, "arrivals the admission controller shed straight to escalation (queue saturated)")
+	r.DeclareHistogram(MFleetResolution, "customer-experienced resolution time (queue wait + penalized TTM), minutes", ResolutionBuckets)
+	r.DeclareGauge(MFleetQueueDepth, "peak incidents waiting in the scheduler queue over the run")
+	r.DeclareGauge(MFleetDrain, "simulated minutes between the last arrival and the pool going idle (graceful drain)")
 	r.DeclareCounter(MCacheHits, "what-if fast-path cache hits by cache (route|embed) — avoided recomputation, i.e. saved system cost")
 	r.DeclareCounter(MCacheMisses, "what-if fast-path cache misses by cache (route|embed)")
 	return r
@@ -135,6 +147,12 @@ func Collect(r *Registry, e Event) {
 	case EvFleetIncident:
 		r.Inc(MFleetIncidents, Labels{"runner": e.Runner}, 1)
 		r.Observe(MFleetQueue, Labels{"runner": e.Runner}, e.Queue.Minutes())
+		if e.Resolution > 0 {
+			r.Observe(MFleetResolution, Labels{"runner": e.Runner}, e.Resolution.Minutes())
+		}
+	case EvFleetShed:
+		r.Inc(MFleetIncidents, Labels{"runner": e.Runner}, 1)
+		r.Inc(MFleetShed, Labels{"runner": e.Runner}, 1)
 	case EvCacheStats:
 		if e.CacheHits > 0 {
 			r.Inc(MCacheHits, Labels{"cache": e.Cache, "runner": e.Runner}, float64(e.CacheHits))

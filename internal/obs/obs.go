@@ -51,6 +51,9 @@ const (
 	EvMitigation Type = "mitigation-action"
 	// EvFleetIncident is one fleet-level arrival (queueing delay).
 	EvFleetIncident Type = "fleet-incident"
+	// EvFleetShed is one arrival the fleet scheduler's admission control
+	// refused (queue saturated) and handed straight to escalation.
+	EvFleetShed Type = "fleet-shed"
 	// EvCacheStats reports one cache's per-session hit/miss counts (the
 	// what-if fast path's route cache and the embedding memo).
 	EvCacheStats Type = "cache-stats"
@@ -104,6 +107,9 @@ type Event struct {
 
 	// Queue is the fleet-level queueing delay (fleet-incident events).
 	Queue time.Duration `json:"queue,omitempty"`
+	// Resolution is the customer-experienced fleet resolution time —
+	// queueing delay plus penalized session TTM (fleet-incident events).
+	Resolution time.Duration `json:"resolution,omitempty"`
 
 	// Cache fields (cache-stats events): which cache, and its counts
 	// over the session.

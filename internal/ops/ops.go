@@ -1,30 +1,29 @@
-// Package ops simulates fleet-level incident operations: incidents
-// arrive as a Poisson process, the incident manager assigns each to the
-// next available on-call engineer, and the simulation measures what
-// customers actually experience — queueing delay plus time to
-// mitigation — under load.
+// Package ops is the legacy face of the fleet-level operations model:
+// incidents arrive as a Poisson process, the incident manager assigns
+// each to the next available on-call engineer in arrival order, and the
+// simulation measures what customers actually experience — queueing
+// delay plus time to mitigation — under load.
 //
-// The paper evaluates helpers per incident; this layer exposes the
-// fleet-level consequence of faster mitigation that §1 motivates
-// ("Providers view Time to Mitigation as the main indicator of
-// efficiency"): responder pools are finite, so per-incident TTM
-// compounds into queueing delay. A helper that halves TTM more than
-// halves the customer-visible resolution time once the pool runs hot,
-// and raises the arrival rate at which the pool saturates.
+// The real scheduler now lives in internal/fleet (severity-classed
+// priority queues with aging, admission control and backpressure, a
+// concurrent responder pool, graceful drain); this package delegates to
+// it with the legacy discipline — strict FIFO, unbounded queue, no
+// shedding — so historical callers (experiment E10, the aiops facade's
+// Fleet/FleetUnassisted, the fleet-load example) keep their exact
+// semantics: arrival order, scenario builds and session seeds are
+// byte-compatible with the old serial loop.
 package ops
 
 import (
-	"fmt"
-	"math/rand"
 	"time"
 
-	"repro/internal/eval"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/scenarios"
 )
 
-// Config parameterizes a fleet simulation.
+// Config parameterizes a legacy fleet simulation.
 type Config struct {
 	// OCEs is the responder pool size (default 3).
 	OCEs int
@@ -37,10 +36,12 @@ type Config struct {
 	// Runner handles each incident.
 	Runner harness.Runner
 	Seed   int64
+	// Workers bounds the parallel session executors (<= 0: one per
+	// CPU); worker count never changes results, only wall-clock time.
+	Workers int
 	// Obs, when non-nil, collects every session's event stream plus the
 	// fleet-level arrivals (queueing delay per incident) and sets the
-	// pool-utilization gauge. The simulation is serial, so sessions emit
-	// straight into the sink in arrival order.
+	// pool-utilization gauge.
 	Obs *obs.Sink
 }
 
@@ -74,113 +75,40 @@ type Report struct {
 	MitigatedRate float64
 }
 
-// Simulate runs the fleet model: exponential interarrivals, first-free
-// assignment, busy responders hold their incident until mitigation or
-// hand-off.
+// Simulate runs the legacy fleet model — exponential interarrivals,
+// first-free FIFO assignment, unbounded queue — on the internal/fleet
+// scheduler.
 func Simulate(cfg Config) *Report {
-	if cfg.OCEs <= 0 {
-		cfg.OCEs = 3
+	fr := fleet.Simulate(fleet.Config{
+		OCEs:            cfg.OCEs,
+		ArrivalsPerHour: cfg.ArrivalsPerHour,
+		Incidents:       cfg.Incidents,
+		Mix:             cfg.Mix,
+		Runner:          cfg.Runner,
+		Seed:            cfg.Seed,
+		Workers:         cfg.Workers,
+		Policy:          fleet.FIFO,
+		QueueLimit:      0, // unbounded: the legacy model never sheds
+		Obs:             cfg.Obs,
+	})
+	rep := &Report{
+		MeanQueue:     fr.MeanQueue,
+		P95Queue:      fr.P95Queue,
+		MeanTotal:     fr.MeanResolution,
+		P95Total:      fr.P95Resolution,
+		Utilization:   fr.Utilization,
+		MitigatedRate: fr.MitigatedRate,
 	}
-	if cfg.ArrivalsPerHour <= 0 {
-		cfg.ArrivalsPerHour = 2
-	}
-	if cfg.Incidents <= 0 {
-		cfg.Incidents = 100
-	}
-	mix := cfg.Mix
-	if len(mix) == 0 {
-		mix = scenarios.All()
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	freeAt := make([]time.Duration, cfg.OCEs)
-	rep := &Report{}
-	var now time.Duration
-	var busySum time.Duration
-	mitigated := 0
-
-	for i := 0; i < cfg.Incidents; i++ {
-		// Exponential interarrival.
-		gap := time.Duration(rng.ExpFloat64() / cfg.ArrivalsPerHour * float64(time.Hour))
-		now += gap
-
-		sc := mix[rng.Intn(len(mix))]
-		seed := rng.Int63()
-		in := sc.Build(rand.New(rand.NewSource(seed)))
-		var res harness.Result
-		if or, ok := cfg.Runner.(harness.ObservedRunner); ok && cfg.Obs != nil {
-			rec := obs.AcquireRecorder(fmt.Sprintf("fleet/%04d", i))
-			res = or.RunObserved(in, seed, rec)
-			cfg.Obs.Absorb(rec)
-			rec.Release()
-		} else {
-			res = cfg.Runner.Run(in, seed)
-		}
-
-		// Assign to the earliest-free responder.
-		idx := 0
-		for j := 1; j < cfg.OCEs; j++ {
-			if freeAt[j] < freeAt[idx] {
-				idx = j
-			}
-		}
-		start := now
-		if freeAt[idx] > start {
-			start = freeAt[idx]
-		}
-		handling := res.TTM // responder is busy until mitigation or hand-off
-		freeAt[idx] = start + handling
-		busySum += handling
-
-		out := IncidentOutcome{
-			Scenario:  sc.Name(),
-			ArrivedAt: now,
-			StartedAt: start,
-			Queue:     start - now,
-			Handling:  handling,
-			Total:     (start - now) + res.PenalizedTTM(),
-			Result:    res,
-		}
-		if res.Mitigated {
-			mitigated++
-		}
-		if cfg.Obs != nil {
-			cfg.Obs.Emit(obs.Event{
-				Type: obs.EvFleetIncident, At: now, Session: fmt.Sprintf("fleet/%04d", i),
-				Runner: cfg.Runner.Name(), Scenario: sc.Name(), Queue: out.Queue,
-			})
-		}
-		rep.Outcomes = append(rep.Outcomes, out)
-	}
-
-	// Aggregates.
-	n := len(rep.Outcomes)
-	if n == 0 {
-		return rep
-	}
-	queues := make([]float64, n)
-	totals := make([]float64, n)
-	var qSum, tSum time.Duration
-	var makespan time.Duration
-	for i, o := range rep.Outcomes {
-		queues[i] = o.Queue.Minutes()
-		totals[i] = o.Total.Minutes()
-		qSum += o.Queue
-		tSum += o.Total
-		if end := o.StartedAt + o.Handling; end > makespan {
-			makespan = end
-		}
-	}
-	rep.MeanQueue = qSum / time.Duration(n)
-	rep.MeanTotal = tSum / time.Duration(n)
-	rep.P95Queue = time.Duration(eval.Percentile(queues, 95) * float64(time.Minute))
-	rep.P95Total = time.Duration(eval.Percentile(totals, 95) * float64(time.Minute))
-	if makespan > 0 {
-		rep.Utilization = float64(busySum) / (float64(makespan) * float64(cfg.OCEs))
-	}
-	rep.MitigatedRate = float64(mitigated) / float64(n)
-	if cfg.Obs != nil {
-		cfg.Obs.Registry().Set(obs.MFleetUtil, nil, rep.Utilization)
+	for _, o := range fr.Outcomes {
+		rep.Outcomes = append(rep.Outcomes, IncidentOutcome{
+			Scenario:  o.Scenario,
+			ArrivedAt: o.ArrivedAt,
+			StartedAt: o.StartedAt,
+			Queue:     o.Queue,
+			Handling:  o.Handling,
+			Total:     o.Resolution,
+			Result:    o.Result,
+		})
 	}
 	return rep
 }

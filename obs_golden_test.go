@@ -6,8 +6,13 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/fleet"
+	"repro/internal/harness"
+	"repro/internal/kb"
 	"repro/internal/replayer"
 )
 
@@ -134,5 +139,32 @@ func TestObservabilityWorkerIndependence(t *testing.T) {
 	}
 	if m1 != m8 {
 		t.Error("metrics dump differs between workers=1 and workers=8")
+	}
+}
+
+// TestGoldenFleetStdout reproduces `imctl fleet` (defaults: seed 7, 60
+// incidents at 4/h over 2 OCEs, queue bound 8) through the library path
+// and compares bytes against the checked-in golden.
+func TestGoldenFleetStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replays are slow")
+	}
+	t.Parallel()
+	kbase := kb.Default()
+	kb.ApplyFastpathUpdate(kbase)
+	runners := []harness.Runner{
+		&harness.HelperRunner{Label: "assisted-helper", KBase: kbase, Config: core.DefaultConfig()},
+		&harness.ControlRunner{Label: "unassisted-oce", KBase: kbase},
+	}
+	var arms []fleet.Arm
+	for _, r := range runners {
+		arms = append(arms, fleet.Arm{Name: r.Name(), Report: fleet.Simulate(fleet.Config{
+			OCEs: 2, ArrivalsPerHour: 4, Incidents: 60,
+			Runner: r, Seed: 7, QueueLimit: 8, AgingStep: 30 * time.Minute,
+		})})
+	}
+	got := fleet.SummaryTable("fleet: 2 OCEs, 4 arrivals/h, 60 incidents, queue bound 8", arms).String() + "\n"
+	if want := readGolden(t, "imctl_fleet_seed7.txt"); got != want {
+		t.Errorf("imctl fleet stdout drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
