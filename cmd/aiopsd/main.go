@@ -1,0 +1,183 @@
+// Command aiopsd runs the incident gateway as a long-lived service:
+// the repo's batch fleet simulator (imctl fleet) turned into a daemon
+// that accepts incidents over versioned HTTP/JSON and schedules them on
+// the live responder pool.
+//
+//	aiopsd                         # serve on 127.0.0.1:8080, key dev
+//	aiopsd -addr :9090 -keys "k1=netops,k2=storage-oncall"
+//	aiopsd -sim                    # simulated clock + /v1/sim endpoints
+//	aiopsd -timescale 1s           # wall mode in real time (default: 1s = 1 sim minute)
+//
+//	curl -s -X POST -H 'X-API-Key: dev' \
+//	     -d '{"scenario":"gray-link","severity":"sev2"}' \
+//	     http://127.0.0.1:8080/v1/incidents
+//	curl -s -H 'X-API-Key: dev' http://127.0.0.1:8080/v1/incidents/inc-0001
+//	curl -s -X PATCH -H 'X-API-Key: dev' -d '{"status":"resolved"}' \
+//	     http://127.0.0.1:8080/v1/incidents/inc-0001
+//	curl -s http://127.0.0.1:8080/metrics
+//	curl -N -H 'X-API-Key: dev' http://127.0.0.1:8080/v1/events   # SSE
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains the
+// scheduler (every accepted arrival still runs to completion on the
+// simulated timeline), prints the fleet summary table to stdout, and
+// writes any requested -trace-out/-metrics-out exports.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/gateway"
+	"repro/internal/harness"
+	"repro/internal/kb"
+	"repro/internal/obs"
+)
+
+func main() {
+	fs := flag.NewFlagSet("aiopsd", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address")
+		keys      = fs.String("keys", "dev=local-dev", "comma-separated apikey=caller pairs; the key goes in X-API-Key, the caller name onto the record")
+		oces      = fs.Int("oces", 3, "responder pool size")
+		queue     = fs.Int("queue", 8, "admission bound on the waiting queue (0 = unbounded, never shed)")
+		aging     = fs.Duration("aging", 30*time.Minute, "queue-wait that promotes an incident one severity class (negative disables aging)")
+		fifo      = fs.Bool("fifo", false, "dispatch in strict arrival order instead of severity+aging")
+		arm       = fs.String("arm", "assisted", "which responder arm serves the pool: assisted or unassisted")
+		sim       = fs.Bool("sim", false, "simulated clock under explicit control: exposes POST /v1/sim/{advance,drain} and time only moves when told (deterministic harness mode)")
+		timescale = fs.Duration("timescale", time.Minute, "wall-clock mode: simulated time per wall second (1m = demo speed, 1s = real time)")
+	)
+	c := cliflags.Register(fs, 7)
+	fs.Parse(os.Args[1:])
+	c.MustValidate()
+	c.StartPProf()
+	c.ApplyCaches()
+
+	keyMap, err := parseKeys(*keys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// Runner construction mirrors `imctl fleet`: the assisted helper
+	// (resilient unless -naive) or the unassisted control, both under
+	// the shared fault-injection flags.
+	kbase := kb.Default()
+	kb.ApplyFastpathUpdate(kbase)
+	var fc faults.Config
+	cfg := core.DefaultConfig()
+	if c.FaultRate > 0 {
+		fc = faults.Config{Rate: c.FaultRate, ActionRate: c.FaultRate / 2, Degrade: 0.5, Seed: c.FaultSeed}
+		if !c.Naive {
+			cfg.Resilience = core.DefaultResilience()
+		}
+	}
+	var runner harness.Runner
+	switch *arm {
+	case "assisted":
+		runner = &harness.HelperRunner{Label: "assisted-helper", KBase: kbase, Config: cfg, Faults: fc}
+	case "unassisted":
+		runner = &harness.ControlRunner{Label: "unassisted-oce", KBase: kbase, Faults: fc}
+	default:
+		fmt.Fprintf(os.Stderr, "invalid -arm %q: want assisted or unassisted\n", *arm)
+		os.Exit(2)
+	}
+
+	// The daemon always runs a sink — /metrics and /v1/events need one
+	// — reusing the flag-allocated sink when exports were requested so
+	// shutdown exports see the live data.
+	sink := c.Sink()
+	if sink == nil {
+		sink = obs.NewSink()
+	}
+
+	policy := fleet.SeverityAging
+	if *fifo {
+		policy = fleet.FIFO
+	}
+	sched := fleet.NewLive(fleet.LiveConfig{
+		OCEs: *oces, Policy: policy, QueueLimit: *queue, AgingStep: *aging,
+		Obs: sink, RunnerName: runner.Name(),
+	})
+
+	var clock gateway.Clock
+	if *sim {
+		clock = gateway.NewSimClock()
+	} else {
+		clock = gateway.NewWallClock(*timescale)
+	}
+	gw := gateway.NewServer(gateway.Config{
+		Keys: keyMap, Clock: clock, Sched: sched, Runner: runner,
+		Seed: c.Seed, Sink: sink, SimControl: *sim,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mode := fmt.Sprintf("wall clock, 1s = %s simulated", *timescale)
+	if *sim {
+		mode = "sim clock (advance via POST /v1/sim/advance)"
+	}
+	fmt.Fprintf(os.Stderr, "aiopsd: serving on http://%s (%s, arm %s, %d OCEs, queue bound %d)\n",
+		ln.Addr(), mode, runner.Name(), *oces, *queue)
+
+	srv := &http.Server{Handler: gw.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "aiopsd: %v: draining\n", sig)
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "aiopsd: serve: %v\n", err)
+	}
+
+	// Graceful drain: stop intake, finish every accepted arrival on the
+	// simulated timeline, report.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	rep := sched.Drain()
+	fmt.Println(fleet.SummaryTable(
+		fmt.Sprintf("aiopsd drain: %d OCEs, queue bound %d", *oces, *queue),
+		[]fleet.Arm{{Name: runner.Name(), Report: rep}}))
+	c.MustExport()
+}
+
+// parseKeys parses the -keys flag: "apikey=caller,apikey=caller".
+func parseKeys(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		key, caller, ok := strings.Cut(pair, "=")
+		if !ok || key == "" || caller == "" {
+			return nil, fmt.Errorf("invalid -keys entry %q: want apikey=caller", pair)
+		}
+		if prev, dup := out[key]; dup {
+			return nil, fmt.Errorf("duplicate api key %q (callers %q and %q)", key, prev, caller)
+		}
+		out[key] = caller
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-keys is empty: at least one apikey=caller pair required")
+	}
+	return out, nil
+}

@@ -662,6 +662,7 @@ var Registry = []struct {
 	{"e12", "small models + retrieval (extension)", E12SmallModels},
 	{"e13", "robustness under degraded telemetry (extension)", E13Resilience},
 	{"e14", "offered-load ladder on the fleet scheduler (extension)", E14OfferedLoad},
+	{"e15", "gateway load ladder over live HTTP (extension)", E15GatewayLoad},
 }
 
 // ByID returns the registered experiment, or nil.

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/harness"
+)
+
+// TestE15DeterministicAcrossClients is E15's acceptance contract: the
+// gateway load ladder — driven through a real TCP socket by concurrent
+// HTTP clients — renders byte-identical tables at 1 and at 8 client
+// workers. Client concurrency is the only thing -workers changes in
+// E15; the schedule is pinned by the (At, ID)-stamped arrival tape.
+func TestE15DeterministicAcrossClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E15 boots 15 HTTP servers per run")
+	}
+	t.Parallel()
+	serial := renderTables(E15GatewayLoad(Params{Trials: 2, Seed: 99, Workers: 1}))
+	pooled := renderTables(E15GatewayLoad(Params{Trials: 2, Seed: 99, Workers: 8}))
+	if serial != pooled {
+		t.Fatalf("E15 tables diverge between 1 and 8 clients: %s", firstDiff(serial, pooled))
+	}
+}
+
+// e15KneeFor runs one arm up the E15 ladder — through the socket — and
+// returns its saturation knee (arrivals/hour).
+func e15KneeFor(t *testing.T, r harness.Runner, p Params) float64 {
+	t.Helper()
+	var sums []gateway.DrainSummary
+	for _, rate := range e15Rates {
+		sum, err := e15Cell(rate, p, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, sum)
+	}
+	rate, _ := e15Knee(sums)
+	return rate
+}
+
+// TestE15AssistedSustainsHigherLoad: the socket must not change the
+// physics — through live HTTP the assisted pool's saturation knee still
+// sits at a strictly higher offered load than the unassisted pool's,
+// mirroring E14's headline claim.
+func TestE15AssistedSustainsHigherLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E15 boots an HTTP server per cell")
+	}
+	t.Parallel()
+	p := Params{Trials: 5, Seed: 7}.withDefaults()
+	kbase := currentKB()
+	assisted := e15KneeFor(t, &harness.HelperRunner{Label: "assisted-helper", KBase: kbase, Config: core.DefaultConfig()}, p)
+	unassisted := e15KneeFor(t, &harness.ControlRunner{Label: "unassisted-oce", KBase: kbase}, p)
+	if assisted <= unassisted {
+		t.Fatalf("assisted knee %.1f/h not above unassisted knee %.1f/h", assisted, unassisted)
+	}
+}

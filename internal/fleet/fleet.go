@@ -253,122 +253,21 @@ func Simulate(cfg Config) *Report {
 		sessions[i] = tr.Value
 	}
 
-	// Phase 3 — serial discrete-event scheduling.
-	rep := &Report{Outcomes: make([]Outcome, n)}
-	busy := make([]bool, cfg.OCEs)
-	busyUntil := make([]time.Duration, cfg.OCEs)
-	var queued []int // arrival indices, in arrival order
-	var busySum, makespan time.Duration
-	mitigated := 0
-
-	dispatch := func(r, idx int, at time.Duration) {
-		o := &rep.Outcomes[idx]
-		o.StartedAt = at
-		o.Queue = at - o.ArrivedAt
-		o.Handling = sessions[idx].res.TTM
-		o.Resolution = o.Queue + sessions[idx].res.PenalizedTTM()
-		o.Responder = r
-		busy[r] = true
-		busyUntil[r] = at + o.Handling
-		busySum += o.Handling
-		if busyUntil[r] > makespan {
-			makespan = busyUntil[r]
-		}
+	// Phase 3 — serial discrete-event scheduling, on the same engine the
+	// live scheduler feeds one arrival at a time (see live.go). Arrivals
+	// enter in arrival order; the engine interleaves completions exactly
+	// as the historical in-line loop did.
+	eng := newEngine(cfg.OCEs, cfg.Policy, cfg.QueueLimit, cfg.AgingStep)
+	for idx := 0; idx < n; idx++ {
+		eng.add(Outcome{
+			Index: idx, Scenario: arrivals[idx].scenario.Name(),
+			Severity: sessions[idx].severity, ArrivedAt: arrivals[idx].at,
+			Result: sessions[idx].res,
+		}, sessions[idx])
+		eng.arrive(idx)
 	}
-
-	// pick selects which waiting incident a freed responder takes: the
-	// highest effective priority (severity plus aging boost) at time
-	// `at`, ties broken by arrival order. FIFO always takes the head.
-	pick := func(at time.Duration) int {
-		if cfg.Policy == FIFO {
-			return 0
-		}
-		best, bestPrio := 0, -1
-		for j, idx := range queued {
-			prio := rep.Outcomes[idx].Severity
-			if cfg.AgingStep > 0 {
-				prio += int((at - rep.Outcomes[idx].ArrivedAt) / cfg.AgingStep)
-			}
-			if prio > bestPrio {
-				best, bestPrio = j, prio
-			}
-		}
-		return best
-	}
-
-	nextComp := func() (time.Duration, int) {
-		t, r := never, -1
-		for i := range busy {
-			if busy[i] && busyUntil[i] < t {
-				t, r = busyUntil[i], i
-			}
-		}
-		return t, r
-	}
-
-	nextArr := 0
-	for {
-		compT, compR := nextComp()
-		arrT := never
-		if nextArr < n {
-			arrT = arrivals[nextArr].at
-		}
-		// Completions at time t resolve before arrivals at time t, so a
-		// just-freed responder can absorb a simultaneous arrival instead
-		// of the admission controller seeing a full queue.
-		if compR >= 0 && compT <= arrT {
-			busy[compR] = false
-			if len(queued) > 0 {
-				j := pick(compT)
-				idx := queued[j]
-				queued = append(queued[:j], queued[j+1:]...)
-				dispatch(compR, idx, compT)
-			}
-			continue
-		}
-		if nextArr >= n {
-			break // all arrivals processed, pool idle: drained
-		}
-		idx := nextArr
-		nextArr++
-		o := &rep.Outcomes[idx]
-		o.Index = idx
-		o.Scenario = arrivals[idx].scenario.Name()
-		o.Severity = sessions[idx].severity
-		o.ArrivedAt = arrivals[idx].at
-		o.Result = sessions[idx].res
-		idle := -1
-		for r := range busy {
-			if !busy[r] {
-				idle = r
-				break
-			}
-		}
-		switch {
-		case idle >= 0:
-			dispatch(idle, idx, o.ArrivedAt)
-		case cfg.QueueLimit <= 0 || len(queued) < cfg.QueueLimit:
-			queued = append(queued, idx)
-			if len(queued) > rep.PeakQueueDepth {
-				rep.PeakQueueDepth = len(queued)
-			}
-		default:
-			// Admission control: the queue is saturated, so the arrival
-			// sheds straight to the specialist escalation path without
-			// ever occupying a responder.
-			o.Shed = true
-			o.Responder = -1
-			o.Resolution = harness.EscalationPenalty
-			o.Result = harness.Result{Scenario: o.Scenario, Escalated: true}
-			rep.Shed++
-		}
-	}
-	rep.Admitted = n - rep.Shed
-	for i := range rep.Outcomes {
-		if !rep.Outcomes[i].Shed && rep.Outcomes[i].Result.Mitigated {
-			mitigated++
-		}
-	}
+	eng.completeUntil(never) // all arrivals in, run the pool idle: drained
+	rep := eng.report(cfg.OCEs, cfg.Obs)
 
 	// Observability: per-arrival session streams absorb in arrival
 	// order, each followed by its fleet-level event, so the merged log
@@ -399,12 +298,11 @@ func Simulate(cfg Config) *Report {
 		}
 	}
 
-	aggregate(rep, cfg, busySum, makespan, mitigated)
 	return rep
 }
 
 // aggregate fills the report's summary statistics and saturation gauges.
-func aggregate(rep *Report, cfg Config, busySum, makespan time.Duration, mitigated int) {
+func aggregate(rep *Report, oces int, sink *obs.Sink, busySum, makespan time.Duration, mitigated int) {
 	n := len(rep.Outcomes)
 	if n == 0 {
 		return
@@ -430,7 +328,7 @@ func aggregate(rep *Report, cfg Config, busySum, makespan time.Duration, mitigat
 	rep.P95Resolution = minutes(eval.Percentile(resolutions, 95))
 	rep.P99Resolution = minutes(eval.Percentile(resolutions, 99))
 	if makespan > 0 {
-		rep.Utilization = float64(busySum) / (float64(makespan) * float64(cfg.OCEs))
+		rep.Utilization = float64(busySum) / (float64(makespan) * float64(oces))
 	}
 	rep.MitigatedRate = float64(mitigated) / float64(n)
 	rep.ShedRate = float64(rep.Shed) / float64(n)
@@ -438,8 +336,8 @@ func aggregate(rep *Report, cfg Config, busySum, makespan time.Duration, mitigat
 		rep.Drain = makespan - last
 	}
 
-	if cfg.Obs != nil {
-		reg := cfg.Obs.Registry()
+	if sink != nil {
+		reg := sink.Registry()
 		reg.Set(obs.MFleetUtil, nil, rep.Utilization)
 		reg.Set(obs.MFleetQueueDepth, nil, float64(rep.PeakQueueDepth))
 		reg.Set(obs.MFleetDrain, nil, rep.Drain.Minutes())

@@ -1,0 +1,523 @@
+package fleet
+
+// The live scheduler: the open-ended arrival-stream form of the fleet
+// simulator. Simulate pre-draws every arrival and runs to completion;
+// a production service never sees the end of its arrival stream. This
+// file refactors the phase-3 discrete-event loop into a reusable engine
+// (Simulate replays batches through it, byte-identically) and wraps it
+// in a LiveScheduler that accepts arrivals one at a time — from HTTP
+// handlers, at any interleaving — while keeping the repo's determinism
+// contract: the schedule is a pure function of the accepted arrival set
+// {(At, ID, session)}, never of submission order or client concurrency.
+//
+// The bridge to real time is deliberately thin: the scheduler itself
+// has no clock. Callers (internal/gateway) own a Clock and push its
+// watermark in via StepTo; arrivals carry explicit simulated-clock
+// timestamps and are buffered until the watermark passes them, then
+// admitted in (At, ID) order. Two properties make this deterministic
+// under concurrent submission:
+//
+//  1. Offer rejects arrivals stamped before the current watermark, so
+//     once the watermark passes time t the set of arrivals at or before
+//     t is frozen.
+//  2. Ties at the same timestamp order by ID, which submission
+//     interleaving cannot change.
+//
+// Under a simulated clock the watermark only moves on explicit advance
+// calls (tests, the E15 load harness); under a wall clock it moves on
+// every request, and ordering races are exactly the ones real time has.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+// engine is the serial discrete-event core shared by Simulate and the
+// LiveScheduler: responder pool state, the severity/aging priority
+// queue, admission control, and the completion loop. It is not safe for
+// concurrent use; callers serialize (Simulate is single-threaded, the
+// LiveScheduler holds its mutex).
+type engine struct {
+	oces       int
+	policy     Policy
+	queueLimit int
+	agingStep  time.Duration
+
+	busy      []bool
+	busyUntil []time.Duration
+	queued    []int // outcome indices, arrival order
+
+	outcomes []Outcome
+	sessions []session
+
+	busySum  time.Duration
+	makespan time.Duration
+	shed     int
+	peak     int
+
+	// onProcessed, when non-nil, fires the moment an outcome's fleet
+	// fate is decided — at dispatch (queue delay and resolution known)
+	// or at shed. The live scheduler uses it to emit fleet events in
+	// deterministic processing order; Simulate leaves it nil and emits
+	// after the run in arrival order, as it always has.
+	onProcessed func(idx int)
+}
+
+func newEngine(oces int, policy Policy, queueLimit int, agingStep time.Duration) *engine {
+	return &engine{
+		oces: oces, policy: policy, queueLimit: queueLimit, agingStep: agingStep,
+		busy: make([]bool, oces), busyUntil: make([]time.Duration, oces),
+	}
+}
+
+// add appends one arrival's outcome shell and session, returning its
+// outcome index.
+func (e *engine) add(o Outcome, s session) int {
+	e.outcomes = append(e.outcomes, o)
+	e.sessions = append(e.sessions, s)
+	return len(e.outcomes) - 1
+}
+
+// dispatch hands outcome idx to responder r at time at.
+func (e *engine) dispatch(r, idx int, at time.Duration) {
+	o := &e.outcomes[idx]
+	o.StartedAt = at
+	o.Queue = at - o.ArrivedAt
+	o.Handling = e.sessions[idx].res.TTM
+	o.Resolution = o.Queue + e.sessions[idx].res.PenalizedTTM()
+	o.Responder = r
+	e.busy[r] = true
+	e.busyUntil[r] = at + o.Handling
+	e.busySum += o.Handling
+	if e.busyUntil[r] > e.makespan {
+		e.makespan = e.busyUntil[r]
+	}
+	if e.onProcessed != nil {
+		e.onProcessed(idx)
+	}
+}
+
+// pick selects which waiting incident a freed responder takes: the
+// highest effective priority (severity plus aging boost) at time `at`,
+// ties broken by arrival order. FIFO always takes the head.
+func (e *engine) pick(at time.Duration) int {
+	if e.policy == FIFO {
+		return 0
+	}
+	best, bestPrio := 0, -1
+	for j, idx := range e.queued {
+		prio := e.outcomes[idx].Severity
+		if e.agingStep > 0 {
+			prio += int((at - e.outcomes[idx].ArrivedAt) / e.agingStep)
+		}
+		if prio > bestPrio {
+			best, bestPrio = j, prio
+		}
+	}
+	return best
+}
+
+// nextComp returns the earliest pending completion (time, responder),
+// or (never, -1) when the pool is idle.
+func (e *engine) nextComp() (time.Duration, int) {
+	t, r := never, -1
+	for i := range e.busy {
+		if e.busy[i] && e.busyUntil[i] < t {
+			t, r = e.busyUntil[i], i
+		}
+	}
+	return t, r
+}
+
+// completeUntil frees every responder whose session ends at or before
+// t, handing each straight to the highest-priority queued incident.
+func (e *engine) completeUntil(t time.Duration) {
+	for {
+		compT, compR := e.nextComp()
+		if compR < 0 || compT > t {
+			return
+		}
+		e.busy[compR] = false
+		if len(e.queued) > 0 {
+			j := e.pick(compT)
+			idx := e.queued[j]
+			e.queued = append(e.queued[:j], e.queued[j+1:]...)
+			e.dispatch(compR, idx, compT)
+		}
+	}
+}
+
+// arrive admits outcome idx at its ArrivedAt. Completions at time t
+// resolve before arrivals at time t, so a just-freed responder can
+// absorb a simultaneous arrival instead of the admission controller
+// seeing a full queue. Callers must arrive outcomes in nondecreasing
+// ArrivedAt order.
+func (e *engine) arrive(idx int) {
+	o := &e.outcomes[idx]
+	e.completeUntil(o.ArrivedAt)
+	idle := -1
+	for r := range e.busy {
+		if !e.busy[r] {
+			idle = r
+			break
+		}
+	}
+	switch {
+	case idle >= 0:
+		e.dispatch(idle, idx, o.ArrivedAt)
+	case e.queueLimit <= 0 || len(e.queued) < e.queueLimit:
+		e.queued = append(e.queued, idx)
+		if len(e.queued) > e.peak {
+			e.peak = len(e.queued)
+		}
+	default:
+		// Admission control: the queue is saturated, so the arrival
+		// sheds straight to the specialist escalation path without
+		// ever occupying a responder.
+		o.Shed = true
+		o.Responder = -1
+		o.Resolution = harness.EscalationPenalty
+		o.Result = harness.Result{Scenario: o.Scenario, Escalated: true}
+		e.shed++
+		if e.onProcessed != nil {
+			e.onProcessed(idx)
+		}
+	}
+}
+
+// report assembles the aggregate Report over everything the engine has
+// processed. Call only after every arrival is in and completeUntil ran
+// to the end of time (drain).
+func (e *engine) report(oces int, sink *obs.Sink) *Report {
+	rep := &Report{Outcomes: e.outcomes, Shed: e.shed, PeakQueueDepth: e.peak}
+	rep.Admitted = len(e.outcomes) - e.shed
+	mitigated := 0
+	for i := range rep.Outcomes {
+		if !rep.Outcomes[i].Shed && rep.Outcomes[i].Result.Mitigated {
+			mitigated++
+		}
+	}
+	aggregate(rep, oces, sink, e.busySum, e.makespan, mitigated)
+	return rep
+}
+
+// ---------------------------------------------------------------------------
+// LiveScheduler — the open-ended arrival stream.
+// ---------------------------------------------------------------------------
+
+// LiveConfig parameterizes a live scheduler. Unlike Config there is no
+// arrival process and no trial pool: arrivals come from outside (with
+// their sessions already executed, typically in the submitting HTTP
+// handler's goroutine — that is where live-mode parallelism lives), and
+// the stream has no predeclared end.
+type LiveConfig struct {
+	// OCEs is the responder pool size (default 3).
+	OCEs int
+	// Policy, QueueLimit and AgingStep behave exactly as in Config.
+	Policy     Policy
+	QueueLimit int
+	AgingStep  time.Duration
+	// Obs, when non-nil, receives each admitted arrival's session event
+	// stream (absorbed at dispatch time, in deterministic processing
+	// order) and the fleet-level incident/shed events.
+	Obs *obs.Sink
+	// RunnerName stamps the fleet-level events.
+	RunnerName string
+}
+
+func (cfg LiveConfig) withDefaults() LiveConfig {
+	if cfg.OCEs <= 0 {
+		cfg.OCEs = 3
+	}
+	if cfg.AgingStep == 0 {
+		cfg.AgingStep = 30 * time.Minute
+	}
+	return cfg
+}
+
+// LiveArrival is one externally submitted incident: an identifier, an
+// explicit simulated-clock arrival time, the (already executed) session
+// result, and optionally the session's buffered event stream.
+type LiveArrival struct {
+	// ID uniquely names the arrival; ties at the same At order by ID.
+	ID string
+	// At is the simulated-clock arrival time. Offer rejects times
+	// before the scheduler's watermark.
+	At time.Duration
+	// Scenario names the incident class (for events and outcomes).
+	Scenario string
+	// Severity is the dispatch priority class (0..3).
+	Severity int
+	// Result is the session outcome for this incident, pre-executed by
+	// the submitter.
+	Result harness.Result
+	// Events optionally carries the session's buffered event stream;
+	// the scheduler absorbs it into Obs at dispatch time and releases
+	// the recorder (shed arrivals discard it — those sessions never
+	// happened).
+	Events *obs.Recorder
+}
+
+// LiveState is the gateway-visible lifecycle of one live arrival.
+type LiveState string
+
+const (
+	// StatePending: accepted, its arrival time is still ahead of the
+	// watermark.
+	StatePending LiveState = "pending"
+	// StateQueued: arrived, waiting for a responder.
+	StateQueued LiveState = "queued"
+	// StateActive: a responder is working it.
+	StateActive LiveState = "active"
+	// StateResolved: the responder finished (see Outcome for how).
+	StateResolved LiveState = "resolved"
+	// StateShed: admission control refused it (queue saturated).
+	StateShed LiveState = "shed"
+)
+
+// LiveStatus is a point-in-time view of one arrival.
+type LiveStatus struct {
+	State LiveState
+	// Outcome is valid once the arrival left pending (zero otherwise).
+	Outcome Outcome
+}
+
+// Live scheduler errors, surfaced by Offer.
+var (
+	// ErrDuplicateID rejects a second arrival with an ID already seen.
+	ErrDuplicateID = errors.New("fleet: duplicate arrival id")
+	// ErrStaleArrival rejects an arrival stamped before the watermark —
+	// admitting it would let submission interleaving change history.
+	ErrStaleArrival = errors.New("fleet: arrival time before scheduler watermark")
+	// ErrDrained rejects arrivals after Drain closed the intake.
+	ErrDrained = errors.New("fleet: scheduler drained")
+)
+
+// LiveScheduler feeds an open-ended arrival stream through the
+// discrete-event engine. Safe for concurrent use.
+type LiveScheduler struct {
+	mu        sync.Mutex
+	cfg       LiveConfig
+	eng       *engine
+	pending   []LiveArrival // sorted by (At, ID)
+	pendIdx   map[string]bool
+	index     map[string]int // ID -> outcome index once admitted
+	ids       []string       // outcome index -> ID
+	recs      []*obs.Recorder
+	watermark time.Duration
+	drained   bool
+	rep       *Report
+}
+
+// NewLive builds a live scheduler.
+func NewLive(cfg LiveConfig) *LiveScheduler {
+	cfg = cfg.withDefaults()
+	s := &LiveScheduler{
+		cfg:     cfg,
+		eng:     newEngine(cfg.OCEs, cfg.Policy, cfg.QueueLimit, cfg.AgingStep),
+		pendIdx: map[string]bool{},
+		index:   map[string]int{},
+	}
+	s.eng.onProcessed = s.processed
+	return s
+}
+
+// Offer submits one arrival. It never blocks on scheduling work: the
+// arrival parks in the pending set until the watermark passes its At.
+func (s *LiveScheduler) Offer(a LiveArrival) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return ErrDrained
+	}
+	if a.ID == "" {
+		return errors.New("fleet: arrival id must be non-empty")
+	}
+	if s.pendIdx[a.ID] {
+		return fmt.Errorf("%w: %s", ErrDuplicateID, a.ID)
+	}
+	if _, ok := s.index[a.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateID, a.ID)
+	}
+	if a.At < s.watermark {
+		return fmt.Errorf("%w: %s at %s < %s", ErrStaleArrival, a.ID, a.At, s.watermark)
+	}
+	// Insert in (At, ID) order; the pending set stays sorted so admit
+	// order is a pure function of the accepted set.
+	at := sort.Search(len(s.pending), func(i int) bool {
+		p := s.pending[i]
+		return p.At > a.At || (p.At == a.At && p.ID > a.ID)
+	})
+	s.pending = append(s.pending, LiveArrival{})
+	copy(s.pending[at+1:], s.pending[at:])
+	s.pending[at] = a
+	s.pendIdx[a.ID] = true
+	return nil
+}
+
+// StepTo advances the watermark to t (it never moves backward) and
+// processes everything the discrete-event engine owes up to it: pending
+// arrivals with At <= t, in (At, ID) order, interleaved with responder
+// completions.
+func (s *LiveScheduler) StepTo(t time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return
+	}
+	if t > s.watermark {
+		s.watermark = t
+	}
+	s.processLocked(s.watermark)
+}
+
+// processLocked admits pending arrivals up to t, then runs completions
+// up to t.
+func (s *LiveScheduler) processLocked(t time.Duration) {
+	for len(s.pending) > 0 && s.pending[0].At <= t {
+		a := s.pending[0]
+		s.pending = s.pending[1:]
+		delete(s.pendIdx, a.ID)
+		s.admitLocked(a)
+	}
+	s.eng.completeUntil(t)
+}
+
+// admitLocked moves one arrival from pending into the engine.
+func (s *LiveScheduler) admitLocked(a LiveArrival) {
+	idx := s.eng.add(Outcome{
+		Index: len(s.eng.outcomes), Scenario: a.Scenario, Severity: a.Severity,
+		ArrivedAt: a.At, Result: a.Result,
+	}, session{res: a.Result, severity: a.Severity})
+	s.index[a.ID] = idx
+	s.ids = append(s.ids, a.ID)
+	s.recs = append(s.recs, a.Events)
+	s.eng.arrive(idx)
+}
+
+// processed is the engine's onProcessed hook: emit observability for
+// outcome idx the moment its fate (dispatch or shed) is decided. The
+// engine is serial under s.mu, so absorb order is the deterministic
+// processing order.
+func (s *LiveScheduler) processed(idx int) {
+	rec := s.recs[idx]
+	s.recs[idx] = nil
+	if s.cfg.Obs == nil {
+		if rec != nil {
+			rec.Release()
+		}
+		return
+	}
+	o := &s.eng.outcomes[idx]
+	session := "gw/" + s.ids[idx]
+	if o.Shed {
+		// Shed arrivals discard their session events — those sessions
+		// never happened.
+		s.cfg.Obs.Emit(obs.Event{
+			Type: obs.EvFleetShed, At: o.ArrivedAt, Session: session,
+			Runner: s.cfg.RunnerName, Scenario: o.Scenario,
+		})
+	} else {
+		s.cfg.Obs.Absorb(rec)
+		s.cfg.Obs.Emit(obs.Event{
+			Type: obs.EvFleetIncident, At: o.ArrivedAt, Session: session,
+			Runner: s.cfg.RunnerName, Scenario: o.Scenario,
+			Queue: o.Queue, Resolution: o.Resolution,
+		})
+	}
+	if rec != nil {
+		rec.Release()
+	}
+}
+
+// Lookup reports the current state of an arrival by ID.
+func (s *LiveScheduler) Lookup(id string) (LiveStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pendIdx[id] {
+		return LiveStatus{State: StatePending}, true
+	}
+	idx, ok := s.index[id]
+	if !ok {
+		return LiveStatus{}, false
+	}
+	o := s.eng.outcomes[idx]
+	st := LiveStatus{Outcome: o}
+	switch {
+	case o.Shed:
+		st.State = StateShed
+	case s.queuedLocked(idx):
+		st.State = StateQueued
+	case s.drained || o.StartedAt+o.Handling <= s.watermark:
+		st.State = StateResolved
+	default:
+		st.State = StateActive
+	}
+	return st, true
+}
+
+func (s *LiveScheduler) queuedLocked(idx int) bool {
+	for _, q := range s.eng.queued {
+		if q == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// Watermark returns the scheduler's current simulated-time watermark.
+func (s *LiveScheduler) Watermark() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark
+}
+
+// Depth reports (pending, queued) sizes — the service's backpressure
+// signals.
+func (s *LiveScheduler) Depth() (pending, queued int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending), len(s.eng.queued)
+}
+
+// Drain closes the intake, admits every still-pending arrival at its
+// stamped time, runs the pool to idle, and returns the aggregate
+// report (idempotent afterwards). This is the graceful-shutdown path —
+// and, for the sim-clock harnesses, the run-to-completion step.
+func (s *LiveScheduler) Drain() *Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return s.rep
+	}
+	for len(s.pending) > 0 {
+		a := s.pending[0]
+		s.pending = s.pending[1:]
+		delete(s.pendIdx, a.ID)
+		s.admitLocked(a)
+	}
+	s.eng.completeUntil(never)
+	if s.eng.makespan > s.watermark {
+		s.watermark = s.eng.makespan
+	}
+	s.drained = true
+	s.rep = s.eng.report(s.cfg.OCEs, s.cfg.Obs)
+	return s.rep
+}
+
+// IDOf returns the arrival ID for an outcome index in the drained
+// report (test hook).
+func (s *LiveScheduler) IDOf(idx int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx < 0 || idx >= len(s.ids) {
+		return ""
+	}
+	return s.ids[idx]
+}

@@ -1,0 +1,241 @@
+package gateway
+
+// The gateway's JSON payload codec: enumerated severity and status,
+// explicit simulated-clock timestamps, strict schema (unknown fields
+// rejected). Following the gateway-first ingress design, the gateway —
+// not the callers' internal tools — is where enumerations are enforced
+// and payloads normalized, so everything downstream (the live
+// scheduler, the event stream, the metrics) sees one vocabulary.
+//
+// Decode errors split in two: *FieldError means the JSON was
+// well-formed but a value violated the schema (HTTP 422); any other
+// error means the body was not valid strict JSON at all (HTTP 400).
+// FuzzIncidentDecode pins the codec's contract: no input panics, and
+// every accepted payload round-trips through its canonical encoding.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/scenarios"
+)
+
+// Severity is the enumerated incident severity, sev0 (lowest) to sev3
+// (highest) — the netsim severity scale the fleet scheduler's priority
+// queues dispatch on. The wire form is the string "sevN"; bare
+// integers 0..3 are accepted on input for curl ergonomics.
+type Severity int
+
+// MaxSeverity is the highest severity class.
+const MaxSeverity = 3
+
+// String returns the canonical wire form.
+func (s Severity) String() string { return fmt.Sprintf("sev%d", int(s)) }
+
+// MarshalJSON encodes the canonical "sevN" string.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	if s < 0 || s > MaxSeverity {
+		return nil, fmt.Errorf("gateway: severity %d out of range", int(s))
+	}
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts "sevN" strings and bare integers 0..3.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var str string
+		if err := json.Unmarshal(b, &str); err != nil {
+			return err
+		}
+		rest, ok := strings.CutPrefix(str, "sev")
+		if !ok {
+			return &FieldError{Field: "severity", Msg: fmt.Sprintf("unknown severity %q: want sev0..sev%d", str, MaxSeverity)}
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 || n > MaxSeverity {
+			return &FieldError{Field: "severity", Msg: fmt.Sprintf("unknown severity %q: want sev0..sev%d", str, MaxSeverity)}
+		}
+		*s = Severity(n)
+		return nil
+	}
+	n, err := strconv.Atoi(string(bytes.TrimSpace(b)))
+	if err != nil || n < 0 || n > MaxSeverity {
+		return &FieldError{Field: "severity", Msg: fmt.Sprintf("invalid severity %s: want sev0..sev%d or 0..%d", b, MaxSeverity, MaxSeverity)}
+	}
+	*s = Severity(n)
+	return nil
+}
+
+// Statuses is the enumerated caller-reported incident lifecycle,
+// in order. "resolved" is terminal: updates after it are rejected.
+var Statuses = []string{"open", "investigating", "identified", "monitoring", "resolved"}
+
+// ValidStatus reports whether s is an enumerated status.
+func ValidStatus(s string) bool {
+	for _, v := range Statuses {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldError is a schema violation in an otherwise well-formed payload.
+type FieldError struct {
+	Field string
+	Msg   string
+}
+
+// Error implements error.
+func (e *FieldError) Error() string { return e.Field + ": " + e.Msg }
+
+// Payload size/field caps. Oversized fields are schema violations, not
+// parse errors.
+const (
+	maxIDLen      = 64
+	maxTitleLen   = 200
+	maxSummaryLen = 4000
+	maxServiceLen = 100
+	maxNoteLen    = 2000
+	// maxOpenedAtMinutes caps timestamps so converting to
+	// time.Duration cannot overflow (about 190 years of simulated
+	// time).
+	maxOpenedAtMinutes = 1e8
+)
+
+// CreateRequest is the POST /v1/incidents payload.
+type CreateRequest struct {
+	// ID optionally names the incident (the gateway assigns inc-NNNN
+	// when absent). Load harnesses supply IDs so results are
+	// independent of submission interleaving.
+	ID string `json:"id,omitempty"`
+	// Scenario names the incident class from the scenario library; the
+	// gateway normalizes the payload by generating the corresponding
+	// incident (world, alerts, ground truth) from it.
+	Scenario string `json:"scenario"`
+	// Title/Summary/Service override the generated incident's
+	// human-facing fields on the stored record.
+	Title   string `json:"title,omitempty"`
+	Summary string `json:"summary,omitempty"`
+	Service string `json:"service,omitempty"`
+	// Severity overrides the generated severity (and with it the
+	// dispatch priority class). Absent: the scenario's own severity.
+	Severity *Severity `json:"severity,omitempty"`
+	// OpenedAtMinutes is the simulated-clock arrival time in minutes.
+	// Absent: the gateway stamps its clock's now. Arrivals behind the
+	// scheduler watermark are rejected at admission (HTTP 409).
+	OpenedAtMinutes *float64 `json:"opened_at_minutes,omitempty"`
+}
+
+// OpenedAt returns the arrival time, or fallback when unset.
+func (r *CreateRequest) OpenedAt(fallback time.Duration) time.Duration {
+	if r.OpenedAtMinutes == nil {
+		return fallback
+	}
+	return time.Duration(*r.OpenedAtMinutes * float64(time.Minute))
+}
+
+// UpdateRequest is the PATCH /v1/incidents/{id} payload. At least one
+// field must be set.
+type UpdateRequest struct {
+	// Status moves the caller-reported lifecycle (see Statuses).
+	Status string `json:"status,omitempty"`
+	// Severity revises the reported severity. Dispatch priority is
+	// fixed at admission; this updates the record only.
+	Severity *Severity `json:"severity,omitempty"`
+	// Note appends free-text context to the record.
+	Note string `json:"note,omitempty"`
+}
+
+// strictDecode unmarshals exactly one JSON value with unknown fields
+// rejected.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("gateway: trailing data after JSON value")
+	}
+	return nil
+}
+
+// validID allows the charset that stays clean in URLs, session labels
+// and metric label values.
+func validID(id string) bool {
+	if id == "" || len(id) > maxIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == '/':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeCreate parses and validates a create payload.
+func DecodeCreate(data []byte) (*CreateRequest, error) {
+	var req CreateRequest
+	if err := strictDecode(data, &req); err != nil {
+		return nil, err
+	}
+	if req.Scenario == "" {
+		return nil, &FieldError{Field: "scenario", Msg: "required"}
+	}
+	if scenarios.ByName(req.Scenario) == nil {
+		return nil, &FieldError{Field: "scenario", Msg: fmt.Sprintf("unknown scenario %q", req.Scenario)}
+	}
+	if req.ID != "" && !validID(req.ID) {
+		return nil, &FieldError{Field: "id", Msg: fmt.Sprintf("invalid id %q: want 1-%d chars of [a-zA-Z0-9._/-]", req.ID, maxIDLen)}
+	}
+	if len(req.Title) > maxTitleLen {
+		return nil, &FieldError{Field: "title", Msg: fmt.Sprintf("longer than %d bytes", maxTitleLen)}
+	}
+	if len(req.Summary) > maxSummaryLen {
+		return nil, &FieldError{Field: "summary", Msg: fmt.Sprintf("longer than %d bytes", maxSummaryLen)}
+	}
+	if len(req.Service) > maxServiceLen {
+		return nil, &FieldError{Field: "service", Msg: fmt.Sprintf("longer than %d bytes", maxServiceLen)}
+	}
+	if req.Severity != nil && (*req.Severity < 0 || *req.Severity > MaxSeverity) {
+		return nil, &FieldError{Field: "severity", Msg: "out of range"}
+	}
+	if req.OpenedAtMinutes != nil {
+		m := *req.OpenedAtMinutes
+		if !(m >= 0) || m > maxOpenedAtMinutes { // !(>=0) also catches NaN
+			return nil, &FieldError{Field: "opened_at_minutes", Msg: fmt.Sprintf("must be in [0, %g]", float64(maxOpenedAtMinutes))}
+		}
+	}
+	return &req, nil
+}
+
+// DecodeUpdate parses and validates an update payload.
+func DecodeUpdate(data []byte) (*UpdateRequest, error) {
+	var req UpdateRequest
+	if err := strictDecode(data, &req); err != nil {
+		return nil, err
+	}
+	if req.Status == "" && req.Severity == nil && req.Note == "" {
+		return nil, &FieldError{Field: "status", Msg: "empty update: set status, severity, or note"}
+	}
+	if req.Status != "" && !ValidStatus(req.Status) {
+		return nil, &FieldError{Field: "status", Msg: fmt.Sprintf("unknown status %q: want one of %s", req.Status, strings.Join(Statuses, "|"))}
+	}
+	if req.Severity != nil && (*req.Severity < 0 || *req.Severity > MaxSeverity) {
+		return nil, &FieldError{Field: "severity", Msg: "out of range"}
+	}
+	if len(req.Note) > maxNoteLen {
+		return nil, &FieldError{Field: "note", Msg: fmt.Sprintf("longer than %d bytes", maxNoteLen)}
+	}
+	return &req, nil
+}

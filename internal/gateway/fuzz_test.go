@@ -1,0 +1,84 @@
+package gateway
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzIncidentDecode drives the gateway's strict JSON codec — severity
+// and status enums, timestamps, unknown fields, trailing garbage — with
+// arbitrary bytes and pins its two contracts:
+//
+//  1. No input panics. The decoder fronts a network socket; every
+//     byte sequence must come back as a value or an error.
+//  2. Every ACCEPTED payload round-trips: re-encoding the decoded
+//     request to its canonical JSON and decoding that again yields the
+//     identical value. Acceptance means normalization, not mutation.
+//
+// The create/update split fuzzes both decoders from one corpus, since
+// hostile payloads don't announce which endpoint they're aimed at.
+func FuzzIncidentDecode(f *testing.F) {
+	seeds := []string{
+		`{"scenario":"gray-link"}`,
+		`{"id":"inc-1","scenario":"device-failure","severity":"sev2","opened_at_minutes":12.5}`,
+		`{"id":"a/b.c_d-e","scenario":"congestion","title":"t","summary":"s","service":"svc"}`,
+		`{"scenario":"cascade-5","severity":3}`,
+		`{"scenario":"gray-link","severity":"sev9"}`,
+		`{"scenario":"gray-link","severity":"critical"}`,
+		`{"scenario":"nope"}`,
+		`{"scenario":"gray-link","opened_at_minutes":-1}`,
+		`{"scenario":"gray-link","opened_at_minutes":1e300}`,
+		`{"scenario":"gray-link","unknown_field":1}`,
+		`{"scenario":"gray-link"} trailing`,
+		`{"status":"investigating"}`,
+		`{"status":"resolved","severity":"sev0","note":"n"}`,
+		`{"status":"bogus"}`,
+		`{"note":""}`,
+		`{}`,
+		`[]`,
+		`null`,
+		`{`,
+		``,
+		`{"severity":"sev1","severity":"sev2","status":"open"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), true)
+		f.Add([]byte(s), false)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, create bool) {
+		if create {
+			req, err := DecodeCreate(data)
+			if err != nil {
+				return // rejected: the only contract is "no panic"
+			}
+			enc, err := json.Marshal(req)
+			if err != nil {
+				t.Fatalf("accepted create does not re-encode: %v (%+v)", err, req)
+			}
+			again, err := DecodeCreate(enc)
+			if err != nil {
+				t.Fatalf("canonical encoding rejected: %v (%s)", err, enc)
+			}
+			if !reflect.DeepEqual(req, again) {
+				t.Fatalf("create round trip mismatch:\nin:  %+v\nout: %+v\nvia: %s", req, again, enc)
+			}
+			return
+		}
+		req, err := DecodeUpdate(data)
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted update does not re-encode: %v (%+v)", err, req)
+		}
+		again, err := DecodeUpdate(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v (%s)", err, enc)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("update round trip mismatch:\nin:  %+v\nout: %+v\nvia: %s", req, again, enc)
+		}
+	})
+}

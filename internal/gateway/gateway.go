@@ -1,0 +1,615 @@
+// Package gateway is the incident gateway: the versioned HTTP/JSON
+// ingress that turns this repository from a pile of batch CLIs into a
+// long-lived service. Callers authenticate with per-caller API keys,
+// POST incident events with enumerated severity/status, and the
+// gateway normalizes each payload into internal/incident types (by
+// generating the named scenario deterministically from a per-incident
+// seed), executes the responder session, and feeds the arrival into
+// the fleet scheduler's live arrival stream. Session events stream
+// back out over SSE from the obs sink, and the metrics registry is
+// scraped at GET /metrics in Prometheus text format.
+//
+// The design follows the gateway-first ingress pattern: one
+// authoritative, versioned entry point validates identity, enforces
+// enumerations, and owns the canonical record, while callers keep
+// their internal tools. Endpoints:
+//
+//	POST   /v1/incidents        create (201; errors 400/401/409/422)
+//	GET    /v1/incidents/{id}   fetch record + live fleet state
+//	PATCH  /v1/incidents/{id}   update reported status/severity/note
+//	GET    /v1/events           Server-Sent Events from the obs sink
+//	GET    /metrics             Prometheus text exposition (no auth)
+//	POST   /v1/sim/advance      advance the sim clock (sim mode only)
+//	POST   /v1/sim/drain        drain the scheduler, return the summary
+//
+// Determinism: with a SimClock, every response body is a pure function
+// of (seed, accepted payloads, advance calls) — HTTP interleaving and
+// client concurrency never change a byte. See clock.go for the bridge.
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/scenarios"
+)
+
+// DeriveSeed maps (base seed, incident ID) to the incident's private
+// session seed: FNV-1a over the ID mixed through a splitmix64
+// finalizer. A pure function of its inputs — independent of submission
+// order, worker count, and wall time — so a given incident ID always
+// replays the same session.
+func DeriveSeed(base int64, id string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	z := uint64(base) + h*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Config assembles a gateway server.
+type Config struct {
+	// Keys maps API key -> caller name (the RFC-style "proof of
+	// contributor": caller authority via per-caller key). Empty map
+	// means every request is rejected 401.
+	Keys map[string]string
+	// Clock is the simulated-time source (see clock.go).
+	Clock Clock
+	// Sched is the live fleet scheduler arrivals feed into.
+	Sched *fleet.LiveScheduler
+	// Runner executes each admitted incident's responder session, in
+	// the submitting handler's goroutine.
+	Runner harness.Runner
+	// Seed is the base seed per-incident session seeds derive from.
+	Seed int64
+	// Sink, when non-nil, powers GET /metrics and GET /v1/events and
+	// collects every session's event stream.
+	Sink *obs.Sink
+	// SimControl exposes POST /v1/sim/{advance,drain}. Enable it only
+	// with an AdvanceClock (tests, load harnesses); in wall-clock mode
+	// the scheduler watermark follows the clock on every request
+	// instead.
+	SimControl bool
+}
+
+// Record is the gateway's canonical incident record: the normalized
+// caller-reported fields plus the fleet scheduler's live view.
+type Record struct {
+	ID         string   `json:"id"`
+	Scenario   string   `json:"scenario"`
+	Title      string   `json:"title"`
+	Summary    string   `json:"summary,omitempty"`
+	Service    string   `json:"service,omitempty"`
+	Severity   Severity `json:"severity"`
+	Status     string   `json:"status"`
+	ReportedBy string   `json:"reported_by"`
+	Notes      []string `json:"notes,omitempty"`
+
+	OpenedAtMinutes float64 `json:"opened_at_minutes"`
+
+	// Fleet view, filled in as the scheduler works the arrival.
+	FleetState        string   `json:"fleet_state"`
+	Responder         *int     `json:"responder,omitempty"`
+	QueueMinutes      *float64 `json:"queue_minutes,omitempty"`
+	ResolutionMinutes *float64 `json:"resolution_minutes,omitempty"`
+	Mitigated         *bool    `json:"mitigated,omitempty"`
+	Escalated         *bool    `json:"escalated,omitempty"`
+}
+
+// DrainSummary is POST /v1/sim/drain's response: the fleet report in
+// wire form. E15 reads its ladder rows from this, through the socket.
+type DrainSummary struct {
+	Incidents            int     `json:"incidents"`
+	Admitted             int     `json:"admitted"`
+	Shed                 int     `json:"shed"`
+	MeanQueueMinutes     float64 `json:"mean_queue_minutes"`
+	P95QueueMinutes      float64 `json:"p95_queue_minutes"`
+	MeanResolutionMin    float64 `json:"mean_resolution_minutes"`
+	P50ResolutionMinutes float64 `json:"p50_resolution_minutes"`
+	P95ResolutionMinutes float64 `json:"p95_resolution_minutes"`
+	P99ResolutionMinutes float64 `json:"p99_resolution_minutes"`
+	MitigatedRate        float64 `json:"mitigated_rate"`
+	Utilization          float64 `json:"utilization"`
+	PeakQueueDepth       int     `json:"peak_queue_depth"`
+	DrainMinutes         float64 `json:"drain_minutes"`
+}
+
+// NewDrainSummary converts a fleet report to wire form.
+func NewDrainSummary(rep *fleet.Report) DrainSummary {
+	return DrainSummary{
+		Incidents:            len(rep.Outcomes),
+		Admitted:             rep.Admitted,
+		Shed:                 rep.Shed,
+		MeanQueueMinutes:     rep.MeanQueue.Minutes(),
+		P95QueueMinutes:      rep.P95Queue.Minutes(),
+		MeanResolutionMin:    rep.MeanResolution.Minutes(),
+		P50ResolutionMinutes: rep.P50Resolution.Minutes(),
+		P95ResolutionMinutes: rep.P95Resolution.Minutes(),
+		P99ResolutionMinutes: rep.P99Resolution.Minutes(),
+		MitigatedRate:        rep.MitigatedRate,
+		Utilization:          rep.Utilization,
+		PeakQueueDepth:       rep.PeakQueueDepth,
+		DrainMinutes:         rep.Drain.Minutes(),
+	}
+}
+
+// Server is the gateway HTTP server state.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	records map[string]*Record
+	seq     int
+
+	// SSE fan-out: cursor counts sink events already broadcast; subs
+	// receive one pre-marshaled JSON line per event.
+	subMu  sync.Mutex
+	cursor int
+	subs   map[chan []byte]struct{}
+}
+
+// NewServer builds the gateway over its collaborators.
+func NewServer(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		records: map[string]*Record{},
+		subs:    map[chan []byte]struct{}{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/incidents", s.auth(s.handleCreate))
+	mux.HandleFunc("GET /v1/incidents/{id}", s.auth(s.handleGet))
+	mux.HandleFunc("PATCH /v1/incidents/{id}", s.auth(s.handleUpdate))
+	mux.HandleFunc("GET /v1/events", s.auth(s.handleEvents))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.SimControl {
+		mux.HandleFunc("POST /v1/sim/advance", s.auth(s.handleAdvance))
+		mux.HandleFunc("POST /v1/sim/drain", s.auth(s.handleDrain))
+	}
+	s.mux = mux
+	return s
+}
+
+// Handler returns the gateway's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// maxBody caps request bodies well above the payload field caps.
+const maxBody = 1 << 20
+
+// writeJSON writes v with a status code. Encoding is deterministic:
+// struct fields in declaration order, HTML escaping off.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// auth wraps a handler with per-caller API-key identity: the caller
+// name lands in the request via the X-Caller context-free param (we
+// pass it explicitly instead).
+func (s *Server) auth(fn func(w http.ResponseWriter, r *http.Request, caller string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("X-API-Key")
+		if key == "" {
+			writeErr(w, http.StatusUnauthorized, "missing X-API-Key header")
+			return
+		}
+		caller, ok := s.cfg.Keys[key]
+		if !ok {
+			writeErr(w, http.StatusUnauthorized, "unknown API key")
+			return
+		}
+		fn(w, r, caller)
+	}
+}
+
+// stepWall follows the wall clock: outside sim-control mode the
+// scheduler watermark advances to now on every request, so incident
+// states progress with real time.
+func (s *Server) stepWall() {
+	if !s.cfg.SimControl {
+		s.cfg.Sched.StepTo(s.cfg.Clock.Now())
+		s.notify()
+	}
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// decodeErr maps codec errors onto status codes: schema violations are
+// 422, malformed JSON is 400.
+func decodeErr(w http.ResponseWriter, err error) {
+	var fe *FieldError
+	if ok := asFieldError(err, &fe); ok {
+		writeErr(w, http.StatusUnprocessableEntity, "%s", fe.Error())
+		return
+	}
+	writeErr(w, http.StatusBadRequest, "invalid payload: %v", err)
+}
+
+func asFieldError(err error, out **FieldError) bool {
+	if fe, ok := err.(*FieldError); ok {
+		*out = fe
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, caller string) {
+	s.stepWall()
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeCreate(body)
+	if err != nil {
+		decodeErr(w, err)
+		return
+	}
+
+	// Reserve the ID before running the (expensive) session so two
+	// concurrent POSTs with the same ID cannot both run one.
+	s.mu.Lock()
+	id := req.ID
+	if id == "" {
+		s.seq++
+		id = fmt.Sprintf("inc-%04d", s.seq)
+	}
+	if _, dup := s.records[id]; dup {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, "incident %q already exists", id)
+		return
+	}
+	s.records[id] = nil // reservation
+	s.mu.Unlock()
+
+	openedAt := req.OpenedAt(s.cfg.Clock.Now())
+
+	// Normalize: generate the named scenario from the incident's
+	// derived seed — world, alerts, ground truth — then overlay the
+	// caller's reported fields.
+	seed := DeriveSeed(s.cfg.Seed, id)
+	in := scenarios.ByName(req.Scenario).Build(rand.New(rand.NewSource(seed)))
+	if req.Severity != nil {
+		in.Incident.Severity = int(*req.Severity)
+	}
+	// The gateway ID replaces the generator's (globally countered) one
+	// so session events are a pure function of (seed, id) — never of
+	// how many incidents other handlers built first. OpenedAt stays on
+	// the session's own timeline: TTM is measured inside the session
+	// world; the fleet arrival time lives in the LiveArrival alone,
+	// exactly as Simulate keeps them separate.
+	in.Incident.ID = id
+
+	// Run the responder session here, in the handler's goroutine: live
+	// mode's parallelism is exactly the server's request concurrency.
+	var rec *obs.Recorder
+	var res harness.Result
+	if or, observed := s.cfg.Runner.(harness.ObservedRunner); observed && s.cfg.Sink != nil {
+		rec = obs.AcquireRecorder("gw/" + id)
+		res = or.RunObserved(in, seed, rec)
+	} else {
+		res = s.cfg.Runner.Run(in, seed)
+	}
+
+	err = s.cfg.Sched.Offer(fleet.LiveArrival{
+		ID: id, At: openedAt, Scenario: req.Scenario,
+		Severity: in.Incident.Severity, Result: res, Events: rec,
+	})
+	if err != nil {
+		if rec != nil {
+			rec.Release()
+		}
+		s.mu.Lock()
+		delete(s.records, id) // release the reservation
+		s.mu.Unlock()
+		switch {
+		case errorIs(err, fleet.ErrDrained):
+			writeErr(w, http.StatusServiceUnavailable, "gateway draining: %v", err)
+		default:
+			writeErr(w, http.StatusConflict, "%v", err)
+		}
+		return
+	}
+
+	record := &Record{
+		ID: id, Scenario: req.Scenario,
+		Title: req.Title, Summary: req.Summary, Service: req.Service,
+		Severity: Severity(in.Incident.Severity), Status: "open",
+		ReportedBy:      caller,
+		OpenedAtMinutes: openedAt.Minutes(),
+	}
+	if record.Title == "" {
+		record.Title = in.Incident.Title
+	}
+	s.mu.Lock()
+	s.records[id] = record
+	s.mu.Unlock()
+
+	s.stepWall()
+	writeJSON(w, http.StatusCreated, s.view(record))
+}
+
+func errorIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, _ string) {
+	s.stepWall()
+	id := r.PathValue("id")
+	s.mu.Lock()
+	record := s.records[id]
+	s.mu.Unlock()
+	if record == nil {
+		writeErr(w, http.StatusNotFound, "no incident %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(record))
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, caller string) {
+	s.stepWall()
+	id := r.PathValue("id")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeUpdate(body)
+	if err != nil {
+		decodeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	record := s.records[id]
+	if record == nil {
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "no incident %q", id)
+		return
+	}
+	if record.Status == "resolved" && req.Status != "" && req.Status != "resolved" {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, "incident %q is resolved (terminal)", id)
+		return
+	}
+	if req.Status != "" {
+		record.Status = req.Status
+	}
+	if req.Severity != nil {
+		record.Severity = *req.Severity
+	}
+	if req.Note != "" {
+		record.Notes = append(record.Notes, fmt.Sprintf("%s: %s", caller, req.Note))
+	}
+	out := s.view(record)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// view renders a record with the scheduler's current fleet state
+// overlaid. Callers may hold s.mu (view only locks the scheduler).
+func (s *Server) view(record *Record) Record {
+	out := *record
+	st, ok := s.cfg.Sched.Lookup(record.ID)
+	if !ok {
+		out.FleetState = string(fleet.StatePending)
+		return out
+	}
+	out.FleetState = string(st.State)
+	o := st.Outcome
+	switch st.State {
+	case fleet.StateShed:
+		out.ResolutionMinutes = ptr(o.Resolution.Minutes())
+		out.Escalated = ptr(true)
+	case fleet.StateActive:
+		out.Responder = ptr(o.Responder)
+		out.QueueMinutes = ptr(o.Queue.Minutes())
+	case fleet.StateResolved:
+		out.Responder = ptr(o.Responder)
+		out.QueueMinutes = ptr(o.Queue.Minutes())
+		out.ResolutionMinutes = ptr(o.Resolution.Minutes())
+		out.Mitigated = ptr(o.Result.Mitigated)
+		out.Escalated = ptr(o.Result.Escalated)
+	}
+	return out
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Sink == nil {
+		writeErr(w, http.StatusServiceUnavailable, "observability disabled (no sink)")
+		return
+	}
+	if !s.cfg.SimControl {
+		s.cfg.Sched.StepTo(s.cfg.Clock.Now())
+		s.notify()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.cfg.Sink.WriteMetrics(w)
+}
+
+// ---------------------------------------------------------------------------
+// Sim control (deterministic test/load-harness surface).
+// ---------------------------------------------------------------------------
+
+type advanceRequest struct {
+	Minutes *float64 `json:"minutes,omitempty"`
+	// ToMinutes advances to an absolute simulated time instead.
+	ToMinutes *float64 `json:"to_minutes,omitempty"`
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, _ string) {
+	ac, ok := s.cfg.Clock.(AdvanceClock)
+	if !ok {
+		writeErr(w, http.StatusConflict, "clock is not advanceable (wall-clock mode)")
+		return
+	}
+	body, okb := readBody(w, r)
+	if !okb {
+		return
+	}
+	var req advanceRequest
+	if err := strictDecode(body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid payload: %v", err)
+		return
+	}
+	var target time.Duration
+	switch {
+	case req.Minutes != nil && req.ToMinutes != nil:
+		writeErr(w, http.StatusUnprocessableEntity, "set minutes or to_minutes, not both")
+		return
+	case req.Minutes != nil:
+		m := *req.Minutes
+		if !(m >= 0) || m > maxOpenedAtMinutes {
+			writeErr(w, http.StatusUnprocessableEntity, "minutes must be in [0, %g]", float64(maxOpenedAtMinutes))
+			return
+		}
+		target = ac.Now() + time.Duration(m*float64(time.Minute))
+	case req.ToMinutes != nil:
+		m := *req.ToMinutes
+		if !(m >= 0) || m > maxOpenedAtMinutes {
+			writeErr(w, http.StatusUnprocessableEntity, "to_minutes must be in [0, %g]", float64(maxOpenedAtMinutes))
+			return
+		}
+		target = time.Duration(m * float64(time.Minute))
+	default:
+		writeErr(w, http.StatusUnprocessableEntity, "set minutes or to_minutes")
+		return
+	}
+	now := ac.AdvanceTo(target)
+	s.cfg.Sched.StepTo(now)
+	s.notify()
+	writeJSON(w, http.StatusOK, map[string]float64{"now_minutes": now.Minutes()})
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request, _ string) {
+	rep := s.cfg.Sched.Drain()
+	if ac, ok := s.cfg.Clock.(AdvanceClock); ok {
+		ac.AdvanceTo(s.cfg.Sched.Watermark())
+	}
+	s.notify()
+	writeJSON(w, http.StatusOK, NewDrainSummary(rep))
+}
+
+// ---------------------------------------------------------------------------
+// SSE event stream.
+// ---------------------------------------------------------------------------
+
+// notify broadcasts sink events appended since the last notify to every
+// subscriber. Slow subscribers drop events (their channel is bounded);
+// the stream is a tap, the sink log is the record.
+func (s *Server) notify() {
+	if s.cfg.Sink == nil {
+		return
+	}
+	events := s.cfg.Sink.Events()
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for ; s.cursor < len(events); s.cursor++ {
+		e := events[s.cursor]
+		line, err := json.Marshal(&e)
+		if err != nil {
+			continue
+		}
+		for ch := range s.subs {
+			select {
+			case ch <- line:
+			default: // subscriber too slow: drop
+			}
+		}
+	}
+}
+
+func (s *Server) subscribe() chan []byte {
+	ch := make(chan []byte, 1024)
+	s.subMu.Lock()
+	s.subs[ch] = struct{}{}
+	s.subMu.Unlock()
+	return ch
+}
+
+func (s *Server) unsubscribe(ch chan []byte) {
+	s.subMu.Lock()
+	delete(s.subs, ch)
+	s.subMu.Unlock()
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, _ string) {
+	if s.cfg.Sink == nil {
+		writeErr(w, http.StatusServiceUnavailable, "observability disabled (no sink)")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": aiopsd event stream\n\n")
+	fl.Flush()
+	ch := s.subscribe()
+	defer s.unsubscribe(ch)
+	for {
+		select {
+		case line := <-ch:
+			fmt.Fprintf(w, "data: %s\n\n", line)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Callers returns the configured caller names, sorted (diagnostics).
+func (s *Server) Callers() []string {
+	out := make([]string, 0, len(s.cfg.Keys))
+	for _, name := range s.cfg.Keys {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
