@@ -7,6 +7,9 @@
 //	aiopsd -addr :9090 -keys "k1=netops,k2=storage-oncall"
 //	aiopsd -sim                    # simulated clock + /v1/sim endpoints
 //	aiopsd -timescale 1s           # wall mode in real time (default: 1s = 1 sim minute)
+//	aiopsd -journal /var/lib/aiopsd  # crash-safe: fsync'd WAL + boot recovery
+//	aiopsd -rate 30 -burst 10      # per-caller token bucket (429 + Retry-After)
+//	aiopsd -shed-depth 64          # 503-shed creates once 64 incidents are in flight
 //
 //	curl -s -X POST -H 'X-API-Key: dev' \
 //	     -d '{"scenario":"gray-link","severity":"sev2"}' \
@@ -15,12 +18,22 @@
 //	curl -s -X PATCH -H 'X-API-Key: dev' -d '{"status":"resolved"}' \
 //	     http://127.0.0.1:8080/v1/incidents/inc-0001
 //	curl -s http://127.0.0.1:8080/metrics
+//	curl -s http://127.0.0.1:8080/healthz       # liveness (no auth)
+//	curl -s http://127.0.0.1:8080/readyz        # journal replayed + accepting
 //	curl -N -H 'X-API-Key: dev' http://127.0.0.1:8080/v1/events   # SSE
 //
-// On SIGINT/SIGTERM the daemon stops accepting work, drains the
-// scheduler (every accepted arrival still runs to completion on the
-// simulated timeline), prints the fleet summary table to stdout, and
-// writes any requested -trace-out/-metrics-out exports.
+// With -journal, every accepted/patched/resolved/shed transition is
+// fsync'd to an append-only checksummed log BEFORE the 2xx leaves the
+// socket; on the next boot the journal replays, unresolved incidents
+// re-run their sessions from the same (base, id)-derived seeds, and the
+// scheduler resumes the identical timeline — kill -9 loses nothing that
+// was acknowledged.
+//
+// On SIGINT/SIGTERM the daemon stops accepting work (readyz flips, SSE
+// streams end), drains the scheduler (every accepted arrival still runs
+// to completion on the simulated timeline), prints the fleet summary
+// table to stdout, and writes any requested -trace-out/-metrics-out
+// exports.
 package main
 
 import (
@@ -41,6 +54,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/gateway"
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/kb"
 	"repro/internal/obs"
 )
@@ -48,15 +62,24 @@ import (
 func main() {
 	fs := flag.NewFlagSet("aiopsd", flag.ExitOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:8080", "listen address")
-		keys      = fs.String("keys", "dev=local-dev", "comma-separated apikey=caller pairs; the key goes in X-API-Key, the caller name onto the record")
-		oces      = fs.Int("oces", 3, "responder pool size")
-		queue     = fs.Int("queue", 8, "admission bound on the waiting queue (0 = unbounded, never shed)")
-		aging     = fs.Duration("aging", 30*time.Minute, "queue-wait that promotes an incident one severity class (negative disables aging)")
-		fifo      = fs.Bool("fifo", false, "dispatch in strict arrival order instead of severity+aging")
-		arm       = fs.String("arm", "assisted", "which responder arm serves the pool: assisted or unassisted")
-		sim       = fs.Bool("sim", false, "simulated clock under explicit control: exposes POST /v1/sim/{advance,drain} and time only moves when told (deterministic harness mode)")
-		timescale = fs.Duration("timescale", time.Minute, "wall-clock mode: simulated time per wall second (1m = demo speed, 1s = real time)")
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address")
+		keys       = fs.String("keys", "dev=local-dev", "comma-separated apikey=caller pairs; the key goes in X-API-Key, the caller name onto the record")
+		oces       = fs.Int("oces", 3, "responder pool size")
+		queue      = fs.Int("queue", 8, "admission bound on the waiting queue (0 = unbounded, never shed)")
+		aging      = fs.Duration("aging", 30*time.Minute, "queue-wait that promotes an incident one severity class (negative disables aging)")
+		fifo       = fs.Bool("fifo", false, "dispatch in strict arrival order instead of severity+aging")
+		arm        = fs.String("arm", "assisted", "which responder arm serves the pool: assisted or unassisted")
+		sim        = fs.Bool("sim", false, "simulated clock under explicit control: exposes POST /v1/sim/{advance,drain} and time only moves when told (deterministic harness mode)")
+		timescale  = fs.Duration("timescale", time.Minute, "wall-clock mode: simulated time per wall second (1m = demo speed, 1s = real time)")
+		journalDir = fs.String("journal", "", "write-ahead journal directory: fsync every state transition before acking, replay it on boot (empty = in-memory only)")
+		rate       = fs.Float64("rate", 0, "per-caller token-bucket rate limit on POST/PATCH, requests per simulated minute (0 = unlimited)")
+		burst      = fs.Float64("burst", 10, "token-bucket burst capacity (with -rate)")
+		shedDepth  = fs.Int("shed-depth", 0, "503-shed POST /v1/incidents once this many incidents are in flight (0 = never)")
+		maxBody    = fs.Int64("max-body", 0, "request body cap in bytes; overflow is a 413 (0 = 1 MiB default)")
+		readHdrTO  = fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		readTO     = fs.Duration("read-timeout", time.Minute, "http.Server ReadTimeout (whole-request read)")
+		writeTO    = fs.Duration("write-timeout", time.Minute, "http.Server WriteTimeout (SSE /v1/events is exempt)")
+		drainTO    = fs.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight HTTP before force-closing")
 	)
 	c := cliflags.Register(fs, 7)
 	fs.Parse(os.Args[1:])
@@ -111,16 +134,41 @@ func main() {
 		Obs: sink, RunnerName: runner.Name(),
 	})
 
+	// Open the journal (and scan what a previous life left) before the
+	// clock exists: in wall mode the simulated timeline resumes from the
+	// journal's high-water mark, not from zero.
+	var jr *journal.Journal
+	var rr journal.ReplayResult
+	if *journalDir != "" {
+		jr, rr, err = journal.Open(*journalDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer jr.Close()
+	}
 	var clock gateway.Clock
 	if *sim {
 		clock = gateway.NewSimClock()
 	} else {
-		clock = gateway.NewWallClock(*timescale)
+		clock = gateway.NewWallClockAt(
+			time.Duration(rr.MaxAtMinutes()*float64(time.Minute)), *timescale)
 	}
 	gw := gateway.NewServer(gateway.Config{
 		Keys: keyMap, Clock: clock, Sched: sched, Runner: runner,
 		Seed: c.Seed, Sink: sink, SimControl: *sim,
+		Journal: jr, RatePerMin: *rate, Burst: *burst,
+		ShedDepth: *shedDepth, MaxBody: *maxBody,
 	})
+	if jr != nil {
+		stats, err := gw.Recover(rr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aiopsd: journal recovery: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "aiopsd: journal %s: replayed %d records (%d re-offered, %d resolved, %d torn dropped)\n",
+			jr.Path(), stats.Records, stats.Reoffered, stats.Resolved, stats.Dropped)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -134,7 +182,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "aiopsd: serving on http://%s (%s, arm %s, %d OCEs, queue bound %d)\n",
 		ln.Addr(), mode, runner.Name(), *oces, *queue)
 
-	srv := &http.Server{Handler: gw.Handler()}
+	srv := newHTTPServer(gw.Handler(), *readHdrTO, *readTO, *writeTO)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -147,16 +195,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aiopsd: serve: %v\n", err)
 	}
 
-	// Graceful drain: stop intake, finish every accepted arrival on the
-	// simulated timeline, report.
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	_ = srv.Shutdown(ctx)
+	// Graceful drain: flip readyz, end SSE streams, stop intake, finish
+	// every accepted arrival on the simulated timeline, report.
+	gw.Shutdown()
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	shutdownHTTP(srv, *drainTO, logf)
 	rep := sched.Drain()
 	fmt.Println(fleet.SummaryTable(
 		fmt.Sprintf("aiopsd drain: %d OCEs, queue bound %d", *oces, *queue),
 		[]fleet.Arm{{Name: runner.Name(), Report: rep}}))
 	c.MustExport()
+}
+
+// newHTTPServer wires the gateway handler into an http.Server with the
+// overload-protection timeouts. ReadHeaderTimeout is the slowloris
+// guard; WriteTimeout bounds every response except SSE, which clears
+// its own per-request deadline.
+func newHTTPServer(h http.Handler, readHeader, read, write time.Duration) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeader,
+		ReadTimeout:       read,
+		WriteTimeout:      write,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// shutdownHTTP drains in-flight HTTP with a deadline, then force-closes
+// whatever is still connected. The Shutdown error is logged, never
+// swallowed: a hung client at drain is an operational signal.
+func shutdownHTTP(srv *http.Server, timeout time.Duration, logf func(string, ...any)) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logf("aiopsd: http drain: %v (force-closing)", err)
+		_ = srv.Close()
+	}
 }
 
 // parseKeys parses the -keys flag: "apikey=caller,apikey=caller".

@@ -1,0 +1,99 @@
+package experiments
+
+// E16 chaos-harness tests: the crash-safety contract (zero acknowledged
+// loss, zero duplicate scheduling across kill/restart cycles) and the
+// determinism contract (tables byte-identical at any client
+// concurrency, crashes included).
+
+import (
+	"strconv"
+	"testing"
+)
+
+// e16Cell reads an integer cell out of a rendered table row.
+func e16Cell(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("cell %q is not an integer: %v", s, err)
+	}
+	return n
+}
+
+// TestE16ShapeCrashSafety runs the full kill/restart loop and checks
+// the durability invariants cycle by cycle: zero lost acknowledgements,
+// recovery sees exactly the cumulative acked set, the torn garbage
+// appended at each kill is dropped on the next boot, and the final
+// conservation row says every acked incident was scheduled exactly
+// once.
+func TestE16ShapeCrashSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E16 boots an HTTP server per crash cycle")
+	}
+	t.Parallel()
+	ts := E16Chaos(Params{Trials: 3, Seed: 7})
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d, want 2", len(ts))
+	}
+	cyc, con := ts[0], ts[1]
+	if len(cyc.Rows) != e16Cycles {
+		t.Fatalf("cycle rows = %d, want %d", len(cyc.Rows), e16Cycles)
+	}
+	ackedSoFar, faulted := 0, 0
+	for i, row := range cyc.Rows {
+		// columns: cycle posted acked dropped oversize truncated recovered lost torn
+		if got := e16Cell(t, row[7]); got != 0 {
+			t.Errorf("cycle %d: lost %d acknowledged incidents", i, got)
+		}
+		if got := e16Cell(t, row[6]); got != ackedSoFar {
+			t.Errorf("cycle %d: recovered %d, want cumulative acked %d", i, got, ackedSoFar)
+		}
+		wantTorn := 0
+		if i > 0 {
+			wantTorn = 1 // each kill appends one garbage partial record
+		}
+		if got := e16Cell(t, row[8]); got != wantTorn {
+			t.Errorf("cycle %d: torn = %d, want %d", i, got, wantTorn)
+		}
+		if got := e16Cell(t, row[2]) + e16Cell(t, row[3]) + e16Cell(t, row[4]) + e16Cell(t, row[5]); got != e16Cell(t, row[1]) {
+			t.Errorf("cycle %d: acked+faulted = %d, posted = %s", i, got, row[1])
+		}
+		ackedSoFar += e16Cell(t, row[2])
+		faulted += e16Cell(t, row[3]) + e16Cell(t, row[4]) + e16Cell(t, row[5])
+	}
+	if ackedSoFar == 0 || faulted == 0 {
+		t.Fatalf("degenerate run: acked %d, faulted %d — fault schedule not exercised", ackedSoFar, faulted)
+	}
+	final := con.Rows[0]
+	// columns: acked recovered scheduled admitted shed torn verdict
+	if got := e16Cell(t, final[0]); got != ackedSoFar {
+		t.Errorf("conservation acked = %d, want %d", got, ackedSoFar)
+	}
+	if got := e16Cell(t, final[1]); got != ackedSoFar {
+		t.Errorf("final recovery served %d of %d acked incidents", got, ackedSoFar)
+	}
+	if got := e16Cell(t, final[2]); got != ackedSoFar {
+		t.Errorf("scheduled %d, want exactly the %d acked (loss or duplicate)", got, ackedSoFar)
+	}
+	if admitted, shed := e16Cell(t, final[3]), e16Cell(t, final[4]); admitted+shed != ackedSoFar {
+		t.Errorf("admitted %d + shed %d != acked %d", admitted, shed, ackedSoFar)
+	}
+	if final[6] != "ok: zero loss, zero duplicates" {
+		t.Errorf("verdict = %q", final[6])
+	}
+}
+
+// TestE16DeterministicAcrossClients: crash cycles, chaos clients and
+// recovery replay must not leak concurrency into the output — the
+// tables are byte-identical between one client and eight.
+func TestE16DeterministicAcrossClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E16 boots an HTTP server per crash cycle")
+	}
+	t.Parallel()
+	serial := renderTables(E16Chaos(Params{Trials: 2, Seed: 99, Workers: 1}))
+	pooled := renderTables(E16Chaos(Params{Trials: 2, Seed: 99, Workers: 8}))
+	if serial != pooled {
+		t.Fatalf("E16 tables diverge between workers=1 and workers=8: %s", firstDiff(serial, pooled))
+	}
+}

@@ -663,6 +663,7 @@ var Registry = []struct {
 	{"e13", "robustness under degraded telemetry (extension)", E13Resilience},
 	{"e14", "offered-load ladder on the fleet scheduler (extension)", E14OfferedLoad},
 	{"e15", "gateway load ladder over live HTTP (extension)", E15GatewayLoad},
+	{"e16", "crash-safety chaos: kill/restart cycles under faulty clients (extension)", E16Chaos},
 }
 
 // ByID returns the registered experiment, or nil.

@@ -229,6 +229,11 @@ type LiveConfig struct {
 	Obs *obs.Sink
 	// RunnerName stamps the fleet-level events.
 	RunnerName string
+	// OnShed, when non-nil, fires when admission control sheds an
+	// arrival (the gateway journals the transition). Called with the
+	// scheduler lock held: keep it quick and never call back into the
+	// scheduler.
+	OnShed func(id string, at time.Duration)
 }
 
 func (cfg LiveConfig) withDefaults() LiveConfig {
@@ -328,6 +333,15 @@ func NewLive(cfg LiveConfig) *LiveScheduler {
 	return s
 }
 
+// SetOnShed installs (or replaces) the admission-shed hook after
+// construction — the gateway wires its write-ahead journal here. The
+// hook contract matches LiveConfig.OnShed.
+func (s *LiveScheduler) SetOnShed(fn func(id string, at time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.OnShed = fn
+}
+
 // Offer submits one arrival. It never blocks on scheduling work: the
 // arrival parks in the pending set until the watermark passes its At.
 func (s *LiveScheduler) Offer(a LiveArrival) error {
@@ -408,13 +422,16 @@ func (s *LiveScheduler) admitLocked(a LiveArrival) {
 func (s *LiveScheduler) processed(idx int) {
 	rec := s.recs[idx]
 	s.recs[idx] = nil
+	o := &s.eng.outcomes[idx]
+	if o.Shed && s.cfg.OnShed != nil {
+		s.cfg.OnShed(s.ids[idx], o.ArrivedAt)
+	}
 	if s.cfg.Obs == nil {
 		if rec != nil {
 			rec.Release()
 		}
 		return
 	}
-	o := &s.eng.outcomes[idx]
 	session := "gw/" + s.ids[idx]
 	if o.Shed {
 		// Shed arrivals discard their session events — those sessions
@@ -476,6 +493,14 @@ func (s *LiveScheduler) Watermark() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.watermark
+}
+
+// Drained reports whether Drain has closed the intake (the gateway's
+// /readyz flips not-ready on it).
+func (s *LiveScheduler) Drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drained
 }
 
 // Depth reports (pending, queued) sizes — the service's backpressure

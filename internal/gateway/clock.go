@@ -76,22 +76,41 @@ func (c *SimClock) Advance(d time.Duration) time.Duration {
 // hour-scale incident timelines interactively; Scale = time.Second
 // runs the timeline in real time.
 type WallClock struct {
-	start time.Time
-	scale time.Duration // simulated time per wall second
+	start  time.Time
+	offset time.Duration // simulated time already elapsed at start
+	scale  time.Duration // simulated time per wall second
 }
 
 // NewWallClock starts a wall clock at simulated time zero with the
 // given scale (simulated time per wall second; <= 0 means one
 // simulated minute per wall second).
 func NewWallClock(scale time.Duration) *WallClock {
+	return NewWallClockAt(0, scale)
+}
+
+// NewWallClockAt starts a wall clock at the given simulated offset —
+// the journal-recovery path: a restarted daemon resumes the simulated
+// timeline from the journal's high-water mark instead of time zero, so
+// recovered arrivals are never stamped in the scheduler's past.
+func NewWallClockAt(offset, scale time.Duration) *WallClock {
 	if scale <= 0 {
 		scale = time.Minute
 	}
-	return &WallClock{start: time.Now(), scale: scale}
+	if offset < 0 {
+		offset = 0
+	}
+	return &WallClock{start: time.Now(), offset: offset, scale: scale}
 }
 
 // Now implements Clock.
 func (c *WallClock) Now() time.Duration {
 	elapsed := time.Since(c.start)
-	return time.Duration(elapsed.Seconds() * float64(c.scale))
+	return c.offset + time.Duration(elapsed.Seconds()*float64(c.scale))
+}
+
+// WallOf converts a simulated duration to the wall-clock time it takes
+// to elapse at this clock's scale — how the gateway renders Retry-After
+// headers in real seconds.
+func (c *WallClock) WallOf(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / float64(c.scale) * float64(time.Second))
 }

@@ -29,16 +29,19 @@ package gateway
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/scenarios"
 )
@@ -86,6 +89,26 @@ type Config struct {
 	// the scheduler watermark follows the clock on every request
 	// instead.
 	SimControl bool
+
+	// Journal, when non-nil, makes every accepted/patched/resolved/shed
+	// transition durable: the gateway appends (and fsyncs) the record
+	// before any 2xx is returned, and Recover replays it on boot. Nil
+	// keeps the PR 6 in-memory behavior byte-identical.
+	Journal *journal.Journal
+	// RatePerMin enables per-caller token-bucket rate limiting on the
+	// mutating endpoints: sustained requests per simulated minute, with
+	// bursts up to Burst. Over-limit requests get 429 + Retry-After.
+	// 0 disables limiting.
+	RatePerMin float64
+	// Burst is the token bucket's capacity (minimum 1 when limiting).
+	Burst float64
+	// ShedDepth sheds POST /v1/incidents with 503 + Retry-After once
+	// pending+queued incidents reach it — load is refused before the
+	// expensive session runs, not after. 0 disables shedding.
+	ShedDepth int
+	// MaxBody caps request bodies (bytes); overflow maps to a
+	// body-blamed 413. 0 means the 1 MiB default.
+	MaxBody int64
 }
 
 // Record is the gateway's canonical incident record: the normalized
@@ -151,8 +174,15 @@ func NewDrainSummary(rep *fleet.Report) DrainSummary {
 
 // Server is the gateway HTTP server state.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg   Config
+	mux   *http.ServeMux
+	limit *limiter
+
+	// ready gates /readyz: true once the journal (if any) has been
+	// replayed, false again when Shutdown begins.
+	ready atomic.Bool
+	done  chan struct{} // closed by Shutdown; ends SSE streams
+	once  sync.Once
 
 	mu      sync.Mutex
 	records map[string]*Record
@@ -165,12 +195,29 @@ type Server struct {
 	subs   map[chan []byte]struct{}
 }
 
-// NewServer builds the gateway over its collaborators.
+// NewServer builds the gateway over its collaborators. With a Journal
+// configured the server boots not-ready: call Recover (even on an
+// empty replay) before serving traffic.
 func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		records: map[string]*Record{},
 		subs:    map[chan []byte]struct{}{},
+		done:    make(chan struct{}),
+	}
+	if cfg.RatePerMin > 0 {
+		s.limit = newLimiter(cfg.RatePerMin, cfg.Burst)
+	}
+	s.ready.Store(cfg.Journal == nil)
+	if cfg.Journal != nil && cfg.Sched != nil {
+		// Admission-control sheds are fleet decisions, not HTTP ones:
+		// journal them from the scheduler's hook so the durable log
+		// carries the full lifecycle.
+		cfg.Sched.SetOnShed(func(id string, at time.Duration) {
+			_ = s.journalAppend(journal.Record{
+				Kind: journal.KindShed, ID: id, AtMinutes: at.Minutes(),
+			})
+		})
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/incidents", s.auth(s.handleCreate))
@@ -178,6 +225,8 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("PATCH /v1/incidents/{id}", s.auth(s.handleUpdate))
 	mux.HandleFunc("GET /v1/events", s.auth(s.handleEvents))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if cfg.SimControl {
 		mux.HandleFunc("POST /v1/sim/advance", s.auth(s.handleAdvance))
 		mux.HandleFunc("POST /v1/sim/drain", s.auth(s.handleDrain))
@@ -186,11 +235,26 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
+// Shutdown begins a graceful stop: /readyz flips not-ready (load
+// balancers stop sending) and every open SSE stream ends, so the HTTP
+// drain is never held hostage by an idle subscriber. Idempotent.
+func (s *Server) Shutdown() {
+	s.ready.Store(false)
+	s.once.Do(func() { close(s.done) })
+}
+
 // Handler returns the gateway's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// maxBody caps request bodies well above the payload field caps.
-const maxBody = 1 << 20
+// defaultMaxBody caps request bodies well above the payload field caps.
+const defaultMaxBody = 1 << 20
+
+func (s *Server) maxBody() int64 {
+	if s.cfg.MaxBody > 0 {
+		return s.cfg.MaxBody
+	}
+	return defaultMaxBody
+}
 
 // writeJSON writes v with a status code. Encoding is deterministic:
 // struct fields in declaration order, HTML escaping off.
@@ -239,9 +303,19 @@ func (s *Server) stepWall() {
 	}
 }
 
-func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+// readBody reads the request body under the gateway's byte cap.
+// Overflow is a schema-shaped refusal, not a transport error: a
+// body-blamed 413 telling the caller the limit, so oversized payloads
+// are distinguishable from truncated or malformed ones (400).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody()))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"body: exceeds the %d-byte request cap", mbe.Limit)
+			return nil, false
+		}
 		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
 		return nil, false
 	}
@@ -269,7 +343,23 @@ func asFieldError(err error, out **FieldError) bool {
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, caller string) {
 	s.stepWall()
-	body, ok := readBody(w, r)
+	if !s.throttle(w, caller) {
+		return
+	}
+	if s.cfg.ShedDepth > 0 {
+		if pending, queued := s.cfg.Sched.Depth(); pending+queued >= s.cfg.ShedDepth {
+			// Queue-depth load shedding: refuse BEFORE the expensive
+			// session runs — overload protection that costs a depth read,
+			// not a responder.
+			w.Header().Set("Retry-After", "1")
+			s.count(obs.MGwShed, nil)
+			writeErr(w, http.StatusServiceUnavailable,
+				"gateway overloaded: %d incidents in flight (shed depth %d)",
+				pending+queued, s.cfg.ShedDepth)
+			return
+		}
+	}
+	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
@@ -354,8 +444,28 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, caller str
 	if record.Title == "" {
 		record.Title = in.Incident.Title
 	}
+	// Store and journal under one lock so the journal's record order
+	// matches the order updates became visible — what Recover replays.
+	// The fsync completes before the 201 leaves: an acknowledged
+	// incident is a durable promise.
 	s.mu.Lock()
 	s.records[id] = record
+	if s.cfg.Journal != nil {
+		sev := in.Incident.Severity
+		if err := s.journalAppend(journal.Record{
+			Kind: journal.KindAccepted, ID: id, AtMinutes: s.cfg.Clock.Now().Minutes(),
+			Scenario: req.Scenario, Severity: &sev,
+			Title: record.Title, Summary: record.Summary, Service: record.Service,
+			ReportedBy: caller, OpenedAtMinutes: openedAt.Minutes(),
+		}); err != nil {
+			// The arrival is scheduled but not durable: refuse the ack
+			// and keep the record so a retry conflicts loudly (409)
+			// instead of double-scheduling.
+			s.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "journal append: %v", err)
+			return
+		}
+	}
 	s.mu.Unlock()
 
 	s.stepWall()
@@ -391,8 +501,11 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, _ string) {
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, caller string) {
 	s.stepWall()
+	if !s.throttle(w, caller) {
+		return
+	}
 	id := r.PathValue("id")
-	body, ok := readBody(w, r)
+	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
@@ -419,8 +532,29 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, caller str
 	if req.Severity != nil {
 		record.Severity = *req.Severity
 	}
+	note := ""
 	if req.Note != "" {
-		record.Notes = append(record.Notes, fmt.Sprintf("%s: %s", caller, req.Note))
+		note = fmt.Sprintf("%s: %s", caller, req.Note)
+		record.Notes = append(record.Notes, note)
+	}
+	if s.cfg.Journal != nil {
+		kind := journal.KindPatched
+		if record.Status == "resolved" {
+			kind = journal.KindResolved
+		}
+		jr := journal.Record{
+			Kind: kind, ID: id, AtMinutes: s.cfg.Clock.Now().Minutes(),
+			Status: req.Status, Note: note,
+		}
+		if req.Severity != nil {
+			sev := int(*req.Severity)
+			jr.Severity = &sev
+		}
+		if err := s.journalAppend(jr); err != nil {
+			s.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "journal append: %v", err)
+			return
+		}
 	}
 	out := s.view(record)
 	s.mu.Unlock()
@@ -470,6 +604,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.cfg.Sink.WriteMetrics(w)
 }
 
+// handleHealthz is pure liveness: the process is up and serving. No
+// auth — probes and load balancers have no API keys.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: the journal (if any) has been replayed and
+// the scheduler is accepting arrivals. Not-ready during boot recovery
+// and again once shutdown/drain begins.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case !s.ready.Load():
+		writeErr(w, http.StatusServiceUnavailable, "not ready: journal not replayed")
+	case s.cfg.Sched != nil && s.cfg.Sched.Drained():
+		writeErr(w, http.StatusServiceUnavailable, "not ready: scheduler drained")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// count bumps a gateway counter when observability is on.
+func (s *Server) count(name string, labels obs.Labels) {
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.Registry().Inc(name, labels, 1)
+	}
+}
+
+// journalAppend appends one durable record and accounts for it.
+func (s *Server) journalAppend(r journal.Record) error {
+	n, err := s.cfg.Journal.Append(r)
+	if err != nil {
+		return err
+	}
+	if s.cfg.Sink != nil {
+		reg := s.cfg.Sink.Registry()
+		reg.Inc(obs.MJournalRecords, nil, 1)
+		reg.Inc(obs.MJournalBytes, nil, float64(n))
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // Sim control (deterministic test/load-harness surface).
 // ---------------------------------------------------------------------------
@@ -486,7 +663,7 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, _ string)
 		writeErr(w, http.StatusConflict, "clock is not advanceable (wall-clock mode)")
 		return
 	}
-	body, okb := readBody(w, r)
+	body, okb := s.readBody(w, r)
 	if !okb {
 		return
 	}
@@ -586,6 +763,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, _ string) 
 		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	// SSE is the one long-lived response: clear the per-request write
+	// deadline so the server's WriteTimeout (slowloris protection for
+	// every other endpoint) does not sever healthy streams.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -599,6 +780,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, _ string) 
 			fmt.Fprintf(w, "data: %s\n\n", line)
 			fl.Flush()
 		case <-r.Context().Done():
+			return
+		case <-s.done:
 			return
 		}
 	}

@@ -1,0 +1,103 @@
+package gateway
+
+// Per-caller token-bucket rate limiting. The bucket refills on the
+// gateway's Clock — simulated time — which keeps the limiter inside
+// the repo's determinism contract: under a SimClock the admit/refuse
+// sequence is a pure function of the request sequence and the advance
+// calls (testable byte-for-byte), and under a WallClock the simulated
+// rate maps through the clock scale onto a real requests-per-wall-time
+// limit. Refused requests get 429 with a Retry-After header in wall
+// seconds (via WallClock.WallOf when the clock knows its scale).
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// limiter is the per-caller token bucket set. Safe for concurrent use.
+type limiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per simulated minute
+	burst   float64 // bucket capacity
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Duration // simulated time of the last refill
+}
+
+func newLimiter(ratePerMin, burst float64) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: ratePerMin, burst: burst, buckets: map[string]*bucket{}}
+}
+
+// allow takes one token for the caller at simulated time now. When the
+// bucket is empty it reports the simulated wait until a token accrues.
+func (l *limiter) allow(caller string, now time.Duration) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[caller]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[caller] = b
+	}
+	if now > b.last {
+		b.tokens += l.rate * (now - b.last).Minutes()
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Minute))
+}
+
+// throttle enforces the per-caller limit on a mutating request,
+// answering 429 + Retry-After when the caller is over budget. GETs are
+// never throttled — reads are cheap; sessions are not.
+func (s *Server) throttle(w http.ResponseWriter, caller string) bool {
+	if s.limit == nil {
+		return true
+	}
+	ok, wait := s.limit.allow(caller, s.cfg.Clock.Now())
+	if ok {
+		return true
+	}
+	w.Header().Set("Retry-After", retryAfter(s.cfg.Clock, wait))
+	s.count(obs.MGwThrottled, obs.Labels{"caller": caller})
+	writeErr(w, http.StatusTooManyRequests,
+		"caller %q over rate limit: next token in %s simulated", caller, wait.Round(time.Second))
+	return false
+}
+
+// retryAfter renders a simulated wait as whole wall seconds, minimum 1.
+// A clock that knows its wall mapping (WallClock) converts exactly;
+// otherwise the simulated minutes are read as seconds — deterministic,
+// and of the right order for a 1s-per-minute demo scale.
+func retryAfter(c Clock, wait time.Duration) string {
+	var wall time.Duration
+	if ws, ok := c.(interface {
+		WallOf(time.Duration) time.Duration
+	}); ok {
+		wall = ws.WallOf(wait)
+	} else {
+		wall = time.Duration(wait.Minutes() * float64(time.Second))
+	}
+	secs := int(math.Ceil(wall.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

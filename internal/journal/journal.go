@@ -1,0 +1,294 @@
+// Package journal is the gateway's write-ahead incident log: an
+// append-only, fsync'd, checksummed record of every externally visible
+// state transition (accepted / status-patched / resolved / shed). The
+// gateway appends the record — and waits for the fsync — before any
+// 2xx leaves the socket, which turns an HTTP acknowledgement into a
+// durable promise: after a crash, replaying the journal reconstructs
+// every acknowledged incident exactly (internal/gateway's Recover
+// re-offers the unresolved ones into the live scheduler, and session
+// seeds derive from (base, id), so the replayed sessions are
+// byte-identical to the pre-crash ones).
+//
+// Wire format: one record per line,
+//
+//	%08x SP json-payload LF
+//
+// where the hex prefix is the IEEE CRC32 of the payload. JSON escapes
+// control characters, so the payload never contains a raw newline and
+// line framing is unambiguous. A torn write — the tail a SIGKILL or
+// power loss leaves behind — shows up as a final line that is missing
+// its newline or fails its checksum; Decode drops that tail (and
+// anything after a corrupt line, since appends are strictly ordered)
+// and Open truncates the file back to the last clean record boundary so
+// new appends never graft onto a partial line. Recovery therefore
+// never panics and never silently accepts corrupt state: a record is
+// either checksum-clean or discarded, and only un-acknowledged suffix
+// records can be lost.
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileName is the journal file inside the journal directory.
+const FileName = "incidents.wal"
+
+// Kind enumerates the journaled gateway state transitions.
+type Kind string
+
+const (
+	// KindAccepted: the gateway admitted a new incident (201).
+	KindAccepted Kind = "accepted"
+	// KindPatched: a caller updated status/severity/notes (200).
+	KindPatched Kind = "patched"
+	// KindResolved: a caller patched the terminal "resolved" status.
+	KindResolved Kind = "resolved"
+	// KindShed: fleet admission control shed the arrival (informational
+	// — recovery re-derives shed outcomes deterministically).
+	KindShed Kind = "shed"
+)
+
+// Record is one gateway state transition. Accepted records carry the
+// full normalized incident (enough to rebuild the gateway record and
+// re-run the session from its derived seed); patch records carry only
+// the delta.
+type Record struct {
+	Kind Kind   `json:"kind"`
+	ID   string `json:"id"`
+	// AtMinutes is the simulated-clock time of the transition.
+	AtMinutes float64 `json:"at_minutes"`
+
+	// Accepted-record fields (post-normalization, so recovery rebuilds
+	// the record without re-deriving defaults).
+	Scenario        string  `json:"scenario,omitempty"`
+	Severity        *int    `json:"severity,omitempty"`
+	Title           string  `json:"title,omitempty"`
+	Summary         string  `json:"summary,omitempty"`
+	Service         string  `json:"service,omitempty"`
+	ReportedBy      string  `json:"reported_by,omitempty"`
+	OpenedAtMinutes float64 `json:"opened_at_minutes,omitempty"`
+
+	// Patch-record fields. Note is stored with the caller prefix
+	// already applied, exactly as it lands in the record's Notes.
+	Status string `json:"status,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+// Encode renders one record as its checksummed journal line.
+func Encode(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode: %w", err)
+	}
+	return fmt.Appendf(make([]byte, 0, len(payload)+10),
+		"%08x %s\n", crc32.ChecksumIEEE(payload), payload), nil
+}
+
+// Decode scans data for journal records. It returns every record up to
+// the first torn or corrupt point, the byte offset of the last clean
+// record boundary, and how many trailing lines (or partial lines) were
+// discarded. It never fails: corruption truncates, it does not error —
+// appends are strictly ordered, so nothing after a bad line can have
+// been acknowledged on top of durable state.
+func Decode(data []byte) (recs []Record, good int, dropped int) {
+	off := 0
+	for off < len(data) {
+		nl := -1
+		for i := off; i < len(data); i++ {
+			if data[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			// Torn tail: the final append never finished its line.
+			return recs, off, 1
+		}
+		line := data[off : nl+1]
+		r, ok := decodeLine(line)
+		if !ok {
+			// Corrupt line: drop it and every line after it.
+			return recs, off, countLines(data[off:])
+		}
+		recs = append(recs, r)
+		off = nl + 1
+	}
+	return recs, off, 0
+}
+
+// decodeLine parses one full line "%08x SP payload LF".
+func decodeLine(line []byte) (Record, bool) {
+	// 8 hex digits + space + at least "{}" + newline.
+	if len(line) < 12 || line[8] != ' ' || line[len(line)-1] != '\n' {
+		return Record{}, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return Record{}, false
+	}
+	payload := line[9 : len(line)-1]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, false
+	}
+	var r Record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return Record{}, false
+	}
+	return r, true
+}
+
+// countLines counts newline-terminated lines plus a trailing partial.
+func countLines(data []byte) int {
+	n := 0
+	for _, b := range data {
+		if b == '\n' {
+			n++
+		}
+	}
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// ReplayResult is what a journal scan recovered.
+type ReplayResult struct {
+	// Records are the checksum-clean records, in append order.
+	Records []Record
+	// Dropped counts torn/corrupt trailing lines discarded by the scan.
+	Dropped int
+	// Bytes is the size of the clean prefix.
+	Bytes int64
+}
+
+// MaxAtMinutes returns the latest transition time in the replay — the
+// simulated-clock high-water mark a recovering gateway resumes from.
+func (rr ReplayResult) MaxAtMinutes() float64 {
+	max := 0.0
+	for _, r := range rr.Records {
+		if r.AtMinutes > max {
+			max = r.AtMinutes
+		}
+		if r.OpenedAtMinutes > max {
+			max = r.OpenedAtMinutes
+		}
+	}
+	return max
+}
+
+// Journal is the append handle. Safe for concurrent use.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	appended int
+	bytes    int64
+}
+
+// Open opens (creating if necessary) the journal in dir, replays the
+// existing records, truncates any torn tail back to the last clean
+// record boundary, and returns the append handle positioned there.
+func Open(dir string) (*Journal, ReplayResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, ReplayResult{}, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, ReplayResult{}, fmt.Errorf("journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, ReplayResult{}, fmt.Errorf("journal: read: %w", err)
+	}
+	recs, good, dropped := Decode(data)
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, ReplayResult{}, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, ReplayResult{}, fmt.Errorf("journal: %w", err)
+	}
+	// fsync the directory so the journal file itself survives a crash
+	// that follows its creation.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return &Journal{f: f, path: path},
+		ReplayResult{Records: recs, Dropped: dropped, Bytes: int64(good)}, nil
+}
+
+// Replay scans the journal in dir without opening it for append. A
+// missing journal is an empty replay, not an error.
+func Replay(dir string) (ReplayResult, error) {
+	data, err := os.ReadFile(filepath.Join(dir, FileName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return ReplayResult{}, nil
+	}
+	if err != nil {
+		return ReplayResult{}, fmt.Errorf("journal: %w", err)
+	}
+	recs, good, dropped := Decode(data)
+	return ReplayResult{Records: recs, Dropped: dropped, Bytes: int64(good)}, nil
+}
+
+// Append encodes, writes, and fsyncs one record, returning the bytes
+// written. When Append returns nil the record is durable — the gateway
+// calls it before acknowledging any 2xx.
+func (j *Journal) Append(r Record) (int, error) {
+	line, err := Encode(r)
+	if err != nil {
+		return 0, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return 0, errors.New("journal: closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return 0, fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return 0, fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.appended++
+	j.bytes += int64(len(line))
+	return len(line), nil
+}
+
+// Stats reports records and bytes appended through this handle.
+func (j *Journal) Stats() (records int, bytes int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended, j.bytes
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the append handle. Every successfully Append'ed record
+// is already fsync'd, so Close-vs-SIGKILL makes no durability
+// difference — which is exactly what the chaos harness exploits.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

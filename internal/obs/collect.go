@@ -55,6 +55,11 @@ const (
 	MFleetDrain      = "aiops_fleet_drain_minutes"
 	MCacheHits       = "aiops_cache_hits_total"
 	MCacheMisses     = "aiops_cache_misses_total"
+	MGwThrottled     = "aiops_gateway_throttled_total"
+	MGwShed          = "aiops_gateway_shed_total"
+	MJournalRecords  = "aiops_journal_records_total"
+	MJournalReplayed = "aiops_journal_replayed_total"
+	MJournalBytes    = "aiops_journal_bytes_total"
 )
 
 // NewAIOpsRegistry declares the §3 metric families with their fixed
@@ -90,6 +95,11 @@ func NewAIOpsRegistry() *Registry {
 	r.DeclareGauge(MFleetDrain, "simulated minutes between the last arrival and the pool going idle (graceful drain)")
 	r.DeclareCounter(MCacheHits, "what-if fast-path cache hits by cache (route|embed) — avoided recomputation, i.e. saved system cost")
 	r.DeclareCounter(MCacheMisses, "what-if fast-path cache misses by cache (route|embed)")
+	r.DeclareCounter(MGwThrottled, "gateway requests refused 429 by the per-caller token bucket")
+	r.DeclareCounter(MGwShed, "gateway creates refused 503 by queue-depth load shedding")
+	r.DeclareCounter(MJournalRecords, "state transitions appended to the write-ahead incident journal")
+	r.DeclareCounter(MJournalReplayed, "journal records replayed during boot-time recovery")
+	r.DeclareCounter(MJournalBytes, "bytes appended to the write-ahead incident journal")
 	return r
 }
 
