@@ -351,3 +351,28 @@ func BenchmarkFleetSchedule(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkE17_ShardedFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.E17ShardedFleet(experiments.Params{Trials: 1, Seed: int64(1000 + i)})
+		if len(tables) != 2 || len(tables[0].Rows) != 24 {
+			b.Fatal("E17 should emit a 3-fanout x 4-rung x 2-arm ladder plus the knee table")
+		}
+	}
+}
+
+func BenchmarkFleetShardedSchedule(b *testing.B) {
+	cfg := fleet.ShardedConfig{
+		Regions: []string{"r00", "r01", "r02", "r03"}, OCEs: 3,
+		ArrivalsPerHour: 16, Incidents: 4096, QueueLimit: 8, Steal: true,
+		Storm: scenarios.StormConfig{Correlation: 0.25, MaxFanout: 3, Window: 15 * time.Minute},
+		Mix:   []scenarios.Scenario{benchFlatScenario{}}, Runner: benchFlatRunner{},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if rep := fleet.SimulateSharded(cfg); len(rep.Total.Outcomes) != 4096 {
+			b.Fatal("sharded fleet lost arrivals")
+		}
+	}
+}

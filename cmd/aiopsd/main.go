@@ -10,6 +10,7 @@
 //	aiopsd -journal /var/lib/aiopsd  # crash-safe: fsync'd WAL + boot recovery
 //	aiopsd -rate 30 -burst 10      # per-caller token bucket (429 + Retry-After)
 //	aiopsd -shed-depth 64          # 503-shed creates once 64 incidents are in flight
+//	aiopsd -regions us-east,eu-west -steal  # region-sharded pool + work stealing
 //
 //	curl -s -X POST -H 'X-API-Key: dev' \
 //	     -d '{"scenario":"gray-link","severity":"sev2"}' \
@@ -69,6 +70,8 @@ func main() {
 		aging      = fs.Duration("aging", 30*time.Minute, "queue-wait that promotes an incident one severity class (negative disables aging)")
 		fifo       = fs.Bool("fifo", false, "dispatch in strict arrival order instead of severity+aging")
 		arm        = fs.String("arm", "assisted", "which responder arm serves the pool: assisted or unassisted")
+		regions    = fs.String("regions", fleet.DefaultRegion, "comma-separated region/cell names; more than one shards the scheduler per region (-oces and -queue then apply per region), and POST /v1/incidents accepts a region field validated against this set")
+		steal      = fs.Bool("steal", false, "allow a saturated region's incidents to execute on an idle region's pool (multi-region only)")
 		sim        = fs.Bool("sim", false, "simulated clock under explicit control: exposes POST /v1/sim/{advance,drain} and time only moves when told (deterministic harness mode)")
 		timescale  = fs.Duration("timescale", time.Minute, "wall-clock mode: simulated time per wall second (1m = demo speed, 1s = real time)")
 		journalDir = fs.String("journal", "", "write-ahead journal directory: fsync every state transition before acking, replay it on boot (empty = in-memory only)")
@@ -129,10 +132,26 @@ func main() {
 	if *fifo {
 		policy = fleet.FIFO
 	}
-	sched := fleet.NewLive(fleet.LiveConfig{
-		OCEs: *oces, Policy: policy, QueueLimit: *queue, AgingStep: *aging,
-		Obs: sink, RunnerName: runner.Name(),
-	})
+	regionList := parseRegions(*regions)
+	if len(regionList) == 0 {
+		fmt.Fprintln(os.Stderr, "-regions is empty: at least one region name required")
+		os.Exit(2)
+	}
+	// One region without stealing is the classic single-cell scheduler;
+	// anything more shards the pool per region behind the same interface.
+	var sched fleet.Scheduler
+	if len(regionList) == 1 && !*steal {
+		sched = fleet.NewLive(fleet.LiveConfig{
+			OCEs: *oces, Policy: policy, QueueLimit: *queue, AgingStep: *aging,
+			Obs: sink, RunnerName: runner.Name(),
+		})
+	} else {
+		sched = fleet.NewSharded(fleet.ShardedLiveConfig{
+			Regions: regionList, OCEs: *oces, Policy: policy,
+			QueueLimit: *queue, AgingStep: *aging, Steal: *steal,
+			Obs: sink, RunnerName: runner.Name(),
+		})
+	}
 
 	// Open the journal (and scan what a previous life left) before the
 	// clock exists: in wall mode the simulated timeline resumes from the
@@ -179,8 +198,8 @@ func main() {
 	if *sim {
 		mode = "sim clock (advance via POST /v1/sim/advance)"
 	}
-	fmt.Fprintf(os.Stderr, "aiopsd: serving on http://%s (%s, arm %s, %d OCEs, queue bound %d)\n",
-		ln.Addr(), mode, runner.Name(), *oces, *queue)
+	fmt.Fprintf(os.Stderr, "aiopsd: serving on http://%s (%s, arm %s, regions %s, %d OCEs/region, queue bound %d, steal %v)\n",
+		ln.Addr(), mode, runner.Name(), strings.Join(regionList, ","), *oces, *queue, *steal)
 
 	srv := newHTTPServer(gw.Handler(), *readHdrTO, *readTO, *writeTO)
 	done := make(chan error, 1)
@@ -200,11 +219,33 @@ func main() {
 	gw.Shutdown()
 	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	shutdownHTTP(srv, *drainTO, logf)
-	rep := sched.Drain()
-	fmt.Println(fleet.SummaryTable(
-		fmt.Sprintf("aiopsd drain: %d OCEs, queue bound %d", *oces, *queue),
-		[]fleet.Arm{{Name: runner.Name(), Report: rep}}))
+	if sh, ok := sched.(*fleet.ShardedScheduler); ok {
+		fmt.Println(fleet.ShardedSummaryTable(
+			fmt.Sprintf("aiopsd drain: %d regions, %d OCEs/region, queue bound %d, steal %v",
+				len(regionList), *oces, *queue, *steal),
+			sh.DrainSharded()))
+	} else {
+		fmt.Println(fleet.SummaryTable(
+			fmt.Sprintf("aiopsd drain: %d OCEs, queue bound %d", *oces, *queue),
+			[]fleet.Arm{{Name: runner.Name(), Report: sched.Drain()}}))
+	}
 	c.MustExport()
+}
+
+// parseRegions parses the -regions flag: comma-separated names, blanks
+// and duplicates dropped.
+func parseRegions(s string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range strings.Split(s, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" || seen[r] {
+			continue
+		}
+		seen[r] = true
+		out = append(out, r)
+	}
+	return out
 }
 
 // newHTTPServer wires the gateway handler into an http.Server with the

@@ -1,10 +1,10 @@
 package main
 
 // The -bench-json mode runs the repository's benchmark set in-process —
-// the fourteen experiment tables at the bench_test.go cell size plus the
-// substrate micro-kernels (routing, cloning, embeddings, search, LLM,
-// risk, whole sessions, the fleet scheduler) — and writes one JSON
-// record per benchmark:
+// every registered experiment's tables at the bench_test.go cell size
+// plus the substrate micro-kernels (routing, cloning, embeddings,
+// search, LLM, risk, whole sessions, the single-cell and sharded fleet
+// schedulers) — and writes one JSON record per benchmark:
 // {name, ns/op, allocs/op, headline}. Committed snapshots
 // (BENCH_<date>.json at the repo root) give the performance trajectory a
 // baseline that `go test -bench` output alone never leaves behind.
@@ -223,6 +223,18 @@ func runBenchJSON(c *cliflags.Common, path string) error {
 			panic("bench-json: fleet lost arrivals")
 		}
 		return "256 flat-TTM arrivals through admission + priority scheduling + drain"
+	})
+	add("FleetShardedSchedule", 5, func(i int) string {
+		rep := fleet.SimulateSharded(fleet.ShardedConfig{
+			Regions: []string{"r00", "r01", "r02", "r03"}, OCEs: 3,
+			ArrivalsPerHour: 16, Incidents: 4096, QueueLimit: 8, Steal: true,
+			Storm: scenarios.StormConfig{Correlation: 0.25, MaxFanout: 3, Window: 15 * time.Minute},
+			Seed:  int64(i), Mix: []scenarios.Scenario{flatScenario{}}, Runner: flatRunner{},
+		})
+		if len(rep.Total.Outcomes) != 4096 {
+			panic("bench-json: sharded fleet lost arrivals")
+		}
+		return "4096 flat-TTM arrivals across 4 regions with batched dispatch + work stealing"
 	})
 	add("FleetHelperSessions", 2, func(i int) string {
 		rep := fleet.Simulate(fleet.Config{

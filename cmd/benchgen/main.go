@@ -11,6 +11,7 @@
 //	benchgen -exp 14         # fleet-scheduler offered-load ladder
 //	benchgen -exp 15         # same ladder driven end-to-end over live HTTP
 //	benchgen -exp 16         # crash-safety chaos: kill/restart + faulty clients
+//	benchgen -exp 17         # sharded multi-region fleet: storms + work stealing
 //	benchgen -exp e4 -trace-out events.jsonl -metrics-out metrics.prom
 //	benchgen -bench-json BENCH_$(date +%F).json           # performance snapshot
 //	benchgen -bench-json BENCH_nocache.json -nocache      # slow-path snapshot
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiment ids (e1..e16; a bare number means the same experiment) or 'all'")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids (e1..e17; a bare number means the same experiment) or 'all'")
 		trials    = flag.Int("trials", 20, "incidents per experiment cell")
 		html      = flag.String("html", "", "also write a self-contained HTML report to this path")
 		benchJSON = flag.String("bench-json", "", "run the benchmark set (E1-E14 + substrate micro-kernels) and write {name, ns/op, allocs/op, headline} records to this JSON path instead of generating tables")

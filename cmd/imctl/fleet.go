@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cliflags"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/kb"
+	"repro/internal/scenarios"
 )
 
 func fleetMain(args []string) {
@@ -31,6 +33,10 @@ func fleetMain(args []string) {
 		aging = fs.Duration("aging", 30*time.Minute, "queue-wait that promotes an incident one severity class (negative disables aging)")
 		fifo  = fs.Bool("fifo", false, "dispatch in strict arrival order instead of severity+aging")
 		arm   = fs.String("arm", "all", "which arm to run: assisted, unassisted, or all")
+
+		regions = fs.String("regions", fleet.DefaultRegion, "comma-separated region/cell names; more than one shards the fleet per region (-rate and -oces then apply per region)")
+		steal   = fs.Bool("steal", false, "allow a saturated region's arrivals to execute on an idle region's pool (multi-region only)")
+		storm   = fs.Float64("storm", 0, "storm correlation in [0,1): chance an arrival echoes into up to 3 other regions within 15 minutes (multi-region only)")
 	)
 	c := cliflags.Register(fs, 7)
 	fs.Parse(args)
@@ -67,6 +73,37 @@ func fleetMain(args []string) {
 	if *fifo {
 		policy = fleet.FIFO
 	}
+	regionList := splitRegions(*regions)
+	if len(regionList) == 0 {
+		fmt.Fprintln(os.Stderr, "-regions is empty: at least one region name required")
+		os.Exit(2)
+	}
+	if *storm < 0 || *storm >= 1 {
+		fmt.Fprintf(os.Stderr, "invalid -storm %g: want a correlation in [0,1)\n", *storm)
+		os.Exit(2)
+	}
+
+	// Multi-region (or explicit stealing): the sharded scheduler, one
+	// summary table per arm with per-region rows plus the fleet total.
+	if len(regionList) > 1 || *steal {
+		for _, r := range runners {
+			// Same seed per arm: every arm faces the identical arrival
+			// tape, so tables differ only by what the responders do.
+			rep := fleet.SimulateSharded(fleet.ShardedConfig{
+				Regions: regionList, OCEs: *oces, ArrivalsPerHour: *rate, Incidents: *n,
+				Runner: r, Seed: c.Seed, Workers: c.Workers,
+				Policy: policy, QueueLimit: *queue, AgingStep: *aging,
+				Steal: *steal, Storm: scenarios.StormConfig{Correlation: *storm, MaxFanout: 3, Window: 15 * time.Minute},
+				Obs: c.Sink(),
+			})
+			fmt.Println(fleet.ShardedSummaryTable(fmt.Sprintf(
+				"fleet %s: %d regions, %d OCEs/region, %.3g arrivals/h/region, %d incidents, queue bound %d, steal %v, storm %.2g",
+				r.Name(), len(regionList), *oces, *rate, *n, *queue, *steal, *storm), rep))
+		}
+		c.MustExport()
+		return
+	}
+
 	var arms []fleet.Arm
 	for _, r := range runners {
 		// Same seed per arm: every arm faces the identical arrival tape,
@@ -82,4 +119,19 @@ func fleetMain(args []string) {
 		*oces, *rate, *n, *queue)
 	fmt.Println(fleet.SummaryTable(title, arms))
 	c.MustExport()
+}
+
+// splitRegions parses a comma-separated region list, dropping blanks.
+func splitRegions(s string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range strings.Split(s, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" || seen[r] {
+			continue
+		}
+		seen[r] = true
+		out = append(out, r)
+	}
+	return out
 }

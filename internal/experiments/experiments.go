@@ -664,6 +664,7 @@ var Registry = []struct {
 	{"e14", "offered-load ladder on the fleet scheduler (extension)", E14OfferedLoad},
 	{"e15", "gateway load ladder over live HTTP (extension)", E15GatewayLoad},
 	{"e16", "crash-safety chaos: kill/restart cycles under faulty clients (extension)", E16Chaos},
+	{"e17", "sharded multi-region fleet at hyperscale: offered-load ladder with storms and work stealing (extension)", E17ShardedFleet},
 }
 
 // ByID returns the registered experiment, or nil.

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// TestE17DeterministicAcrossWorkers: the multi-region ladder's tables
+// must be byte-identical whether sessions and per-region engines ran
+// on 1 worker or 8 — the sharded form of the scheduling-independence
+// contract, at ladder scale.
+func TestE17DeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	serial := renderTables(E17ShardedFleet(Params{Trials: 1, Seed: 99, Workers: 1}))
+	pooled := renderTables(E17ShardedFleet(Params{Trials: 1, Seed: 99, Workers: 8}))
+	if serial != pooled {
+		t.Fatalf("E17 tables diverge between workers=1 and workers=8: %s", firstDiff(serial, pooled))
+	}
+}
+
+// TestE17ShapeStealingAndHeadroom pins the qualitative claims: storms
+// across a multi-region fleet trigger cross-region steals at the hot
+// rungs, and the assisted arm's knee never sits below the unassisted
+// arm's at any fan-out.
+func TestE17ShapeStealingAndHeadroom(t *testing.T) {
+	t.Parallel()
+	p := Params{Trials: 1, Seed: 7}.withDefaults()
+	arms := []e17Runner{
+		{label: "assisted-helper", base: 12 * time.Minute, spread: 25 * time.Minute, mitigate: 0.92},
+		{label: "unassisted-oce", base: 35 * time.Minute, spread: 70 * time.Minute, mitigate: 0.72},
+	}
+	knee := func(regions int, r e17Runner) float64 {
+		best, stolen := 0.0, 0
+		for _, rate := range e17Rates {
+			rep := fleet.SimulateSharded(e17Config(regions, rate, p, r))
+			stolen += rep.Stolen
+			if e17Sustained(rep) {
+				best = rate
+			}
+		}
+		if regions > 1 && stolen == 0 {
+			t.Errorf("%s at %d regions: ladder never stole work despite storms", r.label, regions)
+		}
+		return best
+	}
+	for _, nr := range []int{4} {
+		if a, u := knee(nr, arms[0]), knee(nr, arms[1]); a < u {
+			t.Errorf("%d regions: assisted knee %.1f/h below unassisted %.1f/h", nr, a, u)
+		}
+	}
+}
+
+// TestE17LadderCoversGrid: every (fan-out × rate × arm) cell appears as
+// a ladder row, so a silent simulation failure can't shrink coverage.
+func TestE17LadderCoversGrid(t *testing.T) {
+	t.Parallel()
+	tables := E17ShardedFleet(Params{Trials: 1, Seed: 3})
+	if len(tables) != 2 {
+		t.Fatalf("E17 returned %d tables, want ladder + knee", len(tables))
+	}
+	ladder := renderTables(tables[:1])
+	rows := strings.Count(ladder, "assisted-helper") + strings.Count(ladder, "unassisted-oce")
+	if want := len(e17Regions) * len(e17Rates) * 2; rows != want {
+		t.Fatalf("ladder has %d arm rows, want %d", rows, want)
+	}
+}

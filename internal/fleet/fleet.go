@@ -128,6 +128,9 @@ type Outcome struct {
 	Scenario string
 	// Severity is the incident's severity class (0..3; 3 most severe).
 	Severity int
+	// Region is the fleet region the incident is homed in (sharded
+	// scheduler only; empty on the flat single-cell paths).
+	Region string
 	// Shed marks an arrival the admission controller refused: it never
 	// occupied a responder and went straight to escalation.
 	Shed bool
@@ -267,7 +270,7 @@ func Simulate(cfg Config) *Report {
 		eng.arrive(idx)
 	}
 	eng.completeUntil(never) // all arrivals in, run the pool idle: drained
-	rep := eng.report(cfg.OCEs, cfg.Obs)
+	rep := eng.report(cfg.OCEs, cfg.Obs, nil)
 
 	// Observability: per-arrival session streams absorb in arrival
 	// order, each followed by its fleet-level event, so the merged log
@@ -302,7 +305,9 @@ func Simulate(cfg Config) *Report {
 }
 
 // aggregate fills the report's summary statistics and saturation gauges.
-func aggregate(rep *Report, oces int, sink *obs.Sink, busySum, makespan time.Duration, mitigated int) {
+// labels scopes the gauges (nil for the flat single-cell paths; a region
+// label for per-region reports from the sharded scheduler).
+func aggregate(rep *Report, oces int, sink *obs.Sink, busySum, makespan time.Duration, mitigated int, labels obs.Labels) {
 	n := len(rep.Outcomes)
 	if n == 0 {
 		return
@@ -338,9 +343,9 @@ func aggregate(rep *Report, oces int, sink *obs.Sink, busySum, makespan time.Dur
 
 	if sink != nil {
 		reg := sink.Registry()
-		reg.Set(obs.MFleetUtil, nil, rep.Utilization)
-		reg.Set(obs.MFleetQueueDepth, nil, float64(rep.PeakQueueDepth))
-		reg.Set(obs.MFleetDrain, nil, rep.Drain.Minutes())
+		reg.Set(obs.MFleetUtil, labels, rep.Utilization)
+		reg.Set(obs.MFleetQueueDepth, labels, float64(rep.PeakQueueDepth))
+		reg.Set(obs.MFleetDrain, labels, rep.Drain.Minutes())
 	}
 }
 

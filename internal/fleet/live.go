@@ -161,40 +161,61 @@ func (e *engine) completeUntil(t time.Duration) {
 func (e *engine) arrive(idx int) {
 	o := &e.outcomes[idx]
 	e.completeUntil(o.ArrivedAt)
-	idle := -1
-	for r := range e.busy {
-		if !e.busy[r] {
-			idle = r
-			break
-		}
-	}
+	idle := e.idle()
 	switch {
 	case idle >= 0:
 		e.dispatch(idle, idx, o.ArrivedAt)
 	case e.queueLimit <= 0 || len(e.queued) < e.queueLimit:
-		e.queued = append(e.queued, idx)
-		if len(e.queued) > e.peak {
-			e.peak = len(e.queued)
-		}
+		e.enqueue(idx)
 	default:
-		// Admission control: the queue is saturated, so the arrival
-		// sheds straight to the specialist escalation path without
-		// ever occupying a responder.
-		o.Shed = true
-		o.Responder = -1
-		o.Resolution = harness.EscalationPenalty
-		o.Result = harness.Result{Scenario: o.Scenario, Escalated: true}
-		e.shed++
-		if e.onProcessed != nil {
-			e.onProcessed(idx)
+		e.shedOutcome(idx)
+	}
+}
+
+// enqueue parks outcome idx in the waiting queue.
+func (e *engine) enqueue(idx int) {
+	e.queued = append(e.queued, idx)
+	if len(e.queued) > e.peak {
+		e.peak = len(e.queued)
+	}
+}
+
+// idle returns the lowest-numbered free responder, or -1.
+func (e *engine) idle() int {
+	for r := range e.busy {
+		if !e.busy[r] {
+			return r
 		}
+	}
+	return -1
+}
+
+// saturated reports whether an arrival right now would shed: no free
+// responder and the waiting queue at its admission limit.
+func (e *engine) saturated() bool {
+	return e.idle() < 0 && e.queueLimit > 0 && len(e.queued) >= e.queueLimit
+}
+
+// shedOutcome marks outcome idx shed by admission control: it never
+// occupies a responder and goes straight to the specialist escalation
+// path.
+func (e *engine) shedOutcome(idx int) {
+	o := &e.outcomes[idx]
+	o.Shed = true
+	o.Responder = -1
+	o.Resolution = harness.EscalationPenalty
+	o.Result = harness.Result{Scenario: o.Scenario, Escalated: true}
+	e.shed++
+	if e.onProcessed != nil {
+		e.onProcessed(idx)
 	}
 }
 
 // report assembles the aggregate Report over everything the engine has
 // processed. Call only after every arrival is in and completeUntil ran
-// to the end of time (drain).
-func (e *engine) report(oces int, sink *obs.Sink) *Report {
+// to the end of time (drain). labels scopes the saturation gauges (nil
+// on the flat paths; a region label on per-region sharded reports).
+func (e *engine) report(oces int, sink *obs.Sink, labels obs.Labels) *Report {
 	rep := &Report{Outcomes: e.outcomes, Shed: e.shed, PeakQueueDepth: e.peak}
 	rep.Admitted = len(e.outcomes) - e.shed
 	mitigated := 0
@@ -203,7 +224,7 @@ func (e *engine) report(oces int, sink *obs.Sink) *Report {
 			mitigated++
 		}
 	}
-	aggregate(rep, oces, sink, e.busySum, e.makespan, mitigated)
+	aggregate(rep, oces, sink, e.busySum, e.makespan, mitigated, labels)
 	return rep
 }
 
@@ -259,6 +280,10 @@ type LiveArrival struct {
 	Scenario string
 	// Severity is the dispatch priority class (0..3).
 	Severity int
+	// Region homes the arrival in a fleet region. The single-cell
+	// LiveScheduler ignores it; the ShardedScheduler routes on it
+	// (empty means DefaultRegion).
+	Region string
 	// Result is the session outcome for this incident, pre-executed by
 	// the submitter.
 	Result harness.Result
@@ -290,7 +315,12 @@ const (
 type LiveStatus struct {
 	State LiveState
 	// Outcome is valid once the arrival left pending (zero otherwise).
+	// Its Region field is the arrival's home region.
 	Outcome Outcome
+	// HandledBy names the region whose responder pool is executing the
+	// arrival when cross-shard stealing moved it off its home region
+	// (empty when home-handled, shed, or not yet dispatched).
+	HandledBy string
 }
 
 // Live scheduler errors, surfaced by Offer.
@@ -407,7 +437,7 @@ func (s *LiveScheduler) processLocked(t time.Duration) {
 func (s *LiveScheduler) admitLocked(a LiveArrival) {
 	idx := s.eng.add(Outcome{
 		Index: len(s.eng.outcomes), Scenario: a.Scenario, Severity: a.Severity,
-		ArrivedAt: a.At, Result: a.Result,
+		Region: a.Region, ArrivedAt: a.At, Result: a.Result,
 	}, session{res: a.Result, severity: a.Severity})
 	s.index[a.ID] = idx
 	s.ids = append(s.ids, a.ID)
@@ -438,13 +468,13 @@ func (s *LiveScheduler) processed(idx int) {
 		// never happened.
 		s.cfg.Obs.Emit(obs.Event{
 			Type: obs.EvFleetShed, At: o.ArrivedAt, Session: session,
-			Runner: s.cfg.RunnerName, Scenario: o.Scenario,
+			Runner: s.cfg.RunnerName, Scenario: o.Scenario, Region: o.Region,
 		})
 	} else {
 		s.cfg.Obs.Absorb(rec)
 		s.cfg.Obs.Emit(obs.Event{
 			Type: obs.EvFleetIncident, At: o.ArrivedAt, Session: session,
-			Runner: s.cfg.RunnerName, Scenario: o.Scenario,
+			Runner: s.cfg.RunnerName, Scenario: o.Scenario, Region: o.Region,
 			Queue: o.Queue, Resolution: o.Resolution,
 		})
 	}
@@ -532,9 +562,13 @@ func (s *LiveScheduler) Drain() *Report {
 		s.watermark = s.eng.makespan
 	}
 	s.drained = true
-	s.rep = s.eng.report(s.cfg.OCEs, s.cfg.Obs)
+	s.rep = s.eng.report(s.cfg.OCEs, s.cfg.Obs, nil)
 	return s.rep
 }
+
+// Regions returns the scheduler's region set: the single-cell live
+// scheduler is one default region.
+func (s *LiveScheduler) Regions() []string { return []string{DefaultRegion} }
 
 // IDOf returns the arrival ID for an outcome index in the drained
 // report (test hook).

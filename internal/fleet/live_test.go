@@ -112,7 +112,7 @@ func TestLiveMatchesEngineSemantics(t *testing.T) {
 		eng.arrive(i)
 	}
 	eng.completeUntil(never)
-	engRep := eng.report(2, nil)
+	engRep := eng.report(2, nil, nil)
 
 	if !reflect.DeepEqual(liveRep, engRep) {
 		t.Fatalf("live and batch disagree:\nlive:  %+v\nbatch: %+v", liveRep, engRep)

@@ -117,6 +117,11 @@ type CreateRequest struct {
 	// gateway normalizes the payload by generating the corresponding
 	// incident (world, alerts, ground truth) from it.
 	Scenario string `json:"scenario"`
+	// Region homes the incident in a fleet region. Absent or empty
+	// means the default region; anything else must name a region the
+	// scheduler was configured with (enforced by the gateway, which
+	// owns the region set — the codec only checks the charset).
+	Region string `json:"region,omitempty"`
 	// Title/Summary/Service override the generated incident's
 	// human-facing fields on the stored record.
 	Title   string `json:"title,omitempty"`
@@ -197,6 +202,9 @@ func DecodeCreate(data []byte) (*CreateRequest, error) {
 	}
 	if req.ID != "" && !validID(req.ID) {
 		return nil, &FieldError{Field: "id", Msg: fmt.Sprintf("invalid id %q: want 1-%d chars of [a-zA-Z0-9._/-]", req.ID, maxIDLen)}
+	}
+	if req.Region != "" && !validID(req.Region) {
+		return nil, &FieldError{Field: "region", Msg: fmt.Sprintf("invalid region %q: want 1-%d chars of [a-zA-Z0-9._/-]", req.Region, maxIDLen)}
 	}
 	if len(req.Title) > maxTitleLen {
 		return nil, &FieldError{Field: "title", Msg: fmt.Sprintf("longer than %d bytes", maxTitleLen)}

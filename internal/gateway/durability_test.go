@@ -231,7 +231,7 @@ func TestBodyCap413(t *testing.T) {
 	if status != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized body: HTTP %d: %s", status, body)
 	}
-	if !strings.Contains(body, "body: exceeds the 128-byte request cap") {
+	if !strings.Contains(body, `"field":"body"`) || !strings.Contains(body, "exceeds the 128-byte request cap") {
 		t.Fatalf("413 not field-blamed: %s", body)
 	}
 }

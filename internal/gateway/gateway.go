@@ -15,12 +15,41 @@
 // their internal tools. Endpoints:
 //
 //	POST   /v1/incidents        create (201; errors 400/401/409/422)
+//	GET    /v1/incidents        list, newest-last, cursor-paginated
 //	GET    /v1/incidents/{id}   fetch record + live fleet state
 //	PATCH  /v1/incidents/{id}   update reported status/severity/note
 //	GET    /v1/events           Server-Sent Events from the obs sink
 //	GET    /metrics             Prometheus text exposition (no auth)
 //	POST   /v1/sim/advance      advance the sim clock (sim mode only)
 //	POST   /v1/sim/drain        drain the scheduler, return the summary
+//
+// Multi-region: when the configured scheduler is sharded
+// (fleet.NewSharded), POST /v1/incidents accepts an optional "region"
+// homing the incident in one of the configured fleet regions (absent
+// or empty means the default region; an unconfigured region is a
+// field-blamed 422). The region comes back on every record view, and
+// a stolen incident additionally reports "handled_by": the region
+// whose responder pool actually worked it.
+//
+// Errors: every non-2xx response carries one uniform envelope,
+//
+//	{"error": {"code": "...", "field": "...", "message": "..."}}
+//
+// where code is a stable machine-readable slug (unauthorized,
+// invalid_payload, validation, not_found, conflict, payload_too_large,
+// rate_limited, overloaded, draining, not_ready, unavailable,
+// internal), field blames the offending payload field when there is
+// one (422s and the body-cap 413), and message is human-readable and
+// NOT part of the compatibility contract.
+//
+// List pagination: GET /v1/incidents returns records sorted by
+// (opened_at_minutes, id) ascending — the fleet admission order — in
+// pages of limit (default 50, max 200). A page that was cut short
+// carries next_cursor: an opaque token naming the last record
+// returned; pass it back as ?cursor= to resume. Filters region=,
+// status=, severity= (sevN) conjoin. The cursor is stable under
+// concurrent inserts: new arrivals sort after the cursor position or
+// before it, never into an already-returned page twice.
 //
 // Determinism: with a SimClock, every response body is a pure function
 // of (seed, accepted payloads, advance calls) — HTTP interleaving and
@@ -74,8 +103,11 @@ type Config struct {
 	Keys map[string]string
 	// Clock is the simulated-time source (see clock.go).
 	Clock Clock
-	// Sched is the live fleet scheduler arrivals feed into.
-	Sched *fleet.LiveScheduler
+	// Sched is the fleet scheduler arrivals feed into: a single-cell
+	// *fleet.LiveScheduler or a multi-region *fleet.ShardedScheduler.
+	// The gateway validates POST regions against Sched.Regions() and
+	// renders the sharded drain summary when the scheduler is sharded.
+	Sched fleet.Scheduler
 	// Runner executes each admitted incident's responder session, in
 	// the submitting handler's goroutine.
 	Runner harness.Runner
@@ -116,6 +148,7 @@ type Config struct {
 type Record struct {
 	ID         string   `json:"id"`
 	Scenario   string   `json:"scenario"`
+	Region     string   `json:"region"`
 	Title      string   `json:"title"`
 	Summary    string   `json:"summary,omitempty"`
 	Service    string   `json:"service,omitempty"`
@@ -127,7 +160,11 @@ type Record struct {
 	OpenedAtMinutes float64 `json:"opened_at_minutes"`
 
 	// Fleet view, filled in as the scheduler works the arrival.
-	FleetState        string   `json:"fleet_state"`
+	FleetState string `json:"fleet_state"`
+	// HandledBy is the region whose responder pool is executing (or
+	// executed) the incident, set only when work stealing moved it off
+	// its home region.
+	HandledBy         string   `json:"handled_by,omitempty"`
 	Responder         *int     `json:"responder,omitempty"`
 	QueueMinutes      *float64 `json:"queue_minutes,omitempty"`
 	ResolutionMinutes *float64 `json:"resolution_minutes,omitempty"`
@@ -151,6 +188,21 @@ type DrainSummary struct {
 	Utilization          float64 `json:"utilization"`
 	PeakQueueDepth       int     `json:"peak_queue_depth"`
 	DrainMinutes         float64 `json:"drain_minutes"`
+
+	// Sharded-scheduler extras: total cross-region steals and the
+	// per-region breakdown, in sorted region order. Absent (omitted)
+	// on a single-cell scheduler.
+	Stolen  int                  `json:"stolen,omitempty"`
+	Regions []RegionDrainSummary `json:"regions,omitempty"`
+}
+
+// RegionDrainSummary is one region's slice of a sharded drain: the
+// same fleet report fields, plus the steal flow in and out.
+type RegionDrainSummary struct {
+	Region string `json:"region"`
+	DrainSummary
+	StolenIn  int `json:"stolen_in"`
+	StolenOut int `json:"stolen_out"`
 }
 
 // NewDrainSummary converts a fleet report to wire form.
@@ -172,11 +224,31 @@ func NewDrainSummary(rep *fleet.Report) DrainSummary {
 	}
 }
 
+// NewShardedDrainSummary converts a sharded fleet report to wire form:
+// the fleet-wide totals plus one RegionDrainSummary per region.
+func NewShardedDrainSummary(rep *fleet.ShardedReport) DrainSummary {
+	out := NewDrainSummary(rep.Total)
+	out.Stolen = rep.Stolen
+	for _, rr := range rep.Regions {
+		out.Regions = append(out.Regions, RegionDrainSummary{
+			Region:       rr.Region,
+			DrainSummary: NewDrainSummary(rr.Report),
+			StolenIn:     rr.StolenIn,
+			StolenOut:    rr.StolenOut,
+		})
+	}
+	return out
+}
+
 // Server is the gateway HTTP server state.
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	limit *limiter
+
+	// regions is the configured fleet region set (from Sched.Regions()),
+	// the membership check behind POST's region validation.
+	regions map[string]bool
 
 	// ready gates /readyz: true once the journal (if any) has been
 	// replayed, false again when Shutdown begins.
@@ -204,6 +276,12 @@ func NewServer(cfg Config) *Server {
 		records: map[string]*Record{},
 		subs:    map[chan []byte]struct{}{},
 		done:    make(chan struct{}),
+		regions: map[string]bool{},
+	}
+	if cfg.Sched != nil {
+		for _, r := range cfg.Sched.Regions() {
+			s.regions[r] = true
+		}
 	}
 	if cfg.RatePerMin > 0 {
 		s.limit = newLimiter(cfg.RatePerMin, cfg.Burst)
@@ -221,6 +299,7 @@ func NewServer(cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/incidents", s.auth(s.handleCreate))
+	mux.HandleFunc("GET /v1/incidents", s.auth(s.handleList))
 	mux.HandleFunc("GET /v1/incidents/{id}", s.auth(s.handleGet))
 	mux.HandleFunc("PATCH /v1/incidents/{id}", s.auth(s.handleUpdate))
 	mux.HandleFunc("GET /v1/events", s.auth(s.handleEvents))
@@ -266,12 +345,43 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-type apiError struct {
-	Error string `json:"error"`
+// Stable machine-readable error codes (the envelope's "code" field).
+// These — not the messages — are the compatibility contract.
+const (
+	CodeUnauthorized    = "unauthorized"      // 401: missing or unknown API key
+	CodeInvalidPayload  = "invalid_payload"   // 400: body is not valid strict JSON
+	CodeValidation      = "validation"        // 422: schema violation, field set
+	CodeNotFound        = "not_found"         // 404: no such incident
+	CodeConflict        = "conflict"          // 409: duplicate/stale/terminal
+	CodePayloadTooLarge = "payload_too_large" // 413: body over the byte cap
+	CodeRateLimited     = "rate_limited"      // 429: caller over its token bucket
+	CodeOverloaded      = "overloaded"        // 503: queue-depth load shedding
+	CodeDraining        = "draining"          // 503: scheduler drained/stopping
+	CodeNotReady        = "not_ready"         // 503: journal replay not finished
+	CodeUnavailable     = "unavailable"       // 503: feature disabled (no sink)
+	CodeInternal        = "internal"          // 500: journal append failed, etc.
+)
+
+// ErrorDetail is the body of the uniform error envelope.
+type ErrorDetail struct {
+	// Code is the stable machine-readable error class.
+	Code string `json:"code"`
+	// Field blames a payload field or query parameter, when one is at
+	// fault (validation 422s and the body-cap 413).
+	Field string `json:"field,omitempty"`
+	// Message is human-readable context; not a compatibility surface.
+	Message string `json:"message"`
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+// ErrorBody is the envelope every non-2xx response carries.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, code, field, format string, args ...any) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{
+		Code: code, Field: field, Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 // auth wraps a handler with per-caller API-key identity: the caller
@@ -281,12 +391,12 @@ func (s *Server) auth(fn func(w http.ResponseWriter, r *http.Request, caller str
 	return func(w http.ResponseWriter, r *http.Request) {
 		key := r.Header.Get("X-API-Key")
 		if key == "" {
-			writeErr(w, http.StatusUnauthorized, "missing X-API-Key header")
+			writeErr(w, http.StatusUnauthorized, CodeUnauthorized, "", "missing X-API-Key header")
 			return
 		}
 		caller, ok := s.cfg.Keys[key]
 		if !ok {
-			writeErr(w, http.StatusUnauthorized, "unknown API key")
+			writeErr(w, http.StatusUnauthorized, CodeUnauthorized, "", "unknown API key")
 			return
 		}
 		fn(w, r, caller)
@@ -312,11 +422,11 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeErr(w, http.StatusRequestEntityTooLarge,
-				"body: exceeds the %d-byte request cap", mbe.Limit)
+			writeErr(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "body",
+				"exceeds the %d-byte request cap", mbe.Limit)
 			return nil, false
 		}
-		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeInvalidPayload, "", "reading body: %v", err)
 		return nil, false
 	}
 	return body, true
@@ -327,10 +437,10 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 func decodeErr(w http.ResponseWriter, err error) {
 	var fe *FieldError
 	if ok := asFieldError(err, &fe); ok {
-		writeErr(w, http.StatusUnprocessableEntity, "%s", fe.Error())
+		writeErr(w, http.StatusUnprocessableEntity, CodeValidation, fe.Field, "%s", fe.Msg)
 		return
 	}
-	writeErr(w, http.StatusBadRequest, "invalid payload: %v", err)
+	writeErr(w, http.StatusBadRequest, CodeInvalidPayload, "", "invalid payload: %v", err)
 }
 
 func asFieldError(err error, out **FieldError) bool {
@@ -353,7 +463,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, caller str
 			// not a responder.
 			w.Header().Set("Retry-After", "1")
 			s.count(obs.MGwShed, nil)
-			writeErr(w, http.StatusServiceUnavailable,
+			writeErr(w, http.StatusServiceUnavailable, CodeOverloaded, "",
 				"gateway overloaded: %d incidents in flight (shed depth %d)",
 				pending+queued, s.cfg.ShedDepth)
 			return
@@ -369,6 +479,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, caller str
 		return
 	}
 
+	// Home the incident: absent/empty region means the default region;
+	// anything else must name a configured fleet region.
+	region := req.Region
+	if region == "" {
+		region = fleet.DefaultRegion
+	}
+	if !s.regions[region] {
+		writeErr(w, http.StatusUnprocessableEntity, CodeValidation, "region",
+			"unknown region %q: configured regions are %v", region, s.cfg.Sched.Regions())
+		return
+	}
+
 	// Reserve the ID before running the (expensive) session so two
 	// concurrent POSTs with the same ID cannot both run one.
 	s.mu.Lock()
@@ -379,7 +501,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, caller str
 	}
 	if _, dup := s.records[id]; dup {
 		s.mu.Unlock()
-		writeErr(w, http.StatusConflict, "incident %q already exists", id)
+		writeErr(w, http.StatusConflict, CodeConflict, "", "incident %q already exists", id)
 		return
 	}
 	s.records[id] = nil // reservation
@@ -415,7 +537,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, caller str
 	}
 
 	err = s.cfg.Sched.Offer(fleet.LiveArrival{
-		ID: id, At: openedAt, Scenario: req.Scenario,
+		ID: id, At: openedAt, Scenario: req.Scenario, Region: region,
 		Severity: in.Incident.Severity, Result: res, Events: rec,
 	})
 	if err != nil {
@@ -427,15 +549,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, caller str
 		s.mu.Unlock()
 		switch {
 		case errorIs(err, fleet.ErrDrained):
-			writeErr(w, http.StatusServiceUnavailable, "gateway draining: %v", err)
+			writeErr(w, http.StatusServiceUnavailable, CodeDraining, "", "gateway draining: %v", err)
 		default:
-			writeErr(w, http.StatusConflict, "%v", err)
+			writeErr(w, http.StatusConflict, CodeConflict, "", "%v", err)
 		}
 		return
 	}
 
 	record := &Record{
-		ID: id, Scenario: req.Scenario,
+		ID: id, Scenario: req.Scenario, Region: region,
 		Title: req.Title, Summary: req.Summary, Service: req.Service,
 		Severity: Severity(in.Incident.Severity), Status: "open",
 		ReportedBy:      caller,
@@ -457,12 +579,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, caller str
 			Scenario: req.Scenario, Severity: &sev,
 			Title: record.Title, Summary: record.Summary, Service: record.Service,
 			ReportedBy: caller, OpenedAtMinutes: openedAt.Minutes(),
+			Region: region,
 		}); err != nil {
 			// The arrival is scheduled but not durable: refuse the ack
 			// and keep the record so a retry conflicts loudly (409)
 			// instead of double-scheduling.
 			s.mu.Unlock()
-			writeErr(w, http.StatusInternalServerError, "journal append: %v", err)
+			writeErr(w, http.StatusInternalServerError, CodeInternal, "", "journal append: %v", err)
 			return
 		}
 	}
@@ -493,7 +616,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, _ string) {
 	record := s.records[id]
 	s.mu.Unlock()
 	if record == nil {
-		writeErr(w, http.StatusNotFound, "no incident %q", id)
+		writeErr(w, http.StatusNotFound, CodeNotFound, "", "no incident %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.view(record))
@@ -518,12 +641,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, caller str
 	record := s.records[id]
 	if record == nil {
 		s.mu.Unlock()
-		writeErr(w, http.StatusNotFound, "no incident %q", id)
+		writeErr(w, http.StatusNotFound, CodeNotFound, "", "no incident %q", id)
 		return
 	}
 	if record.Status == "resolved" && req.Status != "" && req.Status != "resolved" {
 		s.mu.Unlock()
-		writeErr(w, http.StatusConflict, "incident %q is resolved (terminal)", id)
+		writeErr(w, http.StatusConflict, CodeConflict, "", "incident %q is resolved (terminal)", id)
 		return
 	}
 	if req.Status != "" {
@@ -552,7 +675,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, caller str
 		}
 		if err := s.journalAppend(jr); err != nil {
 			s.mu.Unlock()
-			writeErr(w, http.StatusInternalServerError, "journal append: %v", err)
+			writeErr(w, http.StatusInternalServerError, CodeInternal, "", "journal append: %v", err)
 			return
 		}
 	}
@@ -571,6 +694,7 @@ func (s *Server) view(record *Record) Record {
 		return out
 	}
 	out.FleetState = string(st.State)
+	out.HandledBy = st.HandledBy
 	o := st.Outcome
 	switch st.State {
 	case fleet.StateShed:
@@ -593,7 +717,7 @@ func ptr[T any](v T) *T { return &v }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Sink == nil {
-		writeErr(w, http.StatusServiceUnavailable, "observability disabled (no sink)")
+		writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, "", "observability disabled (no sink)")
 		return
 	}
 	if !s.cfg.SimControl {
@@ -617,9 +741,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case !s.ready.Load():
-		writeErr(w, http.StatusServiceUnavailable, "not ready: journal not replayed")
+		writeErr(w, http.StatusServiceUnavailable, CodeNotReady, "", "not ready: journal not replayed")
 	case s.cfg.Sched != nil && s.cfg.Sched.Drained():
-		writeErr(w, http.StatusServiceUnavailable, "not ready: scheduler drained")
+		writeErr(w, http.StatusServiceUnavailable, CodeNotReady, "", "not ready: scheduler drained")
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ready")
@@ -660,7 +784,7 @@ type advanceRequest struct {
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, _ string) {
 	ac, ok := s.cfg.Clock.(AdvanceClock)
 	if !ok {
-		writeErr(w, http.StatusConflict, "clock is not advanceable (wall-clock mode)")
+		writeErr(w, http.StatusConflict, CodeConflict, "", "clock is not advanceable (wall-clock mode)")
 		return
 	}
 	body, okb := s.readBody(w, r)
@@ -669,30 +793,30 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, _ string)
 	}
 	var req advanceRequest
 	if err := strictDecode(body, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid payload: %v", err)
+		writeErr(w, http.StatusBadRequest, CodeInvalidPayload, "", "invalid payload: %v", err)
 		return
 	}
 	var target time.Duration
 	switch {
 	case req.Minutes != nil && req.ToMinutes != nil:
-		writeErr(w, http.StatusUnprocessableEntity, "set minutes or to_minutes, not both")
+		writeErr(w, http.StatusUnprocessableEntity, CodeValidation, "minutes", "set minutes or to_minutes, not both")
 		return
 	case req.Minutes != nil:
 		m := *req.Minutes
 		if !(m >= 0) || m > maxOpenedAtMinutes {
-			writeErr(w, http.StatusUnprocessableEntity, "minutes must be in [0, %g]", float64(maxOpenedAtMinutes))
+			writeErr(w, http.StatusUnprocessableEntity, CodeValidation, "minutes", "must be in [0, %g]", float64(maxOpenedAtMinutes))
 			return
 		}
 		target = ac.Now() + time.Duration(m*float64(time.Minute))
 	case req.ToMinutes != nil:
 		m := *req.ToMinutes
 		if !(m >= 0) || m > maxOpenedAtMinutes {
-			writeErr(w, http.StatusUnprocessableEntity, "to_minutes must be in [0, %g]", float64(maxOpenedAtMinutes))
+			writeErr(w, http.StatusUnprocessableEntity, CodeValidation, "to_minutes", "must be in [0, %g]", float64(maxOpenedAtMinutes))
 			return
 		}
 		target = time.Duration(m * float64(time.Minute))
 	default:
-		writeErr(w, http.StatusUnprocessableEntity, "set minutes or to_minutes")
+		writeErr(w, http.StatusUnprocessableEntity, CodeValidation, "minutes", "set minutes or to_minutes")
 		return
 	}
 	now := ac.AdvanceTo(target)
@@ -702,12 +826,19 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, _ string)
 }
 
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request, _ string) {
-	rep := s.cfg.Sched.Drain()
+	// A sharded scheduler drains with the per-region breakdown; the
+	// single-cell path keeps its flat summary.
+	var sum DrainSummary
+	if sh, ok := s.cfg.Sched.(interface{ DrainSharded() *fleet.ShardedReport }); ok {
+		sum = NewShardedDrainSummary(sh.DrainSharded())
+	} else {
+		sum = NewDrainSummary(s.cfg.Sched.Drain())
+	}
 	if ac, ok := s.cfg.Clock.(AdvanceClock); ok {
 		ac.AdvanceTo(s.cfg.Sched.Watermark())
 	}
 	s.notify()
-	writeJSON(w, http.StatusOK, NewDrainSummary(rep))
+	writeJSON(w, http.StatusOK, sum)
 }
 
 // ---------------------------------------------------------------------------
@@ -755,12 +886,12 @@ func (s *Server) unsubscribe(ch chan []byte) {
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, _ string) {
 	if s.cfg.Sink == nil {
-		writeErr(w, http.StatusServiceUnavailable, "observability disabled (no sink)")
+		writeErr(w, http.StatusServiceUnavailable, CodeUnavailable, "", "observability disabled (no sink)")
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		writeErr(w, http.StatusInternalServerError, CodeInternal, "", "streaming unsupported")
 		return
 	}
 	// SSE is the one long-lived response: clear the per-request write

@@ -27,7 +27,7 @@ import (
 // HTTP surface end to end, on a simulated clock.
 type testStack struct {
 	ts    *httptest.Server
-	sched *fleet.LiveScheduler
+	sched fleet.Scheduler
 	clock *SimClock
 	sink  *obs.Sink
 }
@@ -38,8 +38,9 @@ func newTestStack(t *testing.T, oces, queueLimit int) *testStack {
 	kb.ApplyFastpathUpdate(kbase)
 	runner := &harness.HelperRunner{Label: "assisted-helper", KBase: kbase, Config: core.DefaultConfig()}
 	sink := obs.NewSink()
-	sched := fleet.NewLive(fleet.LiveConfig{
-		OCEs: oces, QueueLimit: queueLimit,
+	sched := fleet.NewSharded(fleet.ShardedLiveConfig{
+		Regions: []string{"default", "eu-west"},
+		OCEs:    oces, QueueLimit: queueLimit,
 		Obs: sink, RunnerName: runner.Name(),
 	})
 	clock := NewSimClock()
@@ -120,9 +121,18 @@ func TestGoldenHTTPTranscript(t *testing.T) {
 		{"POST", "/v1/incidents", "k-tenant-b", `{"id":"inc-b","scenario":"device-failure","opened_at_minutes":2}`},
 		{"POST", "/v1/incidents", "k-tenant-b", `{"id":"inc-c","scenario":"congestion","opened_at_minutes":3}`},
 		{"POST", "/v1/incidents", "k-tenant-b", `{"id":"inc-d","scenario":"false-alarm","opened_at_minutes":4}`},
+		{"POST", "/v1/incidents", "k-tenant-b", `{"id":"inc-eu","scenario":"gray-link","region":"eu-west","opened_at_minutes":5}`},
+		{"POST", "/v1/incidents", "k-tenant-a", `{"scenario":"gray-link","region":"mars"}`},
 		{"POST", "/v1/sim/advance", "k-tenant-a", `{"minutes":10}`},
 		{"GET", "/v1/incidents/inc-b", "k-tenant-a", ""},
 		{"GET", "/v1/incidents/inc-c", "k-tenant-a", ""},
+		{"GET", "/v1/incidents/inc-eu", "k-tenant-a", ""},
+		{"GET", "/v1/incidents?limit=2", "k-tenant-a", ""},
+		{"GET", "/v1/incidents?region=eu-west", "k-tenant-a", ""},
+		{"GET", "/v1/incidents?status=open&severity=sev2", "k-tenant-a", ""},
+		{"GET", "/v1/incidents?limit=0", "k-tenant-a", ""},
+		{"GET", "/v1/incidents?cursor=%21%21", "k-tenant-a", ""},
+		{"GET", "/v1/incidents?status=bogus", "k-tenant-a", ""},
 		{"PATCH", "/v1/incidents/inc-a", "k-tenant-b", `{"status":"investigating","note":"optics swapped, watching BER"}`},
 		{"PATCH", "/v1/incidents/inc-a", "k-tenant-a", `{}`},
 		{"PATCH", "/v1/incidents/inc-zzz", "k-tenant-a", `{"status":"resolved"}`},

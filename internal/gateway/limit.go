@@ -77,7 +77,7 @@ func (s *Server) throttle(w http.ResponseWriter, caller string) bool {
 	}
 	w.Header().Set("Retry-After", retryAfter(s.cfg.Clock, wait))
 	s.count(obs.MGwThrottled, obs.Labels{"caller": caller})
-	writeErr(w, http.StatusTooManyRequests,
+	writeErr(w, http.StatusTooManyRequests, CodeRateLimited, "",
 		"caller %q over rate limit: next token in %s simulated", caller, wait.Round(time.Second))
 	return false
 }

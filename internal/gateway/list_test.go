@@ -1,0 +1,253 @@
+package gateway
+
+// Coverage for GET /v1/incidents — cursor pagination, filters, cursor
+// stability under concurrent inserts — and for the uniform error
+// envelope every non-2xx response must carry.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestListPaginationWalk creates a spread of incidents across both
+// configured regions, walks the list in pages of 3, and checks the
+// walk visits every record exactly once in (opened_at_minutes, id)
+// order; then exercises each filter.
+func TestListPaginationWalk(t *testing.T) {
+	t.Parallel()
+	st := newTestStack(t, 2, 0)
+	const n = 10
+	for i := 0; i < n; i++ {
+		region := "default"
+		if i%3 == 0 {
+			region = "eu-west"
+		}
+		body := fmt.Sprintf(`{"id":"p-%03d","scenario":"gray-link","region":%q,"severity":%d,"opened_at_minutes":%d}`,
+			i, region, i%3, i)
+		if status, resp := st.do(t, "POST", "/v1/incidents", "k-tenant-a", body); status != http.StatusCreated {
+			t.Fatalf("create %d: HTTP %d: %s", i, status, resp)
+		}
+	}
+
+	fetch := func(path string) ListPage {
+		t.Helper()
+		status, resp := st.do(t, "GET", path, "k-tenant-a", "")
+		if status != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d: %s", path, status, resp)
+		}
+		var page ListPage
+		if err := json.Unmarshal([]byte(resp), &page); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return page
+	}
+
+	var walked []string
+	cursor, pages := "", 0
+	for {
+		path := "/v1/incidents?limit=3"
+		if cursor != "" {
+			path += "&cursor=" + cursor
+		}
+		page := fetch(path)
+		for _, rec := range page.Incidents {
+			walked = append(walked, rec.ID)
+		}
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		if len(page.Incidents) != 3 {
+			t.Fatalf("short page (%d records) carried a cursor", len(page.Incidents))
+		}
+		cursor = page.NextCursor
+	}
+	if pages != 4 {
+		t.Fatalf("walked %d pages, want 4 (3+3+3+1)", pages)
+	}
+	if len(walked) != n {
+		t.Fatalf("walk visited %d records, want %d: %v", len(walked), n, walked)
+	}
+	for i, id := range walked {
+		if want := fmt.Sprintf("p-%03d", i); id != want {
+			t.Fatalf("walk position %d = %s, want %s (order broken)", i, id, want)
+		}
+	}
+
+	// Region filter: exactly the eu-west homes, each echoing its region.
+	eu := fetch("/v1/incidents?region=eu-west&limit=200")
+	if len(eu.Incidents) != 4 {
+		t.Fatalf("eu-west filter returned %d records, want 4", len(eu.Incidents))
+	}
+	for _, rec := range eu.Incidents {
+		if rec.Region != "eu-west" {
+			t.Fatalf("region filter leaked %s (region %q)", rec.ID, rec.Region)
+		}
+	}
+
+	// Severity filter (i%3 == 2 → sev2: p-002, p-005, p-008).
+	sev2 := fetch("/v1/incidents?severity=sev2")
+	if len(sev2.Incidents) != 3 {
+		t.Fatalf("sev2 filter returned %d records, want 3", len(sev2.Incidents))
+	}
+	for _, rec := range sev2.Incidents {
+		if rec.Severity != 2 {
+			t.Fatalf("severity filter leaked %s (sev %v)", rec.ID, rec.Severity)
+		}
+	}
+
+	// Status filter: resolve one record, then select on it.
+	if status, resp := st.do(t, "PATCH", "/v1/incidents/p-004", "k-tenant-a",
+		`{"status":"resolved"}`); status != http.StatusOK {
+		t.Fatalf("patch: HTTP %d: %s", status, resp)
+	}
+	resolved := fetch("/v1/incidents?status=resolved")
+	if len(resolved.Incidents) != 1 || resolved.Incidents[0].ID != "p-004" {
+		t.Fatalf("status filter = %+v, want exactly p-004", resolved.Incidents)
+	}
+
+	// Conjoined filters narrow further.
+	both := fetch("/v1/incidents?region=eu-west&status=open")
+	if len(both.Incidents) != 4 {
+		t.Fatalf("conjoined filter returned %d, want 4", len(both.Incidents))
+	}
+}
+
+// TestListCursorStableUnderInsert pins the cursor contract: records
+// inserted while a walk is paused sort entirely before or after the
+// cursor position — a resumed walk never duplicates an already-seen
+// record and never misses one in its unvisited suffix.
+func TestListCursorStableUnderInsert(t *testing.T) {
+	t.Parallel()
+	st := newTestStack(t, 2, 0)
+	create := func(id string, minutes int) {
+		t.Helper()
+		body := fmt.Sprintf(`{"id":%q,"scenario":"gray-link","opened_at_minutes":%d}`, id, minutes)
+		if status, resp := st.do(t, "POST", "/v1/incidents", "k-tenant-a", body); status != http.StatusCreated {
+			t.Fatalf("create %s: HTTP %d: %s", id, status, resp)
+		}
+	}
+	create("s-0", 0)
+	create("s-2", 2)
+	create("s-4", 4)
+
+	status, resp := st.do(t, "GET", "/v1/incidents?limit=2", "k-tenant-a", "")
+	if status != http.StatusOK {
+		t.Fatalf("page 1: HTTP %d: %s", status, resp)
+	}
+	var page1 ListPage
+	if err := json.Unmarshal([]byte(resp), &page1); err != nil {
+		t.Fatal(err)
+	}
+	if len(page1.Incidents) != 2 || page1.Incidents[0].ID != "s-0" || page1.Incidents[1].ID != "s-2" {
+		t.Fatalf("page 1 = %+v", page1.Incidents)
+	}
+
+	// Concurrent inserts on both sides of the paused cursor.
+	create("s-1", 1) // sorts inside the already-returned page: must NOT resurface
+	create("s-3", 3) // sorts in the unvisited suffix: must appear exactly once
+
+	status, resp = st.do(t, "GET", "/v1/incidents?limit=200&cursor="+page1.NextCursor, "k-tenant-a", "")
+	if status != http.StatusOK {
+		t.Fatalf("page 2: HTTP %d: %s", status, resp)
+	}
+	var page2 ListPage
+	if err := json.Unmarshal([]byte(resp), &page2); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(page2.Incidents))
+	for i, rec := range page2.Incidents {
+		got[i] = rec.ID
+	}
+	if len(got) != 2 || got[0] != "s-3" || got[1] != "s-4" {
+		t.Fatalf("resumed page = %v, want [s-3 s-4] (no duplicates, suffix inserts visible)", got)
+	}
+	if page2.NextCursor != "" {
+		t.Fatalf("final page carried cursor %q", page2.NextCursor)
+	}
+}
+
+// TestErrorEnvelopeUniform sweeps the error taxonomy and checks every
+// non-2xx body parses into the one envelope with the expected stable
+// code, the blamed field where there is one, and a non-empty message.
+func TestErrorEnvelopeUniform(t *testing.T) {
+	t.Parallel()
+	st := newTestStack(t, 1, 1)
+	if status, resp := st.do(t, "POST", "/v1/incidents", "k-tenant-a",
+		`{"id":"dup-1","scenario":"gray-link","opened_at_minutes":0}`); status != http.StatusCreated {
+		t.Fatalf("seed create: HTTP %d: %s", status, resp)
+	}
+	cases := []struct {
+		method, path, key, body string
+		status                  int
+		code, field             string
+	}{
+		{"GET", "/v1/incidents/none", "", "", http.StatusUnauthorized, CodeUnauthorized, ""},
+		{"GET", "/v1/incidents/none", "k-bogus", "", http.StatusUnauthorized, CodeUnauthorized, ""},
+		{"POST", "/v1/incidents", "k-tenant-a", `{"scenario":`, http.StatusBadRequest, CodeInvalidPayload, ""},
+		{"POST", "/v1/incidents", "k-tenant-a", `{"scenario":"nope"}`, http.StatusUnprocessableEntity, CodeValidation, "scenario"},
+		{"POST", "/v1/incidents", "k-tenant-a", `{"scenario":"gray-link","region":"mars"}`, http.StatusUnprocessableEntity, CodeValidation, "region"},
+		{"POST", "/v1/incidents", "k-tenant-a", `{"scenario":"gray-link","region":"bad region"}`, http.StatusUnprocessableEntity, CodeValidation, "region"},
+		{"POST", "/v1/incidents", "k-tenant-a", `{"id":"dup-1","scenario":"gray-link"}`, http.StatusConflict, CodeConflict, ""},
+		{"GET", "/v1/incidents/none", "k-tenant-a", "", http.StatusNotFound, CodeNotFound, ""},
+		{"GET", "/v1/incidents?limit=9999", "k-tenant-a", "", http.StatusUnprocessableEntity, CodeValidation, "limit"},
+		{"GET", "/v1/incidents?cursor=zzz", "k-tenant-a", "", http.StatusUnprocessableEntity, CodeValidation, "cursor"},
+		{"GET", "/v1/incidents?severity=sev9", "k-tenant-a", "", http.StatusUnprocessableEntity, CodeValidation, "severity"},
+		{"GET", "/v1/incidents?status=bogus", "k-tenant-a", "", http.StatusUnprocessableEntity, CodeValidation, "status"},
+		{"PATCH", "/v1/incidents/none", "k-tenant-a", `{"status":"open"}`, http.StatusNotFound, CodeNotFound, ""},
+		{"POST", "/v1/sim/advance", "k-tenant-a", `{"minutes":1,"to_minutes":2}`, http.StatusUnprocessableEntity, CodeValidation, "minutes"},
+	}
+	for _, c := range cases {
+		status, resp := st.do(t, c.method, c.path, c.key, c.body)
+		if status != c.status {
+			t.Errorf("%s %s: HTTP %d, want %d (%s)", c.method, c.path, status, c.status, resp)
+			continue
+		}
+		var eb ErrorBody
+		if err := json.Unmarshal([]byte(resp), &eb); err != nil {
+			t.Errorf("%s %s: body is not the error envelope: %v (%s)", c.method, c.path, err, resp)
+			continue
+		}
+		if eb.Error.Code != c.code {
+			t.Errorf("%s %s: code %q, want %q", c.method, c.path, eb.Error.Code, c.code)
+		}
+		if eb.Error.Field != c.field {
+			t.Errorf("%s %s: field %q, want %q", c.method, c.path, eb.Error.Field, c.field)
+		}
+		if eb.Error.Message == "" {
+			t.Errorf("%s %s: empty message", c.method, c.path)
+		}
+	}
+}
+
+// TestCreateEchoesRegion: an explicit region comes back on the create
+// response and on subsequent GETs; an absent one defaults.
+func TestCreateEchoesRegion(t *testing.T) {
+	t.Parallel()
+	st := newTestStack(t, 1, 0)
+	status, resp := st.do(t, "POST", "/v1/incidents", "k-tenant-a",
+		`{"id":"r-eu","scenario":"gray-link","region":"eu-west","opened_at_minutes":0}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create: HTTP %d: %s", status, resp)
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(resp), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Region != "eu-west" {
+		t.Fatalf("created region = %q, want eu-west", rec.Region)
+	}
+	status, resp = st.do(t, "POST", "/v1/incidents", "k-tenant-a",
+		`{"id":"r-def","scenario":"gray-link","opened_at_minutes":0}`)
+	if status != http.StatusCreated {
+		t.Fatalf("create: HTTP %d: %s", status, resp)
+	}
+	if err := json.Unmarshal([]byte(resp), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Region != "default" {
+		t.Fatalf("defaulted region = %q, want default", rec.Region)
+	}
+}

@@ -77,9 +77,16 @@ func (s *Server) Recover(rr journal.ReplayResult) (RecoverStats, error) {
 			if r.Severity != nil {
 				sev = *r.Severity
 			}
+			// Legacy (V0, pre-region) records home in the default region,
+			// which is how an old single-cell WAL replays cleanly into a
+			// sharded scheduler.
+			region := r.Region
+			if region == "" {
+				region = fleet.DefaultRegion
+			}
 			ghosts[r.ID] = &recovered{
 				rec: &Record{
-					ID: r.ID, Scenario: r.Scenario,
+					ID: r.ID, Scenario: r.Scenario, Region: region,
 					Title: r.Title, Summary: r.Summary, Service: r.Service,
 					Severity: Severity(sev), Status: "open",
 					ReportedBy:      r.ReportedBy,
@@ -140,7 +147,7 @@ func (s *Server) Recover(rr journal.ReplayResult) (RecoverStats, error) {
 		}
 		err := s.cfg.Sched.Offer(fleet.LiveArrival{
 			ID: id, At: time.Duration(g.rec.OpenedAtMinutes * float64(time.Minute)),
-			Scenario: g.scenario, Severity: in.Incident.Severity,
+			Scenario: g.scenario, Region: g.rec.Region, Severity: in.Incident.Severity,
 			Result: res, Events: rec,
 		})
 		if err != nil {

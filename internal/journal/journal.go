@@ -56,11 +56,27 @@ const (
 	KindShed Kind = "shed"
 )
 
+// Version is the current record-format version. Version history:
+//
+//	0 (implicit, field omitted): the pre-region format — every incident
+//	  belongs to the single default fleet region.
+//	2: adds Region (version 2 matches the PR that introduced sharding;
+//	  1 was never emitted).
+//
+// Append stamps the current version on every record; Decode accepts
+// anything at or below it (older records simply lack the newer fields
+// and replay with their documented defaults) and rejects records from
+// the future, where unknown semantics could silently corrupt recovery.
+const Version = 2
+
 // Record is one gateway state transition. Accepted records carry the
 // full normalized incident (enough to rebuild the gateway record and
 // re-run the session from its derived seed); patch records carry only
 // the delta.
 type Record struct {
+	// V is the record-format version (see Version; 0 means the
+	// pre-region format).
+	V    int    `json:"v,omitempty"`
 	Kind Kind   `json:"kind"`
 	ID   string `json:"id"`
 	// AtMinutes is the simulated-clock time of the transition.
@@ -75,6 +91,10 @@ type Record struct {
 	Service         string  `json:"service,omitempty"`
 	ReportedBy      string  `json:"reported_by,omitempty"`
 	OpenedAtMinutes float64 `json:"opened_at_minutes,omitempty"`
+	// Region homes the incident in a fleet region (accepted records,
+	// V >= 2; empty means the default region — which is how every V0
+	// record replays into the sharded scheduler).
+	Region string `json:"region,omitempty"`
 
 	// Patch-record fields. Note is stored with the caller prefix
 	// already applied, exactly as it lands in the record's Notes.
@@ -140,6 +160,12 @@ func decodeLine(line []byte) (Record, bool) {
 	}
 	var r Record
 	if err := json.Unmarshal(payload, &r); err != nil {
+		return Record{}, false
+	}
+	if r.V > Version {
+		// A future-format record: its semantics are unknown, so treat it
+		// (and everything after it) like corruption — truncate rather
+		// than guess.
 		return Record{}, false
 	}
 	return r, true
@@ -249,6 +275,9 @@ func Replay(dir string) (ReplayResult, error) {
 // written. When Append returns nil the record is durable — the gateway
 // calls it before acknowledging any 2xx.
 func (j *Journal) Append(r Record) (int, error) {
+	if r.V == 0 {
+		r.V = Version
+	}
 	line, err := Encode(r)
 	if err != nil {
 		return 0, err

@@ -10,6 +10,18 @@ import (
 
 func sev(n int) *int { return &n }
 
+// stamped is what records look like after Append: the current format
+// version stamped onto any record that did not carry one.
+func stamped(recs []Record) []Record {
+	out := append([]Record(nil), recs...)
+	for i := range out {
+		if out[i].V == 0 {
+			out[i].V = Version
+		}
+	}
+	return out
+}
+
 func sample() []Record {
 	return []Record{
 		{Kind: KindAccepted, ID: "inc-0001", AtMinutes: 1.5, Scenario: "gray-link",
@@ -134,8 +146,8 @@ func TestOpenAppendReplay(t *testing.T) {
 		t.Fatalf("reopen: %v", err)
 	}
 	defer j2.Close()
-	if !reflect.DeepEqual(rr2.Records, want) {
-		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", rr2.Records, want)
+	if !reflect.DeepEqual(rr2.Records, stamped(want)) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", rr2.Records, stamped(want))
 	}
 	if rr2.Bytes != int64(total) || rr2.Dropped != 0 {
 		t.Fatalf("replay stats: %+v", rr2)
@@ -186,7 +198,7 @@ func TestOpenTruncatesTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Replay: %v", err)
 	}
-	if want := []Record{first, second}; !reflect.DeepEqual(rr2.Records, want) {
+	if want := stamped([]Record{first, second}); !reflect.DeepEqual(rr2.Records, want) {
 		t.Fatalf("post-recovery stream:\n got %+v\nwant %+v", rr2.Records, want)
 	}
 }
@@ -198,6 +210,53 @@ func TestReplayMissingDir(t *testing.T) {
 	rr, err := Replay(filepath.Join(t.TempDir(), "nope"))
 	if err != nil || len(rr.Records) != 0 {
 		t.Fatalf("Replay(missing) = %+v, %v", rr, err)
+	}
+}
+
+// TestVersioning pins the record-format version rules: legacy V0 lines
+// (no "v" field at all — the pre-region format) decode cleanly with an
+// empty Region, V2 lines round-trip the region, and a future-version
+// line truncates the stream like corruption would.
+func TestVersioning(t *testing.T) {
+	t.Parallel()
+
+	// A verbatim pre-region line, exactly as a PR 7 gateway wrote it.
+	legacy, err := Encode(Record{Kind: KindAccepted, ID: "old-1", AtMinutes: 2,
+		Scenario: "gray-link", OpenedAtMinutes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(legacy, []byte(`"v"`)) || bytes.Contains(legacy, []byte(`"region"`)) {
+		t.Fatalf("zero-valued version/region leak into the legacy encoding: %s", legacy)
+	}
+	recs, good, dropped := Decode(legacy)
+	if len(recs) != 1 || good != len(legacy) || dropped != 0 {
+		t.Fatalf("legacy decode: %d records, %d/%d bytes, %d dropped", len(recs), good, len(legacy), dropped)
+	}
+	if recs[0].V != 0 || recs[0].Region != "" {
+		t.Fatalf("legacy record = %+v, want V0 with empty region", recs[0])
+	}
+
+	// Current-format region round trip.
+	line, err := Encode(Record{V: Version, Kind: KindAccepted, ID: "new-1",
+		AtMinutes: 3, Region: "eu-west"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _ = Decode(line)
+	if len(recs) != 1 || recs[0].Region != "eu-west" || recs[0].V != Version {
+		t.Fatalf("region round trip: %+v", recs)
+	}
+
+	// A future version truncates the stream at that record.
+	future, err := Encode(Record{V: Version + 1, Kind: KindAccepted, ID: "fut-1", AtMinutes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, good, dropped = Decode(append(append([]byte(nil), legacy...), future...))
+	if len(recs) != 1 || good != len(legacy) || dropped != 1 {
+		t.Fatalf("future version: %d records, boundary %d (want %d), %d dropped",
+			len(recs), good, len(legacy), dropped)
 	}
 }
 

@@ -53,6 +53,7 @@ const (
 	MFleetResolution = "aiops_fleet_resolution_minutes"
 	MFleetQueueDepth = "aiops_fleet_queue_depth_peak"
 	MFleetDrain      = "aiops_fleet_drain_minutes"
+	MFleetStolen     = "aiops_fleet_stolen_total"
 	MCacheHits       = "aiops_cache_hits_total"
 	MCacheMisses     = "aiops_cache_misses_total"
 	MGwThrottled     = "aiops_gateway_throttled_total"
@@ -93,6 +94,7 @@ func NewAIOpsRegistry() *Registry {
 	r.DeclareHistogram(MFleetResolution, "customer-experienced resolution time (queue wait + penalized TTM), minutes", ResolutionBuckets)
 	r.DeclareGauge(MFleetQueueDepth, "peak incidents waiting in the scheduler queue over the run")
 	r.DeclareGauge(MFleetDrain, "simulated minutes between the last arrival and the pool going idle (graceful drain)")
+	r.DeclareCounter(MFleetStolen, "saturated-region arrivals escalated to an idle responder in another region (by from/to region)")
 	r.DeclareCounter(MCacheHits, "what-if fast-path cache hits by cache (route|embed) — avoided recomputation, i.e. saved system cost")
 	r.DeclareCounter(MCacheMisses, "what-if fast-path cache misses by cache (route|embed)")
 	r.DeclareCounter(MGwThrottled, "gateway requests refused 429 by the per-caller token bucket")
@@ -101,6 +103,17 @@ func NewAIOpsRegistry() *Registry {
 	r.DeclareCounter(MJournalReplayed, "journal records replayed during boot-time recovery")
 	r.DeclareCounter(MJournalBytes, "bytes appended to the write-ahead incident journal")
 	return r
+}
+
+// fleetLabels builds the label set for fleet-level metrics: always the
+// runner, plus the region when the event came from the sharded
+// multi-region scheduler. Flat-path events carry no region and keep
+// their legacy single-label series byte-identical.
+func fleetLabels(e Event) Labels {
+	if e.Region == "" {
+		return Labels{"runner": e.Runner}
+	}
+	return Labels{"runner": e.Runner, "region": e.Region}
 }
 
 // Collect folds one event into the registry: the single mapping from
@@ -155,14 +168,16 @@ func Collect(r *Registry, e Event) {
 	case EvMitigation:
 		r.Inc(MMitigations, Labels{"kind": e.Action}, 1)
 	case EvFleetIncident:
-		r.Inc(MFleetIncidents, Labels{"runner": e.Runner}, 1)
-		r.Observe(MFleetQueue, Labels{"runner": e.Runner}, e.Queue.Minutes())
+		labels := fleetLabels(e)
+		r.Inc(MFleetIncidents, labels, 1)
+		r.Observe(MFleetQueue, labels, e.Queue.Minutes())
 		if e.Resolution > 0 {
-			r.Observe(MFleetResolution, Labels{"runner": e.Runner}, e.Resolution.Minutes())
+			r.Observe(MFleetResolution, labels, e.Resolution.Minutes())
 		}
 	case EvFleetShed:
-		r.Inc(MFleetIncidents, Labels{"runner": e.Runner}, 1)
-		r.Inc(MFleetShed, Labels{"runner": e.Runner}, 1)
+		labels := fleetLabels(e)
+		r.Inc(MFleetIncidents, labels, 1)
+		r.Inc(MFleetShed, labels, 1)
 	case EvCacheStats:
 		if e.CacheHits > 0 {
 			r.Inc(MCacheHits, Labels{"cache": e.Cache, "runner": e.Runner}, float64(e.CacheHits))

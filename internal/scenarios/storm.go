@@ -1,0 +1,70 @@
+package scenarios
+
+// Correlated multi-region incident storms. Hyperscale incident streams
+// are not independent Poisson processes per region: a fiber cut, a bad
+// config push or a control-plane bug surfaces as near-simultaneous
+// incidents of the same class in several regions at once (the Malik
+// hyperscale architecture and the paper's cascading-failure examples
+// both hinge on this correlation). StormConfig is the generator the
+// sharded fleet simulator draws from: each primary arrival may spawn a
+// storm — echo incidents of the same scenario class landing in other
+// regions within a short window.
+//
+// Determinism: Draw consumes a caller-owned *rand.Rand in a fixed call
+// order (one Float64; then, iff a storm fires, one Intn plus one Int63n
+// per echo), so the storm pattern is a pure function of the rng stream —
+// the same contract every other generator in this package honours.
+
+import (
+	"math/rand"
+	"time"
+)
+
+// StormConfig parameterizes correlated multi-region storms.
+type StormConfig struct {
+	// Correlation is the probability that a primary arrival spawns a
+	// storm of echo incidents in other regions (0 disables storms).
+	Correlation float64
+	// MaxFanout bounds how many echo incidents one storm spawns
+	// (default 3 when a storm can fire at all).
+	MaxFanout int
+	// Window bounds how long after the primary the echoes land
+	// (default 15 minutes).
+	Window time.Duration
+}
+
+func (c StormConfig) withDefaults() StormConfig {
+	if c.MaxFanout <= 0 {
+		c.MaxFanout = 3
+	}
+	if c.Window <= 0 {
+		c.Window = 15 * time.Minute
+	}
+	return c
+}
+
+// StormDraw is one storm decision: Fanout echo incidents at the given
+// offsets after the primary arrival (Fanout 0: no storm).
+type StormDraw struct {
+	Fanout  int
+	Offsets []time.Duration
+}
+
+// Draw decides whether a primary arrival spawns a storm, consuming rng
+// in a fixed call order. The echoes' offsets are nonnegative and at
+// most Window.
+func (c StormConfig) Draw(rng *rand.Rand) StormDraw {
+	if c.Correlation <= 0 {
+		return StormDraw{}
+	}
+	c = c.withDefaults()
+	if rng.Float64() >= c.Correlation {
+		return StormDraw{}
+	}
+	fanout := 1 + rng.Intn(c.MaxFanout)
+	offsets := make([]time.Duration, fanout)
+	for i := range offsets {
+		offsets[i] = time.Duration(rng.Int63n(int64(c.Window) + 1))
+	}
+	return StormDraw{Fanout: fanout, Offsets: offsets}
+}

@@ -1,0 +1,52 @@
+package scenarios
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestStormDrawBoundsAndDeterminism(t *testing.T) {
+	t.Parallel()
+	cfg := StormConfig{Correlation: 0.4, MaxFanout: 3, Window: 15 * time.Minute}
+	draw := func(seed int64) []StormDraw {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]StormDraw, 200)
+		for i := range out {
+			out[i] = cfg.Draw(rng)
+		}
+		return out
+	}
+	a, b := draw(5), draw(5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("storm draws are not a pure function of the rng stream")
+	}
+	fired := 0
+	for _, d := range a {
+		if d.Fanout == 0 {
+			if d.Offsets != nil {
+				t.Fatal("no-storm draw carries offsets")
+			}
+			continue
+		}
+		fired++
+		if d.Fanout < 1 || d.Fanout > cfg.MaxFanout {
+			t.Fatalf("fanout %d outside [1,%d]", d.Fanout, cfg.MaxFanout)
+		}
+		if len(d.Offsets) != d.Fanout {
+			t.Fatalf("offsets %d != fanout %d", len(d.Offsets), d.Fanout)
+		}
+		for _, off := range d.Offsets {
+			if off < 0 || off > cfg.Window {
+				t.Fatalf("offset %s outside [0,%s]", off, cfg.Window)
+			}
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("correlation 0.4 fired %d/%d times — generator looks degenerate", fired, len(a))
+	}
+	if d := (StormConfig{}).Draw(rand.New(rand.NewSource(1))); d.Fanout != 0 {
+		t.Fatal("zero config must never fire")
+	}
+}
