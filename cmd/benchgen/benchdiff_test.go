@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bf(recs ...benchRecord) *benchFile {
+	return &benchFile{Date: "2026-08-07", Go: "go1.24", Benchmarks: recs}
+}
+
+func TestDiffBenchFilesGatesHeadlineKernelsOnly(t *testing.T) {
+	oldF := bf(
+		benchRecord{Name: "e7", NsPerOp: 1_000_000},
+		benchRecord{Name: "RouteTraffic", NsPerOp: 10_000, AllocsPerOp: 100},
+		benchRecord{Name: "WorldClone", NsPerOp: 5_000, AllocsPerOp: 20},
+	)
+	newF := bf(
+		benchRecord{Name: "e7", NsPerOp: 2_000_000}, // 2x slower, but experiments don't gate
+		benchRecord{Name: "RouteTraffic", NsPerOp: 2_000, AllocsPerOp: 10},
+		benchRecord{Name: "WorldClone", NsPerOp: 5_500, AllocsPerOp: 20}, // +10%: within limit
+	)
+	rows, regressed := diffBenchFiles(oldF, newF)
+	if len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none", regressed)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Headline {
+		t.Error("e7 must not be a gating headline kernel")
+	}
+	if !rows[1].Headline || rows[1].NsRatio != 0.2 {
+		t.Errorf("RouteTraffic row = %+v, want headline with ratio 0.2", rows[1])
+	}
+	if rows[1].AllocRatio != 0.1 {
+		t.Errorf("RouteTraffic alloc ratio = %v, want 0.1", rows[1].AllocRatio)
+	}
+}
+
+func TestDiffBenchFilesFlagsRegression(t *testing.T) {
+	oldF := bf(benchRecord{Name: "RouteDAG", NsPerOp: 1_000})
+	newF := bf(benchRecord{Name: "RouteDAG", NsPerOp: 1_250}) // +25%
+	_, regressed := diffBenchFiles(oldF, newF)
+	if len(regressed) != 1 || regressed[0] != "RouteDAG" {
+		t.Fatalf("regressed = %v, want [RouteDAG]", regressed)
+	}
+	// Exactly at the limit must pass: the gate is strictly greater-than.
+	newF.Benchmarks[0].NsPerOp = 1_200
+	_, regressed = diffBenchFiles(oldF, newF)
+	if len(regressed) != 0 {
+		t.Fatalf("ratio 1.20 regressed = %v, want none", regressed)
+	}
+}
+
+func TestDiffBenchFilesHandlesMissingRows(t *testing.T) {
+	oldF := bf(
+		benchRecord{Name: "Removed", NsPerOp: 10},
+		benchRecord{Name: "Kept", NsPerOp: 10},
+	)
+	newF := bf(
+		benchRecord{Name: "Kept", NsPerOp: 10},
+		benchRecord{Name: "Added", NsPerOp: 10},
+	)
+	rows, regressed := diffBenchFiles(oldF, newF)
+	if len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none", regressed)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byName := map[string]benchDiffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if !byName["Removed"].Missing || !byName["Added"].Missing || byName["Kept"].Missing {
+		t.Fatalf("missing flags wrong: %+v", rows)
+	}
+	var sb strings.Builder
+	writeBenchDiff(&sb, "old.json", "new.json", rows)
+	out := sb.String()
+	if !strings.Contains(out, "old only") || !strings.Contains(out, "new only") {
+		t.Fatalf("table should mark one-sided rows:\n%s", out)
+	}
+}

@@ -15,6 +15,7 @@
 //	benchgen -exp e4 -trace-out events.jsonl -metrics-out metrics.prom
 //	benchgen -bench-json BENCH_$(date +%F).json           # performance snapshot
 //	benchgen -bench-json BENCH_nocache.json -nocache      # slow-path snapshot
+//	benchgen -bench-diff OLD.json NEW.json   # ratio table; exit 1 on >20% kernel regression
 package main
 
 import (
@@ -34,12 +35,25 @@ func main() {
 		trials    = flag.Int("trials", 20, "incidents per experiment cell")
 		html      = flag.String("html", "", "also write a self-contained HTML report to this path")
 		benchJSON = flag.String("bench-json", "", "run the benchmark set (E1-E14 + substrate micro-kernels) and write {name, ns/op, allocs/op, headline} records to this JSON path instead of generating tables")
+		benchDiff = flag.Bool("bench-diff", false, "compare two -bench-json snapshots (args: OLD.json NEW.json); prints a per-kernel ns/op and allocs/op ratio table and exits nonzero when a headline kernel regresses >20%")
 	)
 	c := cliflags.Register(flag.CommandLine, 42)
 	flag.Parse()
 	c.MustValidate()
 	c.StartPProf()
 	c.ApplyCaches()
+
+	if *benchDiff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchgen -bench-diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := runBenchDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(c, *benchJSON); err != nil {

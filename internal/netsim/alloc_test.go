@@ -1,0 +1,64 @@
+package netsim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/scenarios"
+)
+
+// Steady-state allocation gates for the SoA traffic engine: once warm, a
+// recompute of an unchanged world and a per-tick demand redistribution
+// must both be completely allocation-free. Any map churn, slab
+// reallocation, or key-string construction creeping back into the hot
+// path fails these immediately.
+
+func TestWarmRecomputeAllocFree(t *testing.T) {
+	if !netsim.RouteCacheEnabled() {
+		t.Skip("route cache disabled")
+	}
+	w := scenarios.StandardWorld(rand.New(rand.NewSource(1)))
+	w.Invalidate()
+	w.Recompute()
+	avg := testing.AllocsPerRun(50, func() {
+		w.Invalidate()
+		w.Recompute()
+	})
+	if avg != 0 {
+		t.Fatalf("warm Recompute allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func TestDemandRedistributionAllocFree(t *testing.T) {
+	if !netsim.RouteCacheEnabled() {
+		t.Skip("route cache disabled")
+	}
+	w := scenarios.StandardWorld(rand.New(rand.NewSource(1)))
+	flows := w.Flows()
+	if len(flows) < 2 {
+		t.Fatal("standard world has too few flows")
+	}
+	f1, f2 := flows[0], flows[len(flows)/2]
+	base1, base2 := f1.DemandGbps, f2.DemandGbps
+	// Warm: one redistribution builds the reverse index and sizes the
+	// dirty-link scratch.
+	f1.DemandGbps = base1 * 1.5
+	w.Invalidate()
+	w.Recompute()
+	i := 0
+	avg := testing.AllocsPerRun(50, func() {
+		i++
+		// Alternate two demand patterns so every run is a real delta.
+		if i%2 == 0 {
+			f1.DemandGbps, f2.DemandGbps = base1, base2
+		} else {
+			f1.DemandGbps, f2.DemandGbps = base1*1.5, base2*0.5
+		}
+		w.Invalidate()
+		w.Recompute()
+	})
+	if avg != 0 {
+		t.Fatalf("per-tick demand redistribution allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -1,7 +1,7 @@
 package netsim
 
 import (
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -76,11 +76,20 @@ func (c *ChangeLog) Clone() *ChangeLog {
 // All returns every record ordered by time then ID.
 func (c *ChangeLog) All() []ChangeRecord {
 	out := append([]ChangeRecord(nil), c.records...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].At != out[j].At {
-			return out[i].At < out[j].At
+	slices.SortFunc(out, func(a, b ChangeRecord) int {
+		if a.At != b.At {
+			if a.At < b.At {
+				return -1
+			}
+			return 1
 		}
-		return out[i].ID < out[j].ID
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
 	})
 	return out
 }

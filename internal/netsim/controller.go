@@ -1,7 +1,9 @@
 package netsim
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -31,6 +33,12 @@ type Controller struct {
 	failedWANs    map[string]bool
 	overrides     map[string]bool // operator-forced WAN health (true = force healthy)
 
+	// filterKeys precomputes the "wan:<name>" route-cache key per known
+	// WAN (plus the all-failed "" case) so FilterKey allocates nothing on
+	// the routing hot path. evalSeen is Evaluate's reused scratch.
+	filterKeys map[string]string
+	evalSeen   map[wanPrefix]string
+
 	// BuggyInconsistencyCheck enables the Casc-1 misinterpretation. A
 	// fixed controller (post-incident) treats duplicate observations as
 	// benign.
@@ -46,11 +54,14 @@ func NewController(nodeID NodeID, wanPreference []string) *Controller {
 		wanPref:                 make(map[string]int, len(wanPreference)),
 		failedWANs:              make(map[string]bool),
 		overrides:               make(map[string]bool),
+		filterKeys:              make(map[string]string, len(wanPreference)+1),
 		BuggyInconsistencyCheck: true,
 	}
 	for i, w := range wanPreference {
 		c.wanPref[w] = i
+		c.filterKeys[w] = "wan:" + w
 	}
+	c.filterKeys[""] = "wan:"
 	return c
 }
 
@@ -79,26 +90,28 @@ func (c *Controller) WithdrawAll(wan, prefix string) {
 // deterministically. Diagnostic tools expose this to the helper.
 func (c *Controller) Announcements() []PrefixAnnouncement {
 	out := append([]PrefixAnnouncement(nil), c.announcements...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].WAN != out[j].WAN {
-			return out[i].WAN < out[j].WAN
+	slices.SortFunc(out, func(a, b PrefixAnnouncement) int {
+		if v := cmp.Compare(a.WAN, b.WAN); v != 0 {
+			return v
 		}
-		if out[i].Prefix != out[j].Prefix {
-			return out[i].Prefix < out[j].Prefix
+		if v := cmp.Compare(a.Prefix, b.Prefix); v != 0 {
+			return v
 		}
-		return out[i].Cluster < out[j].Cluster
+		return cmp.Compare(a.Cluster, b.Cluster)
 	})
 	return out
 }
+
+// wanPrefix keys per-(WAN, prefix) observation state.
+type wanPrefix struct{ wan, prefix string }
 
 // InconsistentWANs reports WANs whose announcement tables contain the
 // same prefix observed from more than one cluster — the signature the
 // buggy controller misinterprets as failure.
 func (c *Controller) InconsistentWANs() []string {
-	type key struct{ wan, prefix string }
-	clusters := make(map[key]map[string]bool)
+	clusters := make(map[wanPrefix]map[string]bool)
 	for _, a := range c.announcements {
-		k := key{a.WAN, a.Prefix}
+		k := wanPrefix{a.WAN, a.Prefix}
 		if clusters[k] == nil {
 			clusters[k] = make(map[string]bool)
 		}
@@ -121,12 +134,26 @@ func (c *Controller) InconsistentWANs() []string {
 // Evaluate recomputes the failed-WAN set from the announcement table.
 // With BuggyInconsistencyCheck set, inconsistent WANs are declared failed
 // (the Casc-1 behaviour). Operator overrides force a WAN healthy
-// regardless.
+// regardless. Evaluate runs every Recompute round, so it works in reused
+// scratch: a (WAN, prefix) pair is inconsistent exactly when some
+// announcement's cluster differs from the first cluster observed for it.
 func (c *Controller) Evaluate() {
-	c.failedWANs = make(map[string]bool)
+	clear(c.failedWANs)
 	if c.BuggyInconsistencyCheck {
-		for _, w := range c.InconsistentWANs() {
-			c.failedWANs[w] = true
+		if c.evalSeen == nil {
+			c.evalSeen = make(map[wanPrefix]string)
+		}
+		clear(c.evalSeen)
+		for _, a := range c.announcements {
+			k := wanPrefix{a.WAN, a.Prefix}
+			first, ok := c.evalSeen[k]
+			if !ok {
+				c.evalSeen[k] = a.Cluster
+				continue
+			}
+			if first != a.Cluster {
+				c.failedWANs[a.WAN] = true
+			}
 		}
 	}
 	for w, forceHealthy := range c.overrides {
@@ -190,9 +217,14 @@ func (c *Controller) FilterFor(f *Flow) NodeFilter {
 
 // FilterKey implements FilterKeyer: the filter FilterFor builds depends
 // only on the assigned WAN (and on immutable node Kind/WANName fields),
-// so the WAN name keys the route cache exactly.
+// so the WAN name keys the route cache exactly. Known WANs resolve to a
+// precomputed key string so the hot path allocates nothing.
 func (c *Controller) FilterKey(f *Flow) (string, bool) {
-	return "wan:" + c.AssignWAN(f), true
+	wan := c.AssignWAN(f)
+	if k, ok := c.filterKeys[wan]; ok {
+		return k, true
+	}
+	return "wan:" + wan, true
 }
 
 // String summarizes controller state for traces and logs.

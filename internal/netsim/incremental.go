@@ -1,0 +1,326 @@
+package netsim
+
+// Incremental shortest-path maintenance. A cache entry that failed
+// revalidation still carries the full distance-to-dst field it was
+// computed with, plus the exact down-set snapshot of its topology. When
+// the live down set differs from the snapshot by only a few elements —
+// the single-fault/repair/corrupt deltas scenario changes actually
+// produce — the distance field is patched with a dynamic-BFS update
+// instead of re-running the full search:
+//
+//   phase 1 (orphan detection): nodes whose recorded distance is no
+//     longer supported by any live neighbor at distance-1 are found by a
+//     monotone sweep in ascending old-distance order, seeded from the
+//     newly-down elements' neighborhoods;
+//   phase 2 (re-attach): orphans are re-inserted by a multi-source
+//     bucket Dijkstra from their surviving frontier;
+//   phase 3 (decrease wave): newly-up elements and all orphan-incident
+//     edges seed a relaxation wave that propagates any distance
+//     decreases.
+//
+// Unit weights make every queue a bucket queue, so a repair is linear in
+// the affected region. The patched field is exact — every initially
+// violated edge after phases 1-2 is either incident to an orphan or
+// newly inserted, and phase 3 seeds both sets — and the DAG is then
+// rebuilt from distances by the same builder the full path uses, so the
+// result is bit-identical to a from-scratch compute (the differential
+// fuzz target FuzzIncrementalRouting enforces this). The full compute
+// remains the fallback when the delta is large and the oracle in tests.
+
+// maxRepairDelta bounds the down-set delta a repair will attempt;
+// larger deltas fall back to the full BFS.
+const maxRepairDelta = 8
+
+// bucketQueue is a monotone priority queue over unit-weight distances.
+type bucketQueue struct {
+	buckets [][]int32
+	max     int32 // highest non-empty bucket index seen
+}
+
+func (q *bucketQueue) ensure(n int) {
+	if len(q.buckets) < n {
+		old := q.buckets
+		q.buckets = make([][]int32, n)
+		copy(q.buckets, old)
+	}
+	q.max = -1
+}
+
+func (q *bucketQueue) push(d, v int32) {
+	q.buckets[d] = append(q.buckets[d], v)
+	if d > q.max {
+		q.max = d
+	}
+}
+
+func (q *bucketQueue) reset() {
+	for d := int32(0); d <= q.max; d++ {
+		q.buckets[d] = q.buckets[d][:0]
+	}
+	q.max = -1
+}
+
+// diffOrds merge-walks two sorted ordinal sets, filling onlyA with
+// elements present only in a and onlyB with elements present only in b.
+func diffOrds(a, b []int32, onlyA, onlyB []int32) ([]int32, []int32) {
+	onlyA, onlyB = onlyA[:0], onlyB[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			onlyA = append(onlyA, a[i])
+			i++
+		default:
+			onlyB = append(onlyB, b[j])
+			j++
+		}
+	}
+	onlyA = append(onlyA, a[i:]...)
+	onlyB = append(onlyB, b[j:]...)
+	return onlyA, onlyB
+}
+
+// repairOrRoute answers a route-cache miss: it tries to patch a stale
+// bucket entry's distance field under the current down set, falling back
+// to the full dense compute. It returns the DAG plus the distance field
+// backing it (nil for trivial/unroutable results).
+func (n *Network) repairOrRoute(bucket [2]*routeEntry, src, dst NodeID, allow NodeFilter, dc *downSet) (*RouteDAG, []int32) {
+	srcNode, dstNode := n.Node(src), n.Node(dst)
+	if srcNode == nil || dstNode == nil || !srcNode.Usable() || !dstNode.Usable() {
+		return nil, nil
+	}
+	ot := n.ordTab()
+	nodePtrs, linkPtrs := n.ptrTables()
+	srcOrd, dstOrd := ot.nodeOrd[src], ot.nodeOrd[dst]
+	if srcOrd == dstOrd {
+		return trivialDAG(ot, src, srcOrd), nil
+	}
+	for _, cand := range bucket {
+		if cand == nil || cand.structVer != n.structVer || cand.dist == nil {
+			continue
+		}
+		dist, ok := n.repairDist(ot, nodePtrs, linkPtrs, cand, dc, srcOrd, dstOrd, allow)
+		if !ok {
+			continue
+		}
+		n.rc.repairs++
+		return buildDAGFromDist(ot, linkPtrs, src, dst, srcOrd, dstOrd, dist, n.scratch()), dist
+	}
+	return routeDAGDense(n, src, dst, allow)
+}
+
+// repairDist patches cand's distance field from its recorded down set to
+// the live one. It returns (nil, false) when the delta is too large to
+// be worth repairing.
+func (n *Network) repairDist(ot *ordTable, nodePtrs []*Node, linkPtrs []*Link, cand *routeEntry, dc *downSet, srcOrd, dstOrd int32, allow NodeFilter) ([]int32, bool) {
+	s := n.scratch()
+	v := len(ot.nodeIDs)
+	s.ensure(v, len(ot.linkIDs))
+
+	// Delta between the entry's world and the live one. "Down" means the
+	// element left the graph since the entry was computed; "up" means it
+	// came back.
+	s.insNodes, s.remNodes = diffOrds(cand.down.nodes, dc.nodes, s.insNodes, s.remNodes)
+	s.insLinks, s.remLinks = diffOrds(cand.down.links, dc.links, s.insLinks, s.remLinks)
+	if len(s.insNodes)+len(s.remNodes)+len(s.insLinks)+len(s.remLinks) > maxRepairDelta {
+		return nil, false
+	}
+
+	dist := make([]int32, v)
+	copy(dist, cand.dist)
+
+	allowed := func(o int32) bool {
+		return o == srcOrd || o == dstOrd || allow == nil || allow(nodePtrs[o])
+	}
+	adj := func(u int32) []ordEdge { return ot.adjEdges[ot.adjOff[u]:ot.adjOff[u+1]] }
+
+	s.buckets.ensure(v + 2)
+	s.markGen++
+	gen := s.markGen
+
+	// Phase 1: orphan detection. Seed suspects from the removed
+	// elements' neighborhoods (reading old distances before clearing the
+	// removed nodes), then sweep buckets in ascending old distance: a
+	// node with no surviving supporter at distance-1 is orphaned, and
+	// its distance+1 neighbors become suspects in turn.
+	for _, r := range s.remNodes {
+		if dist[r] < 0 {
+			continue
+		}
+		for _, e := range adj(r) {
+			if dist[e.node] > 0 {
+				s.buckets.push(dist[e.node], e.node)
+			}
+		}
+	}
+	for _, rl := range s.remLinks {
+		if a := ot.linkA[rl]; dist[a] > 0 {
+			s.buckets.push(dist[a], a)
+		}
+		if b := ot.linkB[rl]; dist[b] > 0 {
+			s.buckets.push(dist[b], b)
+		}
+	}
+	for _, r := range s.remNodes {
+		dist[r] = -1
+	}
+	s.orphans = s.orphans[:0]
+	for d := int32(1); d <= s.buckets.max; d++ {
+		b := s.buckets.buckets[d]
+		for i := 0; i < len(b); i++ {
+			u := b[i]
+			if s.nodeMark[u] == gen {
+				continue
+			}
+			s.nodeMark[u] = gen
+			if dist[u] != d {
+				continue
+			}
+			supported := false
+			for _, e := range adj(u) {
+				if dist[e.node] != d-1 {
+					continue
+				}
+				if !linkPtrs[e.link].Usable() {
+					continue
+				}
+				nd := nodePtrs[e.node]
+				if !nd.Usable() || !allowed(e.node) {
+					continue
+				}
+				supported = true
+				break
+			}
+			if supported {
+				continue
+			}
+			dist[u] = -1
+			s.orphans = append(s.orphans, u)
+			for _, e := range adj(u) {
+				if dist[e.node] == d+1 {
+					s.buckets.push(d+1, e.node)
+				}
+			}
+			b = s.buckets.buckets[d] // pushes may have grown a later bucket's backing only, but refresh defensively
+		}
+	}
+	s.buckets.reset()
+
+	// Phase 2: re-attach orphans with a multi-source bucket Dijkstra
+	// seeded from each orphan's best surviving neighbor. An orphan was
+	// usable and allowed when the entry was computed and key-stable
+	// filters keep it allowed; its liveness is re-checked through the
+	// supporter scan implicitly (unreached orphans simply stay at -1).
+	if len(s.orphans) > 0 {
+		for _, o := range s.orphans {
+			best := int32(-1)
+			for _, e := range adj(o) {
+				if dist[e.node] < 0 || !linkPtrs[e.link].Usable() {
+					continue
+				}
+				nd := nodePtrs[e.node]
+				if !nd.Usable() || !allowed(e.node) {
+					continue
+				}
+				if best < 0 || dist[e.node]+1 < best {
+					best = dist[e.node] + 1
+				}
+			}
+			if best >= 0 {
+				s.buckets.push(best, o)
+			}
+		}
+		for d := int32(0); d <= s.buckets.max; d++ {
+			b := s.buckets.buckets[d]
+			for i := 0; i < len(b); i++ {
+				u := b[i]
+				if dist[u] != -1 {
+					continue
+				}
+				dist[u] = d
+				for _, e := range adj(u) {
+					if dist[e.node] != -1 || !linkPtrs[e.link].Usable() {
+						continue
+					}
+					nd := nodePtrs[e.node]
+					if !nd.Usable() || !allowed(e.node) {
+						continue
+					}
+					if d+1 < int32(len(s.buckets.buckets)) {
+						s.buckets.push(d+1, e.node)
+					}
+				}
+				b = s.buckets.buckets[d]
+			}
+		}
+		s.buckets.reset()
+	}
+
+	// Phase 3: decrease wave. Newly-up elements and every orphan-incident
+	// edge seed relaxations; the wave then propagates decreases. Any edge
+	// violating the triangle inequality after phases 1-2 is in the seed
+	// set: old distances were exact, so a violation needs an endpoint
+	// whose distance changed (an orphan) or a new edge.
+	seedEdge := func(from, to, link int32) {
+		if dist[from] < 0 || !linkPtrs[link].Usable() {
+			return
+		}
+		if dist[to] != -1 && dist[to] <= dist[from]+1 {
+			return
+		}
+		nd := nodePtrs[to]
+		if !nd.Usable() || !allowed(to) {
+			return
+		}
+		s.buckets.push(dist[from]+1, to)
+	}
+	for _, il := range s.insLinks {
+		a, bnd := ot.linkA[il], ot.linkB[il]
+		seedEdge(a, bnd, il)
+		seedEdge(bnd, a, il)
+	}
+	for _, w := range s.insNodes {
+		for _, e := range adj(w) {
+			seedEdge(e.node, w, e.link)
+			seedEdge(w, e.node, e.link)
+		}
+	}
+	for _, o := range s.orphans {
+		for _, e := range adj(o) {
+			seedEdge(o, e.node, e.link)
+			seedEdge(e.node, o, e.link)
+		}
+	}
+	for d := int32(0); d <= s.buckets.max; d++ {
+		b := s.buckets.buckets[d]
+		for i := 0; i < len(b); i++ {
+			u := b[i]
+			if dist[u] != -1 && dist[u] <= d {
+				continue
+			}
+			dist[u] = d
+			for _, e := range adj(u) {
+				if dist[e.node] != -1 && dist[e.node] <= d+1 {
+					continue
+				}
+				if !linkPtrs[e.link].Usable() {
+					continue
+				}
+				nd := nodePtrs[e.node]
+				if !nd.Usable() || !allowed(e.node) {
+					continue
+				}
+				if d+1 < int32(len(s.buckets.buckets)) {
+					s.buckets.push(d+1, e.node)
+				}
+			}
+			b = s.buckets.buckets[d]
+		}
+	}
+	s.buckets.reset()
+
+	return dist, true
+}

@@ -2,7 +2,8 @@ package netsim
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 )
 
 // Network is the device/link graph. It is not safe for concurrent
@@ -45,10 +46,13 @@ type Network struct {
 	// the topology grows, since stale pointers would read old state.
 	nbr map[NodeID][]nbrRef
 
-	// sortedNodes/sortedLinks cache the ID-sorted views handed out by
-	// Nodes()/Links(); same invalidation rule as nbr.
-	sortedNodes []*Node
-	sortedLinks []*Link
+	// ords is the dense ordinal table (see ordinal.go): ID-only, keyed by
+	// structVer, shared across the clone lineage. nodePtrs/linkPtrs
+	// resolve ordinals to this instance's live structs and follow the
+	// same invalidation rule as nbr.
+	ords     *ordTable
+	nodePtrs []*Node
+	linkPtrs []*Link
 
 	// rc is the route cache, shared by every member of a clone lineage so
 	// what-if clones reuse the parent's DAGs (see pathcache.go).
@@ -69,8 +73,8 @@ func NewNetwork() *Network {
 // that replaces structs or alters adjacency.
 func (n *Network) invalidateDerived() {
 	n.nbr = nil
-	n.sortedNodes = nil
-	n.sortedLinks = nil
+	n.nodePtrs = nil
+	n.linkPtrs = nil
 }
 
 // materializeNodes gives this instance a private nodes map (entries still
@@ -178,7 +182,7 @@ func (n *Network) AddLink(a, b NodeID, capacityGbps, propDelayMs float64) *Link 
 }
 
 func insertSorted(ids []LinkID, id LinkID) []LinkID {
-	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	i, _ := slices.BinarySearch(ids, id)
 	ids = append(ids, "")
 	copy(ids[i+1:], ids[i:])
 	ids[i] = id
@@ -249,18 +253,12 @@ func (n *Network) NumNodes() int { return len(n.nodes) }
 func (n *Network) NumLinks() int { return len(n.links) }
 
 // Nodes returns all nodes sorted by ID. The slice is fresh; the pointed-to
-// nodes are live.
+// nodes are live. The sorted order comes straight from the ordinal
+// table, so no sort runs after the first build of a topology generation.
 func (n *Network) Nodes() []*Node {
-	if n.sortedNodes == nil {
-		out := make([]*Node, 0, len(n.nodes))
-		for _, nd := range n.nodes {
-			out = append(out, nd)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-		n.sortedNodes = out
-	}
-	out := make([]*Node, len(n.sortedNodes))
-	copy(out, n.sortedNodes)
+	np, _ := n.ptrTables()
+	out := make([]*Node, len(np))
+	copy(out, np)
 	return out
 }
 
@@ -268,22 +266,16 @@ func (n *Network) Nodes() []*Node {
 // links are live.
 func (n *Network) Links() []*Link {
 	out := make([]*Link, len(n.linksSorted()))
-	copy(out, n.sortedLinks)
+	copy(out, n.linkPtrs)
 	return out
 }
 
 // linksSorted returns the cached ID-sorted link view (shared; callers
-// must not keep or mutate it).
+// must not keep or mutate it). It is the ordinal table's link order
+// resolved to this instance's live structs.
 func (n *Network) linksSorted() []*Link {
-	if n.sortedLinks == nil {
-		out := make([]*Link, 0, len(n.links))
-		for _, l := range n.links {
-			out = append(out, l)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-		n.sortedLinks = out
-	}
-	return n.sortedLinks
+	_, lp := n.ptrTables()
+	return lp
 }
 
 // NodesByKind returns all nodes of the given kind, sorted by ID.
@@ -316,12 +308,7 @@ func (n *Network) Regions() []string {
 			seen[nd.Region] = true
 		}
 	}
-	out := make([]string, 0, len(seen))
-	for r := range seen {
-		out = append(out, r)
-	}
-	sort.Strings(out)
-	return out
+	return slices.Sorted(maps.Keys(seen))
 }
 
 // IncidentLinks returns the IDs of links adjacent to id, sorted.
@@ -414,6 +401,7 @@ func (n *Network) Clone() *Network {
 		sharedLinks: true,
 		sharedAdj:   true,
 		structVer:   n.structVer,
+		ords:        n.ords,
 		rc:          n.rc,
 	}
 }

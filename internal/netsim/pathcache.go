@@ -9,18 +9,23 @@ import "sync/atomic"
 // lineage (Clone shares the cache pointer).
 //
 // Soundness does not rely on invalidation signals. Each entry records,
-// at compute time, (a) the topology generation, (b) the IDs of every
-// node/link the DAG traverses, and (c) the IDs of every node/link that
-// was unusable. A lookup revalidates against live state: the generation
-// must match, every DAG element must still be usable, and every
-// then-unusable element must still be unusable. Under those conditions
-// the current usable set is a subset of the compute-time one that still
-// contains the whole DAG, so the min-hop distance and the ECMP path set
-// are provably unchanged and a fresh compute would be bit-identical.
-// Because validation reads live structs on every lookup, any mutation —
-// fault injection, mitigation, Clock.Advance-driven triggers, even
-// direct writes in tests — is picked up with no bookkeeping at the
-// mutation site.
+// at compute time, (a) the topology generation, (b) the ordinals of every
+// node/link the DAG traverses, and (c) the ordinals of every node/link
+// that was unusable. A lookup revalidates against live state: the
+// generation must match, every DAG element must still be usable, and
+// every then-unusable element must still be unusable. Under those
+// conditions the current usable set is a subset of the compute-time one
+// that still contains the whole DAG, so the min-hop distance and the
+// ECMP path set are provably unchanged and a fresh compute would be
+// bit-identical. Because validation reads live structs on every lookup,
+// any mutation — fault injection, mitigation, Clock.Advance-driven
+// triggers, even direct writes in tests — is picked up with no
+// bookkeeping at the mutation site.
+//
+// A stale entry is not discarded: its recorded down set is the delta log
+// the incremental repairer (incremental.go) diffs against the live down
+// set to patch the entry's distance field instead of re-running the full
+// search.
 //
 // The cache is intentionally not locked: a Network lineage (a world and
 // its what-if clones) is only ever used from one goroutine; the parallel
@@ -58,29 +63,34 @@ type routeKey struct {
 	filter   string
 }
 
-// downSet is the set of unusable elements at DAG compute time. One
-// capture is shared by every cache store within a single RouteTraffic
-// pass (the network cannot change mid-pass).
+// downSet is the set of unusable elements at DAG compute time, as sorted
+// ordinals into the generation's ordinal table. One capture is shared by
+// every cache store within a single RouteTraffic pass (the network
+// cannot change mid-pass).
 type downSet struct {
-	nodes []NodeID
-	links []LinkID
+	nodes []int32
+	links []int32
 }
 
 type routeEntry struct {
 	structVer int
 	dag       *RouteDAG // nil = dst unreachable at compute time
-	nodes     []NodeID  // DAG elements (empty for nil dag)
-	links     []LinkID
+	dist      []int32   // full distance-to-dst field (nil = not repairable)
+	nodes     []int32   // DAG element ordinals (empty for nil dag)
+	links     []int32
 	down      *downSet
 }
 
 // routeCache holds two entries per key (MRU first) so risk assessment's
 // parent/clone alternation — same flows, pre- and post-mitigation
 // usable sets — doesn't thrash. Hit/miss counters feed the
-// aiops_cache_* metrics.
+// aiops_cache_* metrics. It also owns the lineage's dense routing
+// scratch (see dagbuild.go).
 type routeCache struct {
 	entries      map[routeKey][2]*routeEntry
 	hits, misses int64
+	repairs      int64 // misses answered by incremental repair, not full BFS
+	scratch      routeScratch
 }
 
 func newRouteCache() *routeCache {
@@ -94,38 +104,35 @@ func (c *routeCache) store(k routeKey, e *routeEntry) {
 	c.entries[k] = b
 }
 
-func newRouteEntry(dag *RouteDAG, ver int, down *downSet) *routeEntry {
-	e := &routeEntry{structVer: ver, dag: dag, down: down}
+func newRouteEntry(dag *RouteDAG, ver int, dist []int32, down *downSet) *routeEntry {
+	e := &routeEntry{structVer: ver, dag: dag, dist: dist, down: down}
 	if dag == nil {
 		return e
 	}
-	e.nodes = make([]NodeID, 0, len(dag.NodeFrac))
-	for id := range dag.NodeFrac {
-		e.nodes = append(e.nodes, id)
-	}
-	seen := make(map[LinkID]struct{}, len(dag.LinkFrac))
-	e.links = make([]LinkID, 0, len(dag.LinkFrac))
-	for dl := range dag.LinkFrac {
-		if _, ok := seen[dl.Link]; ok {
-			continue
-		}
-		seen[dl.Link] = struct{}{}
-		e.links = append(e.links, dl.Link)
+	// The DAG's dense arrays are immutable after construction: share,
+	// don't copy. A DAG crosses each link in at most one direction, so
+	// dirs enumerates distinct links.
+	e.nodes = dag.nodes
+	e.links = make([]int32, len(dag.dirs))
+	for i, df := range dag.dirs {
+		e.links[i] = df.dir >> 1
 	}
 	return e
 }
 
-// captureDown records every currently-unusable node and link.
+// captureDown records every currently-unusable node and link as sorted
+// ordinals.
 func (n *Network) captureDown() *downSet {
+	nodePtrs, linkPtrs := n.ptrTables()
 	d := &downSet{}
-	for id, nd := range n.nodes {
+	for i, nd := range nodePtrs {
 		if !nd.Usable() {
-			d.nodes = append(d.nodes, id)
+			d.nodes = append(d.nodes, int32(i))
 		}
 	}
-	for lid, l := range n.links {
+	for i, l := range linkPtrs {
 		if !l.Usable() {
-			d.links = append(d.links, lid)
+			d.links = append(d.links, int32(i))
 		}
 	}
 	return d
@@ -138,25 +145,24 @@ func (n *Network) entryValid(e *routeEntry) bool {
 	if e.structVer != n.structVer {
 		return false
 	}
-	for _, id := range e.nodes {
-		nd := n.nodes[id]
-		if nd == nil || !nd.Usable() {
+	nodePtrs, linkPtrs := n.ptrTables()
+	for _, o := range e.nodes {
+		if !nodePtrs[o].Usable() {
 			return false
 		}
 	}
-	for _, lid := range e.links {
-		l := n.links[lid]
-		if l == nil || !l.Usable() {
+	for _, o := range e.links {
+		if !linkPtrs[o].Usable() {
 			return false
 		}
 	}
-	for _, id := range e.down.nodes {
-		if nd := n.nodes[id]; nd != nil && nd.Usable() {
+	for _, o := range e.down.nodes {
+		if nodePtrs[o].Usable() {
 			return false
 		}
 	}
-	for _, lid := range e.down.links {
-		if l := n.links[lid]; l != nil && l.Usable() {
+	for _, o := range e.down.links {
+		if linkPtrs[o].Usable() {
 			return false
 		}
 	}
@@ -165,7 +171,8 @@ func (n *Network) entryValid(e *routeEntry) bool {
 
 // cachedRouteDAG routes flow f under sel, serving from the lineage cache
 // when the selector is keyable. dc is the lazily-built pass-shared down
-// capture.
+// capture. A miss first attempts an incremental repair of the stale
+// bucket entries before falling back to the full compute.
 func (n *Network) cachedRouteDAG(f *Flow, sel PathSelector, dc **downSet) *RouteDAG {
 	key, keyable := "", sel == nil
 	if sel != nil {
@@ -197,11 +204,11 @@ func (n *Network) cachedRouteDAG(f *Flow, sel PathSelector, dc **downSet) *Route
 	if sel != nil {
 		filter = sel.FilterFor(f)
 	}
-	dag := RouteDAGFor(n, f.Src, f.Dst, filter)
 	if *dc == nil {
 		*dc = n.captureDown()
 	}
-	n.rc.store(rk, newRouteEntry(dag, n.structVer, *dc))
+	dag, dist := n.repairOrRoute(b, f.Src, f.Dst, filter, *dc)
+	n.rc.store(rk, newRouteEntry(dag, n.structVer, dist, *dc))
 	return dag
 }
 

@@ -2,7 +2,7 @@ package netsim
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -223,6 +223,6 @@ func Reachable(n *Network, src, dst NodeID, allow NodeFilter) bool {
 // SortLinkIDs sorts a slice of link IDs in place and returns it;
 // convenience for deterministic iteration in reports and tests.
 func SortLinkIDs(ids []LinkID) []LinkID {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }

@@ -1,8 +1,9 @@
 package netsim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Flow is a unidirectional aggregate demand between two endpoints. Flows
@@ -33,6 +34,21 @@ type DirLink struct {
 	Forward bool
 }
 
+// dagEdge is one shortest-path successor edge in a DAG's dense form: the
+// successor's index within the DAG's nodes slice and the traversed
+// directed link encoded as 2*linkOrdinal with the low bit set for the
+// B->A direction.
+type dagEdge struct {
+	node int32
+	dir  int32
+}
+
+// dirFrac is the total fraction of a flow crossing one directed link.
+type dirFrac struct {
+	dir  int32
+	frac float64
+}
+
 // RouteDAG is the exact per-hop ECMP routing of one flow: every node on a
 // minimum-hop path from Src to Dst, annotated with the fraction of the
 // flow transiting it, assuming each hop splits equally across all
@@ -44,9 +60,21 @@ type RouteDAG struct {
 	NodeFrac map[NodeID]float64
 	LinkFrac map[DirLink]float64
 
-	// nextHops caches, per node, the shortest-path successors; the
-	// delivery and latency dynamic programs reuse it.
-	nextHops map[NodeID][]neighbor
+	// Dense mirror over the ordinal table the DAG was computed against
+	// (see ordinal.go): nodes lists node ordinals in level order — src
+	// first, then each hop level in ascending-ID order, dst last — with
+	// frac the matching transit fractions and succOff/succs the per-node
+	// shortest-path successor CSR. dirs holds the per-directed-link
+	// fractions in first-touch order; the traffic engine's load
+	// accumulation walks it instead of ranging the LinkFrac map. All of
+	// it is immutable after construction, so a DAG shared across clone
+	// lineages evaluates identically from any member.
+	ot      *ordTable
+	nodes   []int32
+	frac    []float64
+	succOff []int32
+	succs   []dagEdge
+	dirs    []dirFrac
 }
 
 // TransitNodes returns nodes (excluding src and dst) that carry a positive
@@ -59,7 +87,7 @@ func (d *RouteDAG) TransitNodes() []NodeID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -67,132 +95,75 @@ func (d *RouteDAG) TransitNodes() []NodeID {
 // nodes/links, restricted to transit nodes accepted by allow. It returns
 // nil when dst is unreachable.
 func RouteDAGFor(n *Network, src, dst NodeID, allow NodeFilter) *RouteDAG {
-	srcNode, dstNode := n.Node(src), n.Node(dst)
-	if srcNode == nil || dstNode == nil || !srcNode.Usable() || !dstNode.Usable() {
-		return nil
-	}
-	if src == dst {
-		return &RouteDAG{Src: src, Dst: dst, NodeFrac: map[NodeID]float64{src: 1}, LinkFrac: map[DirLink]float64{}}
-	}
-	inner := func(nd *Node) bool {
-		if nd.ID == src || nd.ID == dst {
-			return true
-		}
-		return allow == nil || allow(nd)
-	}
-
-	// BFS from dst: distTo[v] = hop distance v -> dst.
-	distTo := map[NodeID]int{dst: 0}
-	frontier := []NodeID{dst}
-	for len(frontier) > 0 {
-		var next []NodeID
-		for _, id := range frontier {
-			for _, nb := range n.usableNeighbors(id, inner) {
-				if _, seen := distTo[nb.node]; seen {
-					continue
-				}
-				distTo[nb.node] = distTo[id] + 1
-				next = append(next, nb.node)
-			}
-		}
-		frontier = next
-	}
-	total, ok := distTo[src]
-	if !ok {
-		return nil
-	}
-
-	d := &RouteDAG{
-		Src: src, Dst: dst, Hops: total,
-		NodeFrac: map[NodeID]float64{src: 1},
-		LinkFrac: map[DirLink]float64{},
-		nextHops: map[NodeID][]neighbor{},
-	}
-	// Process nodes level by level from src toward dst, splitting each
-	// node's fraction equally across shortest-path successors.
-	level := []NodeID{src}
-	for hop := total; hop > 0; hop-- {
-		nextSet := map[NodeID]bool{}
-		for _, u := range level {
-			fu := d.NodeFrac[u]
-			var succ []neighbor
-			for _, nb := range n.usableNeighbors(u, inner) {
-				if dv, ok := distTo[nb.node]; ok && dv == hop-1 {
-					succ = append(succ, nb)
-				}
-			}
-			d.nextHops[u] = succ
-			if fu == 0 || len(succ) == 0 {
-				continue
-			}
-			share := fu / float64(len(succ))
-			for _, nb := range succ {
-				d.NodeFrac[nb.node] += share
-				d.LinkFrac[DirLink{Link: nb.link, Forward: nb.l.A == u}] += share
-				nextSet[nb.node] = true
-			}
-		}
-		level = level[:0]
-		for id := range nextSet {
-			level = append(level, id)
-		}
-		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
-	}
-	return d
+	dag, _ := routeDAGDense(n, src, dst, allow)
+	return dag
 }
 
-// deliveredFraction runs the delivery dynamic program: the probability a
-// unit of traffic injected at src reaches dst given per-directed-link
-// loss rates. It reads only immutable link fields through the cached
-// neighbor pointers, so a DAG shared across clone lineages evaluates
-// identically from any member.
-func (d *RouteDAG) deliveredFraction(loss func(DirLink) float64) float64 {
-	memo := map[NodeID]float64{d.Dst: 1}
-	var dp func(u NodeID) float64
-	dp = func(u NodeID) float64 {
-		if v, ok := memo[u]; ok {
-			return v
-		}
-		succ := d.nextHops[u]
-		if len(succ) == 0 {
-			memo[u] = 0
-			return 0
+// deliveredDense runs the delivery dynamic program backward over the
+// DAG's level order: dp[i] becomes the probability a unit of traffic
+// entering node i reaches dst, given per-directed-link loss rates
+// indexed by the DAG's ordinal table. Successor sums run in CSR order —
+// add for add the same arithmetic as the recursive map-based program
+// this replaced, so results are bit-identical.
+func (d *RouteDAG) deliveredDense(loss []float64, dp []float64) float64 {
+	k := len(d.nodes)
+	dp[k-1] = 1 // dst
+	for i := k - 2; i >= 0; i-- {
+		s, e := d.succOff[i], d.succOff[i+1]
+		if s == e {
+			dp[i] = 0
+			continue
 		}
 		var sum float64
-		for _, nb := range succ {
-			dl := DirLink{Link: nb.link, Forward: nb.l.A == u}
-			sum += (1 - loss(dl)) * dp(nb.node)
+		for _, ed := range d.succs[s:e] {
+			sum += (1 - loss[ed.dir]) * dp[ed.node]
 		}
-		v := sum / float64(len(succ))
-		memo[u] = v
-		return v
+		dp[i] = sum / float64(e-s)
 	}
-	return dp(d.Src)
+	return dp[0]
 }
 
-// expectedDelayMs runs the latency dynamic program: mean path propagation
-// delay under equal per-hop splitting.
-func (d *RouteDAG) expectedDelayMs() float64 {
-	memo := map[NodeID]float64{d.Dst: 0}
-	var dp func(u NodeID) float64
-	dp = func(u NodeID) float64 {
-		if v, ok := memo[u]; ok {
-			return v
-		}
-		succ := d.nextHops[u]
-		if len(succ) == 0 {
-			memo[u] = 0
-			return 0
+// delayDense is the latency dynamic program: mean path propagation delay
+// under equal per-hop splitting. PropDelayMs is immutable, so resolving
+// links through any lineage member's pointer table gives the same value.
+func (d *RouteDAG) delayDense(linkPtrs []*Link, dp []float64) float64 {
+	k := len(d.nodes)
+	dp[k-1] = 0
+	for i := k - 2; i >= 0; i-- {
+		s, e := d.succOff[i], d.succOff[i+1]
+		if s == e {
+			dp[i] = 0
+			continue
 		}
 		var sum float64
-		for _, nb := range succ {
-			sum += nb.l.PropDelayMs + dp(nb.node)
+		for _, ed := range d.succs[s:e] {
+			sum += linkPtrs[ed.dir>>1].PropDelayMs + dp[ed.node]
 		}
-		v := sum / float64(len(succ))
-		memo[u] = v
-		return v
+		dp[i] = sum / float64(e-s)
 	}
-	return dp(d.Src)
+	return dp[0]
+}
+
+// deliveredFunc is deliveredDense with an indirect loss lookup; the
+// probe fallback path uses it when report and DAG come from different
+// topology generations.
+func (d *RouteDAG) deliveredFunc(loss func(dir int32) float64) float64 {
+	dp := make([]float64, len(d.nodes))
+	k := len(d.nodes)
+	dp[k-1] = 1
+	for i := k - 2; i >= 0; i-- {
+		s, e := d.succOff[i], d.succOff[i+1]
+		if s == e {
+			dp[i] = 0
+			continue
+		}
+		var sum float64
+		for _, ed := range d.succs[s:e] {
+			sum += (1 - loss(ed.dir)) * dp[ed.node]
+		}
+		dp[i] = sum / float64(e-s)
+	}
+	return dp[0]
 }
 
 // DirLoad tracks directed load on an undirected link: AB is traffic
@@ -249,12 +220,24 @@ type ServiceStats struct {
 
 // TrafficReport is the result of routing a traffic matrix over the
 // network: the ground truth telemetry monitors sample from.
+//
+// Reports handed out by World.Report/Recompute are backed by reusable
+// per-world slabs: the report is valid until the next recompute on the
+// same world. Every consumer in the repository reads a report
+// immediately after obtaining it (and what-if clones get their own
+// slabs), so the reuse is invisible; holding a report across a
+// recompute of the same world is not supported.
 type TrafficReport struct {
 	LinkStats      map[LinkID]*LinkStats
 	FlowStats      []*FlowStats
 	ServiceStats   map[string]*ServiceStats
 	TotalDemand    float64
 	TotalDelivered float64
+
+	// ot/dirLoss expose the dense per-directed-link loss the report was
+	// computed with; ProbeLossOverDAG reads it without map lookups.
+	ot      *ordTable
+	dirLoss []float64
 }
 
 // OverallLossRate reports the demand-weighted loss fraction across all flows.
@@ -274,11 +257,14 @@ func (r *TrafficReport) HotLinks(threshold float64) []*LinkStats {
 			out = append(out, ls)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Utilization != out[j].Utilization {
-			return out[i].Utilization > out[j].Utilization
+	slices.SortFunc(out, func(a, b *LinkStats) int {
+		if a.Utilization != b.Utilization {
+			if a.Utilization > b.Utilization {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Link < out[j].Link
+		return cmp.Compare(a.Link, b.Link)
 	})
 	return out
 }
@@ -299,85 +285,13 @@ type PathSelector interface {
 // The loss model is the standard fluid approximation: a directed link
 // with offered load L on capacity C drops fraction max(0, (L-C)/L); a
 // flow's delivered fraction is computed exactly over its ECMP DAG.
+//
+// This entry point builds a fresh report through an ephemeral engine;
+// worlds route through their own persistent engine (see engine.go),
+// which reuses slabs and re-derives only what changed between ticks.
 func RouteTraffic(n *Network, flows []*Flow, sel PathSelector) *TrafficReport {
-	rep := &TrafficReport{
-		LinkStats:    make(map[LinkID]*LinkStats, n.NumLinks()),
-		ServiceStats: make(map[string]*ServiceStats),
-	}
-	for _, l := range n.linksSorted() {
-		rep.LinkStats[l.ID] = &LinkStats{Link: l.ID}
-	}
-
-	// Pass 1: route each flow, accumulate directed loads. Routing goes
-	// through the lineage route cache; the down-set capture is shared by
-	// every miss in this pass since the network cannot change mid-pass.
-	var dc *downSet
-	for _, f := range flows {
-		fs := &FlowStats{Flow: f}
-		fs.DAG = n.cachedRouteDAG(f, sel, &dc)
-		fs.Routed = fs.DAG != nil
-		rep.FlowStats = append(rep.FlowStats, fs)
-		if !fs.Routed {
-			continue
-		}
-		for dl, frac := range fs.DAG.LinkFrac {
-			ls := rep.LinkStats[dl.Link]
-			if dl.Forward {
-				ls.Load.AB += f.DemandGbps * frac
-			} else {
-				ls.Load.BA += f.DemandGbps * frac
-			}
-		}
-	}
-
-	// Pass 2: per-link utilization and directed loss.
-	dirLoss := make(map[DirLink]float64, 2*len(rep.LinkStats))
-	for lid, ls := range rep.LinkStats {
-		l := n.Link(lid)
-		if l.CapacityGbps > 0 {
-			ls.Utilization = ls.Load.Max() / l.CapacityGbps
-		}
-		ab := clamp01(overloadLoss(ls.Load.AB, l.CapacityGbps) + l.CorruptRate)
-		ba := clamp01(overloadLoss(ls.Load.BA, l.CapacityGbps) + l.CorruptRate)
-		dirLoss[DirLink{Link: lid, Forward: true}] = ab
-		dirLoss[DirLink{Link: lid, Forward: false}] = ba
-		ls.LossAB, ls.LossBA = ab, ba
-		ls.LossRate = ab
-		if ba > ab {
-			ls.LossRate = ba
-		}
-	}
-	lossFn := func(dl DirLink) float64 { return dirLoss[dl] }
-
-	// Pass 3: per-flow delivery and aggregates.
-	for _, fs := range rep.FlowStats {
-		rep.TotalDemand += fs.Flow.DemandGbps
-		svc := rep.ServiceStats[fs.Flow.Service]
-		if svc == nil {
-			svc = &ServiceStats{Service: fs.Flow.Service}
-			rep.ServiceStats[fs.Flow.Service] = svc
-		}
-		svc.Flows++
-		svc.Demand += fs.Flow.DemandGbps
-		if !fs.Routed {
-			fs.LossRate = 1
-			svc.Unrouted++
-			continue
-		}
-		fs.LossRate = clamp01(1 - fs.DAG.deliveredFraction(lossFn))
-		fs.LatencyMs = fs.DAG.expectedDelayMs()
-		rep.TotalDelivered += fs.Delivered()
-		svc.Delivered += fs.Delivered()
-		if fs.LatencyMs > svc.MaxLatency {
-			svc.MaxLatency = fs.LatencyMs
-		}
-	}
-	for _, svc := range rep.ServiceStats {
-		if svc.Demand > 0 {
-			svc.LossRate = 1 - svc.Delivered/svc.Demand
-		}
-	}
-	return rep
+	var e trafficEngine
+	return e.route(n, flows, sel)
 }
 
 func clamp01(x float64) float64 {
@@ -424,15 +338,21 @@ func UniformMeshFlows(endpoints []NodeID, demandGbps float64, service string) []
 // Telemetry probes (PingMesh) use it so probing does not perturb load.
 func ProbeLossOverDAG(dag *RouteDAG, n *Network, rep *TrafficReport) float64 {
 	_ = n // retained for API stability; the DAG carries its link data
-	loss := func(dl DirLink) float64 {
-		ls := rep.LinkStats[dl.Link]
+	if rep.ot == dag.ot && rep.dirLoss != nil {
+		dp := make([]float64, len(dag.nodes))
+		return clamp01(1 - dag.deliveredDense(rep.dirLoss, dp))
+	}
+	// Report and DAG come from different topology generations: resolve
+	// per-directed-link loss through the report's link map instead.
+	loss := func(dir int32) float64 {
+		ls := rep.LinkStats[dag.ot.linkIDs[dir>>1]]
 		if ls == nil {
 			return 0
 		}
-		if dl.Forward {
+		if dir&1 == 0 {
 			return ls.LossAB
 		}
 		return ls.LossBA
 	}
-	return clamp01(1 - dag.deliveredFraction(loss))
+	return clamp01(1 - dag.deliveredFunc(loss))
 }

@@ -2,7 +2,7 @@ package netsim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -85,8 +85,14 @@ type World struct {
 	flows    []*Flow
 	events   []SyslogEvent
 	triggers map[string]Trigger
+	trigIDs  []string // sorted trigger IDs, rebuilt on trigger changes
 	faults   map[string]Fault
 	report   *TrafficReport
+
+	// engine is this world's persistent traffic engine: it owns the
+	// report slabs and re-derives only what changed between recomputes.
+	// Clones get a fresh zero-value engine via NewWorld.
+	engine trafficEngine
 
 	schedule []scheduledEvent
 }
@@ -123,7 +129,15 @@ func NewWorld(net *Network, ctl *Controller, bb *Backbone) *World {
 // work.
 func (w *World) ScheduleAt(at time.Duration, apply func(*World)) {
 	w.schedule = append(w.schedule, scheduledEvent{at: at, apply: apply})
-	sort.SliceStable(w.schedule, func(i, j int) bool { return w.schedule[i].at < w.schedule[j].at })
+	slices.SortStableFunc(w.schedule, func(a, b scheduledEvent) int {
+		switch {
+		case a.at < b.at:
+			return -1
+		case a.at > b.at:
+			return 1
+		}
+		return 0
+	})
 }
 
 // runSchedule fires every due event; registered as a clock hook.
@@ -211,7 +225,15 @@ func (w *World) Logf(node NodeID, sev Severity, format string, args ...any) {
 // Events returns all syslog events in time order.
 func (w *World) Events() []SyslogEvent {
 	out := append([]SyslogEvent(nil), w.events...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	slices.SortStableFunc(out, func(a, b SyslogEvent) int {
+		switch {
+		case a.At < b.At:
+			return -1
+		case a.At > b.At:
+			return 1
+		}
+		return 0
+	})
 	return out
 }
 
@@ -229,12 +251,14 @@ func (w *World) EventsSince(t time.Duration) []SyslogEvent {
 // AddTrigger installs a latent trigger.
 func (w *World) AddTrigger(t Trigger) {
 	w.triggers[t.ID()] = t
+	w.trigIDs = nil
 	w.report = nil
 }
 
 // RemoveTrigger uninstalls a trigger by ID.
 func (w *World) RemoveTrigger(id string) {
 	delete(w.triggers, id)
+	w.trigIDs = nil
 	w.report = nil
 }
 
@@ -247,6 +271,14 @@ const maxRecomputeRounds = 8
 // fires triggers, and iterates to a fixed point. It returns (and caches)
 // the final traffic report.
 func (w *World) Recompute() *TrafficReport {
+	if w.trigIDs == nil && len(w.triggers) > 0 {
+		// Deterministic trigger order, rebuilt only when the set changes.
+		w.trigIDs = make([]string, 0, len(w.triggers))
+		for id := range w.triggers {
+			w.trigIDs = append(w.trigIDs, id)
+		}
+		slices.Sort(w.trigIDs)
+	}
 	for round := 0; ; round++ {
 		if w.Ctl != nil {
 			w.Ctl.Evaluate()
@@ -255,15 +287,9 @@ func (w *World) Recompute() *TrafficReport {
 		if w.Ctl != nil {
 			sel = w.Ctl
 		}
-		rep := RouteTraffic(w.Net, w.flows, sel)
+		rep := w.engine.route(w.Net, w.flows, sel)
 		changed := false
-		// Deterministic trigger order.
-		ids := make([]string, 0, len(w.triggers))
-		for id := range w.triggers {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
+		for _, id := range w.trigIDs {
 			if w.triggers[id].Fire(w, rep) {
 				changed = true
 			}
@@ -308,7 +334,7 @@ func (w *World) ActiveFaults() []string {
 	for id := range w.faults {
 		out = append(out, id)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
