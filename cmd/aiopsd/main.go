@@ -8,6 +8,7 @@
 //	aiopsd -sim                    # simulated clock + /v1/sim endpoints
 //	aiopsd -timescale 1s           # wall mode in real time (default: 1s = 1 sim minute)
 //	aiopsd -journal /var/lib/aiopsd  # crash-safe: fsync'd WAL + boot recovery
+//	aiopsd -lake /var/lib/aiopsd-lake  # incident data lake + GET /v1/lake/...
 //	aiopsd -rate 30 -burst 10      # per-caller token bucket (429 + Retry-After)
 //	aiopsd -shed-depth 64          # 503-shed creates once 64 incidents are in flight
 //	aiopsd -regions us-east,eu-west -steal  # region-sharded pool + work stealing
@@ -57,6 +58,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/journal"
 	"repro/internal/kb"
+	"repro/internal/lake"
 	"repro/internal/obs"
 )
 
@@ -75,6 +77,7 @@ func main() {
 		sim        = fs.Bool("sim", false, "simulated clock under explicit control: exposes POST /v1/sim/{advance,drain} and time only moves when told (deterministic harness mode)")
 		timescale  = fs.Duration("timescale", time.Minute, "wall-clock mode: simulated time per wall second (1m = demo speed, 1s = real time)")
 		journalDir = fs.String("journal", "", "write-ahead journal directory: fsync every state transition before acking, replay it on boot (empty = in-memory only)")
+		lakeDir    = fs.String("lake", "", "incident data lake directory: fsync every completed session's postmortem + event stream before the 201, serve GET /v1/lake/... (empty = disabled)")
 		rate       = fs.Float64("rate", 0, "per-caller token-bucket rate limit on POST/PATCH, requests per simulated minute (0 = unlimited)")
 		burst      = fs.Float64("burst", 10, "token-bucket burst capacity (with -rate)")
 		shedDepth  = fs.Int("shed-depth", 0, "503-shed POST /v1/incidents once this many incidents are in flight (0 = never)")
@@ -166,6 +169,18 @@ func main() {
 		}
 		defer jr.Close()
 	}
+	var dl *lake.Lake
+	if *lakeDir != "" {
+		var lr lake.RecoverResult
+		dl, lr, err = lake.Open(*lakeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer dl.Close()
+		fmt.Fprintf(os.Stderr, "aiopsd: lake %s: recovered %d entries (%d torn dropped, %d bytes)\n",
+			dl.Path(), lr.Entries, lr.Dropped, lr.Bytes)
+	}
 	var clock gateway.Clock
 	if *sim {
 		clock = gateway.NewSimClock()
@@ -176,7 +191,7 @@ func main() {
 	gw := gateway.NewServer(gateway.Config{
 		Keys: keyMap, Clock: clock, Sched: sched, Runner: runner,
 		Seed: c.Seed, Sink: sink, SimControl: *sim,
-		Journal: jr, RatePerMin: *rate, Burst: *burst,
+		Journal: jr, Lake: dl, RatePerMin: *rate, Burst: *burst,
 		ShedDepth: *shedDepth, MaxBody: *maxBody,
 	})
 	if jr != nil {

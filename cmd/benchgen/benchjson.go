@@ -31,6 +31,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/incident"
 	"repro/internal/kb"
+	"repro/internal/lake"
 	"repro/internal/llm"
 	"repro/internal/mitigation"
 	"repro/internal/netsim"
@@ -262,6 +263,32 @@ func runBenchJSON(c *cliflags.Common, path string) error {
 			panic("bench-json: fleet lost arrivals")
 		}
 		return "24-incident fleet with real helper sessions (E14 cell shape)"
+	})
+	lakeDir, err := os.MkdirTemp("", "bench-lake-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(lakeDir)
+	dl, _, err := lake.Open(lakeDir)
+	if err != nil {
+		return err
+	}
+	defer dl.Close()
+	lakeIn := (&scenarios.GrayLink{}).Build(rand.New(rand.NewSource(11)))
+	lakeRes := harness.Result{Scenario: lakeIn.Scenario.Name(), Mitigated: true, Correct: true, TTM: 38 * time.Minute}
+	add("LakeIngest", 200, func(i int) string {
+		e := lake.NewEntry(fmt.Sprintf("bench-%04d", i), "assisted-helper", lakeIn, lakeRes, int64(i), nil)
+		if _, err := dl.Append(e); err != nil {
+			panic(fmt.Errorf("bench-json: lake append: %w", err))
+		}
+		return "one postmortem framed, fsync'd, and indexed"
+	})
+	add("LakeQuery", 200, func(int) string {
+		st := dl.Stats()
+		if st.Entries == 0 || len(dl.ByTag("mitigated")) == 0 {
+			panic("bench-json: lake query returned nothing")
+		}
+		return fmt.Sprintf("class stats + tag scan over %d entries", st.Entries)
 	})
 
 	data, err := json.MarshalIndent(&out, "", "  ")

@@ -1,0 +1,113 @@
+package main
+
+// `imctl lake` queries an incident data lake directory offline — the
+// same append-only log aiopsd -lake writes — printing the derived
+// views as tables: per-scenario-class TTM aggregates, mitigation
+// frequency, and the tag index. Drill into one tag or one incident
+// with -tag/-id, or preview the adaptive feedback corpus a promotion
+// policy would derive with -promote verified|always.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+	"repro/internal/lake"
+)
+
+func lakeMain(args []string) {
+	fs := flag.NewFlagSet("imctl lake", flag.ExitOnError)
+	var (
+		dir     = fs.String("dir", "", "lake directory (required): where aiopsd -lake appends incidents.lake")
+		tag     = fs.String("tag", "", "list the incidents carrying this tag")
+		id      = fs.String("id", "", "print one entry as JSON, event stream included")
+		promote = fs.String("promote", "", "preview the feedback corpus a promotion policy derives: verified or always")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "imctl lake: -dir is required")
+		os.Exit(2)
+	}
+	l, rr, err := lake.Open(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer l.Close()
+	fmt.Fprintf(os.Stderr, "lake %s: %d entries (%d torn dropped, %d bytes)\n",
+		l.Path(), rr.Entries, rr.Dropped, rr.Bytes)
+
+	switch {
+	case *id != "":
+		e, ok := l.Get(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "imctl lake: no entry %q\n", *id)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(e)
+	case *tag != "":
+		t := eval.NewTable("lake incidents tagged "+*tag,
+			"id", "scenario", "region", "sev", "outcome", "TTM(m)", "chain")
+		for _, e := range l.ByTag(*tag) {
+			t.AddRow(e.ID, e.Scenario, e.Region, e.Severity,
+				lakeOutcome(e), fmt.Sprintf("%.1f", e.TTMMinutes), len(e.Chain))
+		}
+		fmt.Println(t)
+	case *promote != "":
+		policy := lake.Policy(*promote)
+		if policy != lake.PolicyVerified && policy != lake.PolicyAlways {
+			fmt.Fprintf(os.Stderr, "imctl lake: -promote %q: want verified or always\n", *promote)
+			os.Exit(2)
+		}
+		corpus, err := lake.Promote(l.Entries(), policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t := eval.NewTable(fmt.Sprintf("promoted corpus (%s): %d rules, %d history records",
+			policy, len(corpus.Rules), len(corpus.History.All())),
+			"cause", "effect", "strength")
+		for _, r := range corpus.Rules {
+			t.AddRow(r.Cause, r.Effect, fmt.Sprintf("%.2f", r.Strength))
+		}
+		fmt.Println(t)
+	default:
+		st := l.Stats()
+		classes := eval.NewTable(
+			fmt.Sprintf("lake stats: %d entries, %d mitigated, %d escalated",
+				st.Entries, st.Mitigated, st.Escalated),
+			"scenario", "count", "mitigated", "escalated", "meanTTM(m)", "minTTM(m)", "maxTTM(m)")
+		for _, c := range st.Classes {
+			classes.AddRow(c.Scenario, c.Count, c.Mitigated, c.Escalated,
+				fmt.Sprintf("%.1f", c.MeanTTMMinutes),
+				fmt.Sprintf("%.1f", c.MinTTMMinutes),
+				fmt.Sprintf("%.1f", c.MaxTTMMinutes))
+		}
+		fmt.Println(classes)
+		mits := eval.NewTable("mitigation frequency", "action", "count")
+		for _, m := range l.Mitigations() {
+			mits.AddRow(m.Action, m.Count)
+		}
+		fmt.Println(mits)
+		tags := eval.NewTable("tag index", "tag", "count")
+		for _, tc := range l.Tags() {
+			tags.AddRow(tc.Tag, tc.Count)
+		}
+		fmt.Println(tags)
+	}
+}
+
+func lakeOutcome(e lake.Entry) string {
+	switch {
+	case e.Mitigated:
+		return "mitigated"
+	case e.Escalated:
+		return "escalated"
+	default:
+		return "unresolved"
+	}
+}

@@ -9,6 +9,7 @@
 //	      [-incontext] [-window 8192] [-list]
 //	imctl fleet [-oces 2] [-rate 4] [-n 60] [-queue 8] [-arm all]
 //	            [-seed 7] [-workers 8] [-faultrate 0.2] [-trace-out ...]
+//	imctl lake -dir DIR [-tag mitigated] [-id inc-0001] [-promote verified]
 package main
 
 import (
@@ -33,6 +34,10 @@ func in2(sys *aiops.System, scenario string, seed int64) (*aiops.Instance, int64
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "fleet" {
 		fleetMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "lake" {
+		lakeMain(os.Args[2:])
 		return
 	}
 	var (

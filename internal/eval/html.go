@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"html/template"
 	"io"
-	"time"
 )
 
 // HTMLReport renders a set of titled tables as a self-contained HTML
@@ -14,6 +13,11 @@ type HTMLReport struct {
 	Title    string
 	Subtitle string
 	Sections []HTMLSection
+	// When, if set, appears in the footer as the generation stamp. It
+	// is injected by the caller — never read from the wall clock — so
+	// the rendered bytes stay a pure function of the report data and
+	// report.html is goldenable. Empty omits the footer line.
+	When string
 }
 
 // HTMLSection groups tables under one experiment heading.
@@ -50,17 +54,13 @@ pre { background: #f7f7f7; border: 1px solid #ddd; padding: 0.8rem; overflow-x: 
 </table>
 {{end}}
 {{end}}
-<p class="sub">generated {{.When}}</p>
-</body></html>
+{{if .When}}<p class="sub">generated {{.When}}</p>
+{{end}}</body></html>
 `))
 
 // WriteHTML renders the report.
 func (r *HTMLReport) WriteHTML(w io.Writer) error {
-	data := struct {
-		*HTMLReport
-		When string
-	}{r, time.Now().UTC().Format("2006-01-02 15:04 UTC")}
-	return htmlTmpl.Execute(w, data)
+	return htmlTmpl.Execute(w, r)
 }
 
 // NewHTMLReport builds a report shell with the standard subtitle.

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// e18ByArm runs the ladder once and splits the stats per arm, in day
+// order — the shape every assertion below works over.
+func e18ByArm(t *testing.T, p Params) map[string][]e18DayStat {
+	t.Helper()
+	byArm := map[string][]e18DayStat{}
+	for _, st := range e18Run(p) {
+		byArm[st.Arm] = append(byArm[st.Arm], st)
+	}
+	for _, arm := range []string{"frozen", "verified", "always"} {
+		if len(byArm[arm]) != e18Days {
+			t.Fatalf("arm %s has %d day rows, want %d", arm, len(byArm[arm]), e18Days)
+		}
+	}
+	return byArm
+}
+
+// TestE18VerifiedMonotoneAlwaysDegrades is the adaptive-loop claim
+// itself: with identical per-trial seeds on every rung, the verified
+// promotion gate makes repeat-class TTM monotonically non-increasing
+// as the corpus grows — and strictly better than day one — while the
+// naive always-ingest arm, poisoned by its own unconfirmed hypotheses,
+// ends worse than its best day and worse than the verified arm.
+func TestE18VerifiedMonotoneAlwaysDegrades(t *testing.T) {
+	t.Parallel()
+	byArm := e18ByArm(t, Params{Trials: 20, Seed: 42})
+
+	// Frozen arm: no feedback, identical seeds — every day must be the
+	// exact same number, or the "corpus is the only moving part" premise
+	// is broken.
+	frozen := byArm["frozen"]
+	for _, st := range frozen[1:] {
+		if st.MeanTTM != frozen[0].MeanTTM {
+			t.Fatalf("frozen arm moved without a corpus: day %d TTM %.2f != day 1 TTM %.2f",
+				st.Day, st.MeanTTM, frozen[0].MeanTTM)
+		}
+	}
+
+	verified := byArm["verified"]
+	for i := 1; i < len(verified); i++ {
+		if verified[i].MeanTTM > verified[i-1].MeanTTM {
+			t.Errorf("verified arm regressed: day %d TTM %.2f > day %d TTM %.2f",
+				verified[i].Day, verified[i].MeanTTM, verified[i-1].Day, verified[i-1].MeanTTM)
+		}
+	}
+	last := verified[len(verified)-1]
+	if last.MeanTTM >= verified[0].MeanTTM {
+		t.Errorf("verified arm never improved: day 1 TTM %.2f, day %d TTM %.2f",
+			verified[0].MeanTTM, last.Day, last.MeanTTM)
+	}
+	if last.Rules == 0 {
+		t.Error("verified arm ended with an empty corpus — the gate promoted nothing")
+	}
+
+	always := byArm["always"]
+	best := always[0].MeanTTM
+	for _, st := range always {
+		if st.MeanTTM < best {
+			best = st.MeanTTM
+		}
+	}
+	alwaysLast := always[len(always)-1]
+	if alwaysLast.MeanTTM <= best {
+		t.Errorf("always-ingest arm never degraded: last day TTM %.2f is its best (min %.2f)",
+			alwaysLast.MeanTTM, best)
+	}
+	if alwaysLast.MeanTTM <= last.MeanTTM {
+		t.Errorf("always-ingest ended at TTM %.2f, not worse than verified %.2f — poison had no cost",
+			alwaysLast.MeanTTM, last.MeanTTM)
+	}
+	// The poison is visible in corpus size too: unconfirmed edges pile
+	// up far past what the verified gate admits.
+	if alwaysLast.Rules <= last.Rules {
+		t.Errorf("always-ingest corpus (%d rules) not larger than verified (%d) — fabrications were not ingested",
+			alwaysLast.Rules, last.Rules)
+	}
+}
+
+// TestE18DeterministicAcrossWorkers: the ladder's table must be
+// byte-identical whether the per-day trial pool ran on 1 worker or 8 —
+// the corpus hand-off between days is serial, and within a day the
+// trial pool's seed-per-trial contract holds.
+func TestE18DeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	serial := renderTables(E18AdaptiveLoop(Params{Trials: 4, Seed: 99, Workers: 1}))
+	pooled := renderTables(E18AdaptiveLoop(Params{Trials: 4, Seed: 99, Workers: 8}))
+	if serial != pooled {
+		t.Fatalf("E18 tables diverge between workers=1 and workers=8: %s", firstDiff(serial, pooled))
+	}
+}
+
+// TestE18SmallTrialsMonotone guards the verify-skill smoke's operating
+// point: even at two trials the verified arm must not regress day over
+// day, or the smoke's table would show the loop "unlearning".
+func TestE18SmallTrialsMonotone(t *testing.T) {
+	t.Parallel()
+	byArm := e18ByArm(t, Params{Trials: 2, Seed: 42})
+	verified := byArm["verified"]
+	for i := 1; i < len(verified); i++ {
+		if verified[i].MeanTTM > verified[i-1].MeanTTM {
+			t.Errorf("verified arm regressed at smoke scale: day %d TTM %.2f > day %d TTM %.2f",
+				verified[i].Day, verified[i].MeanTTM, verified[i-1].Day, verified[i-1].MeanTTM)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -141,7 +142,9 @@ func E16Chaos(p Params) []*eval.Table {
 	p = p.withDefaults()
 	seed := p.Seed + 163
 	runner := &harness.HelperRunner{Label: "assisted-helper", KBase: currentKB(), Config: core.DefaultConfig()}
-	sched := faults.HTTPSchedule{Rate: e16Rate, Seed: seed ^ 0x5eed}
+	// Deadline sized for the slow-body class on a loaded CI box — the
+	// 30s default can cut a dribbled upload short under contention.
+	sched := faults.HTTPSchedule{Rate: e16Rate, Seed: seed ^ 0x5eed, Deadline: 2 * time.Minute}
 	mix := scenarios.All()
 	dir, err := os.MkdirTemp("", "e16-journal-")
 	if err != nil {
@@ -178,7 +181,7 @@ func E16Chaos(p Params) []*eval.Table {
 			cls := sched.ClassAt(g)
 			body := []byte(fmt.Sprintf(`{"id":%q,"scenario":%q,"opened_at_minutes":%d}`,
 				id, mix[g%len(mix)].Name(), (g+1)*3))
-			code, err := faults.SendChaos(addr, "/v1/incidents", e16Key, body, cls, e16MaxBody)
+			code, err := sched.SendChaos(addr, "/v1/incidents", e16Key, body, cls, e16MaxBody)
 			if err != nil && cls != faults.HTTPDrop {
 				return fmt.Errorf("%s (%v): %w", id, cls, err)
 			}

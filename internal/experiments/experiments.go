@@ -665,6 +665,7 @@ var Registry = []struct {
 	{"e15", "gateway load ladder over live HTTP (extension)", E15GatewayLoad},
 	{"e16", "crash-safety chaos: kill/restart cycles under faulty clients (extension)", E16Chaos},
 	{"e17", "sharded multi-region fleet at hyperscale: offered-load ladder with storms and work stealing (extension)", E17ShardedFleet},
+	{"e18", "adaptive learning loop: verified vs always-ingest corpus promotion (extension)", E18AdaptiveLoop},
 }
 
 // ByID returns the registered experiment, or nil.

@@ -204,10 +204,10 @@ func TestE10ShapeQueueAmplification(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	t.Parallel()
-	if len(Registry) != 17 {
+	if len(Registry) != 18 {
 		t.Fatalf("registry has %d experiments", len(Registry))
 	}
-	if ByID("e2") == nil || ByID("e17") == nil || ByID("nope") != nil {
+	if ByID("e2") == nil || ByID("e18") == nil || ByID("nope") != nil {
 		t.Fatal("ByID broken")
 	}
 }

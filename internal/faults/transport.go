@@ -70,6 +70,24 @@ func (c HTTPClass) String() string {
 type HTTPSchedule struct {
 	Rate float64
 	Seed int64
+	// Deadline bounds one chaos request's whole conversation (dial
+	// excluded): the Send-side SetDeadline. Zero means the 30s default.
+	// Harnesses that dribble bodies on loaded CI, or run the server on
+	// a scaled clock, size this to their own timeout budget instead of
+	// inheriting a hardcoded constant.
+	Deadline time.Duration
+}
+
+// defaultSendDeadline is the per-request conversation bound when the
+// schedule does not set one.
+const defaultSendDeadline = 30 * time.Second
+
+// deadline resolves the configured per-request bound.
+func (s HTTPSchedule) deadline() time.Duration {
+	if s.Deadline > 0 {
+		return s.Deadline
+	}
+	return defaultSendDeadline
 }
 
 // ClassAt is the pure schedule function: the fault class for request
@@ -93,14 +111,17 @@ func (s HTTPSchedule) ClassAt(i int) HTTPClass {
 // SendChaos issues one POST over a raw TCP connection, injecting the
 // given fault class, and returns the HTTP status code it observed (0
 // when the fault prevents any response, e.g. HTTPDrop). bodyCap is the
-// server's advertised body limit — HTTPOversize sends past it.
-func SendChaos(addr, path, apiKey string, body []byte, class HTTPClass, bodyCap int) (int, error) {
+// server's advertised body limit — HTTPOversize sends past it. The
+// conversation deadline comes from the schedule (s.Deadline, 30s when
+// unset) rather than a hardcoded constant, so slow-body cases on a
+// loaded CI box are cut short only when the harness asked for it.
+func (s HTTPSchedule) SendChaos(addr, path, apiKey string, body []byte, class HTTPClass, bodyCap int) (int, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return 0, err
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	_ = conn.SetDeadline(time.Now().Add(s.deadline()))
 
 	if class == HTTPOversize {
 		// Pad deterministically past the cap; the server must refuse at
@@ -164,6 +185,13 @@ func SendChaos(addr, path, apiKey string, body []byte, class HTTPClass, bodyCap 
 		}
 	}
 	return readStatus(conn)
+}
+
+// SendChaos is the schedule-free form: one chaos request with the
+// default 30s conversation deadline. Harnesses with their own timeout
+// budget call the HTTPSchedule method instead.
+func SendChaos(addr, path, apiKey string, body []byte, class HTTPClass, bodyCap int) (int, error) {
+	return HTTPSchedule{}.SendChaos(addr, path, apiKey, body, class, bodyCap)
 }
 
 // readStatus parses the status code off an HTTP/1.x response and drains

@@ -3,11 +3,13 @@ package faults
 import (
 	"errors"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // chaosTarget mimics the gateway's body handling: MaxBytesReader cap,
@@ -64,6 +66,46 @@ func TestSendChaosClasses(t *testing.T) {
 			t.Errorf("%v: server acked=%v, want %v", tc.class, got, tc.ack)
 		}
 		acked.Delete(string(body))
+	}
+}
+
+// TestHTTPScheduleDeadline pins the deadline plumbing: the schedule's
+// configured bound reaches SetDeadline (a too-short one times a
+// conversation out), unset falls back to the 30s default, and the
+// free-function form keeps that default.
+func TestHTTPScheduleDeadline(t *testing.T) {
+	t.Parallel()
+	if d := (HTTPSchedule{}).deadline(); d != defaultSendDeadline {
+		t.Errorf("unset deadline resolves to %s, want %s", d, defaultSendDeadline)
+	}
+	if d := (HTTPSchedule{Deadline: 2 * time.Minute}).deadline(); d != 2*time.Minute {
+		t.Errorf("configured deadline resolves to %s, want 2m", d)
+	}
+
+	// A server that never answers: only the configured deadline can end
+	// the conversation, so a tiny one must surface as a read error fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			_, _ = io.Copy(io.Discard, c) // read forever, say nothing
+		}
+	}()
+	start := time.Now()
+	s := HTTPSchedule{Deadline: 50 * time.Millisecond}
+	if _, err := s.SendChaos(ln.Addr().String(), "/v1/incidents", "k", []byte(`{}`), HTTPNone, 1024); err == nil {
+		t.Fatal("mute server: expected a deadline error, got a response")
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Errorf("50ms deadline took %s to fire — configured value not threaded", took)
 	}
 }
 

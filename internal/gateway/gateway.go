@@ -22,6 +22,11 @@
 //	GET    /metrics             Prometheus text exposition (no auth)
 //	POST   /v1/sim/advance      advance the sim clock (sim mode only)
 //	POST   /v1/sim/drain        drain the scheduler, return the summary
+//	GET    /v1/lake/stats       data lake: per-scenario-class TTM aggregates
+//	GET    /v1/lake/mitigations data lake: mitigation actions by frequency
+//	GET    /v1/lake/tags        data lake: tag index summary
+//	GET    /v1/lake/tags/{tag}  data lake: incident summaries carrying a tag
+//	GET    /v1/lake/incidents/{id}  data lake: full entry, event stream included
 //
 // Multi-region: when the configured scheduler is sharded
 // (fleet.NewSharded), POST /v1/incidents accepts an optional "region"
@@ -71,6 +76,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/journal"
+	"repro/internal/lake"
 	"repro/internal/obs"
 	"repro/internal/scenarios"
 )
@@ -127,6 +133,11 @@ type Config struct {
 	// before any 2xx is returned, and Recover replays it on boot. Nil
 	// keeps the PR 6 in-memory behavior byte-identical.
 	Journal *journal.Journal
+	// Lake, when non-nil, ingests every completed session — postmortem
+	// summary, confirmed chain, proposed hypothesis edges, event stream
+	// — into the append-only incident data lake (fsync'd before the 201
+	// leaves) and serves the GET /v1/lake/... query endpoints.
+	Lake *lake.Lake
 	// RatePerMin enables per-caller token-bucket rate limiting on the
 	// mutating endpoints: sustained requests per simulated minute, with
 	// bursts up to Burst. Over-limit requests get 429 + Retry-After.
@@ -303,6 +314,11 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/incidents/{id}", s.auth(s.handleGet))
 	mux.HandleFunc("PATCH /v1/incidents/{id}", s.auth(s.handleUpdate))
 	mux.HandleFunc("GET /v1/events", s.auth(s.handleEvents))
+	mux.HandleFunc("GET /v1/lake/stats", s.auth(s.handleLakeStats))
+	mux.HandleFunc("GET /v1/lake/mitigations", s.auth(s.handleLakeMitigations))
+	mux.HandleFunc("GET /v1/lake/tags", s.auth(s.handleLakeTags))
+	mux.HandleFunc("GET /v1/lake/tags/{tag}", s.auth(s.handleLakeByTag))
+	mux.HandleFunc("GET /v1/lake/incidents/{id}", s.auth(s.handleLakeGet))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -527,11 +543,22 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, caller str
 
 	// Run the responder session here, in the handler's goroutine: live
 	// mode's parallelism is exactly the server's request concurrency.
+	// The lake wants the event stream even when no sink collects it, so
+	// a configured lake also forces the observed path; its snapshot is
+	// taken before the scheduler assumes ownership of the recorder.
 	var rec *obs.Recorder
 	var res harness.Result
-	if or, observed := s.cfg.Runner.(harness.ObservedRunner); observed && s.cfg.Sink != nil {
+	var events []obs.Event
+	if or, observed := s.cfg.Runner.(harness.ObservedRunner); observed && (s.cfg.Sink != nil || s.cfg.Lake != nil) {
 		rec = obs.AcquireRecorder("gw/" + id)
 		res = or.RunObserved(in, seed, rec)
+		if s.cfg.Lake != nil {
+			events = append([]obs.Event(nil), rec.Events...)
+		}
+		if s.cfg.Sink == nil {
+			rec.Release()
+			rec = nil
+		}
 	} else {
 		res = s.cfg.Runner.Run(in, seed)
 	}
@@ -554,6 +581,19 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, caller str
 			writeErr(w, http.StatusConflict, CodeConflict, "", "%v", err)
 		}
 		return
+	}
+
+	// Lake ingest precedes the record store and journal: when the 201
+	// leaves, the postmortem — chain, proposed edges, event stream — is
+	// already fsync'd in the data lake. On failure the reservation is
+	// kept so a retry conflicts loudly instead of double-scheduling.
+	if s.cfg.Lake != nil {
+		entry := lake.NewEntry(id, s.cfg.Runner.Name(), in, res, seed, events)
+		entry.Region = region
+		if err := s.lakeAppend(entry); err != nil {
+			writeErr(w, http.StatusInternalServerError, CodeInternal, "", "lake append: %v", err)
+			return
+		}
 	}
 
 	record := &Record{

@@ -20,11 +20,15 @@ import (
 )
 
 // limiter is the per-caller token bucket set. Safe for concurrent use.
+// Idle callers are evicted (see sweep), so the map is bounded by the
+// set of callers active within one refill-full horizon, not by every
+// caller ever seen.
 type limiter struct {
-	mu      sync.Mutex
-	rate    float64 // tokens per simulated minute
-	burst   float64 // bucket capacity
-	buckets map[string]*bucket
+	mu        sync.Mutex
+	rate      float64 // tokens per simulated minute
+	burst     float64 // bucket capacity
+	buckets   map[string]*bucket
+	nextSweep time.Duration // simulated time of the next eviction pass
 }
 
 type bucket struct {
@@ -39,11 +43,38 @@ func newLimiter(ratePerMin, burst float64) *limiter {
 	return &limiter{rate: ratePerMin, burst: burst, buckets: map[string]*bucket{}}
 }
 
+// horizon is the refill-full interval: a bucket idle this long has
+// refilled to capacity, making it indistinguishable from the fresh
+// bucket a returning caller would get — so it can be dropped.
+func (l *limiter) horizon() time.Duration {
+	return time.Duration(l.burst / l.rate * float64(time.Minute))
+}
+
+// sweep evicts every bucket idle past the refill-full horizon. Driven
+// by the simulated clock alone — one pass per horizon, amortized over
+// allow calls — so eviction is deterministic under a SimClock and the
+// admit/refuse sequence is untouched: an evicted caller's next bucket
+// starts at burst, exactly where refill would have capped it. Caller
+// holds l.mu.
+func (l *limiter) sweep(now time.Duration) {
+	h := l.horizon()
+	if now < l.nextSweep {
+		return
+	}
+	for caller, b := range l.buckets {
+		if now-b.last >= h {
+			delete(l.buckets, caller)
+		}
+	}
+	l.nextSweep = now + h
+}
+
 // allow takes one token for the caller at simulated time now. When the
 // bucket is empty it reports the simulated wait until a token accrues.
 func (l *limiter) allow(caller string, now time.Duration) (bool, time.Duration) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.sweep(now)
 	b := l.buckets[caller]
 	if b == nil {
 		b = &bucket{tokens: l.burst, last: now}

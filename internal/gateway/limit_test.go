@@ -1,0 +1,95 @@
+package gateway
+
+// Limiter eviction tests: the per-caller bucket map must stay bounded
+// by the active caller set (the "millions of callers" leak), and —
+// because a bucket idle past the refill-full horizon is exactly a
+// fresh bucket — eviction must not change a single admit/refuse
+// decision or retry wait.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// noEvictAllow is the pre-eviction limiter semantics, verbatim: the
+// reference the evicting limiter must match decision for decision.
+type noEvictLimiter struct {
+	rate, burst float64
+	buckets     map[string]*bucket
+}
+
+func (l *noEvictLimiter) allow(caller string, now time.Duration) (bool, time.Duration) {
+	b := l.buckets[caller]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[caller] = b
+	}
+	if now > b.last {
+		b.tokens += l.rate * (now - b.last).Minutes()
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Minute))
+}
+
+func TestLimiterEvictsIdleBuckets(t *testing.T) {
+	t.Parallel()
+	l := newLimiter(1, 2) // horizon: 2 simulated minutes
+	for i := 0; i < 1000; i++ {
+		l.allow(fmt.Sprintf("caller-%04d", i), 0)
+	}
+	if n := len(l.buckets); n != 1000 {
+		t.Fatalf("expected 1000 live buckets, have %d", n)
+	}
+	// Past the refill-full horizon every idle bucket is equivalent to a
+	// fresh one; the next allow triggers the sweep.
+	l.allow("caller-0000", 3*time.Minute)
+	if n := len(l.buckets); n != 1 {
+		t.Fatalf("after idle horizon: %d buckets survive, want 1 (the active caller)", n)
+	}
+	// Steady state: an active caller is never evicted.
+	l.allow("caller-0000", 4*time.Minute)
+	if _, ok := l.buckets["caller-0000"]; !ok {
+		t.Fatal("active caller evicted")
+	}
+}
+
+// TestLimiterEvictionPreservesDecisions drives the evicting limiter and
+// the no-evict reference through an identical pseudo-random schedule of
+// (caller, time) requests and requires every (admit, wait) pair to be
+// byte-identical — eviction is a memory fix, not a behavior change.
+func TestLimiterEvictionPreservesDecisions(t *testing.T) {
+	t.Parallel()
+	l := newLimiter(2, 3)
+	ref := &noEvictLimiter{rate: 2, burst: 3, buckets: map[string]*bucket{}}
+	rng := rand.New(rand.NewSource(99))
+	now := time.Duration(0)
+	for i := 0; i < 5000; i++ {
+		// Bursts of activity with occasional long idle gaps, so callers
+		// routinely cross the refill-full horizon and get evicted.
+		if rng.Intn(20) == 0 {
+			now += time.Duration(rng.Intn(10)) * time.Minute
+		} else {
+			now += time.Duration(rng.Intn(5)) * time.Second
+		}
+		caller := fmt.Sprintf("caller-%d", rng.Intn(7))
+		gotOK, gotWait := l.allow(caller, now)
+		wantOK, wantWait := ref.allow(caller, now)
+		if gotOK != wantOK || gotWait != wantWait {
+			t.Fatalf("request %d (%s at %s): evicting limiter (%v, %s) != reference (%v, %s)",
+				i, caller, now, gotOK, gotWait, wantOK, wantWait)
+		}
+	}
+	if len(l.buckets) > len(ref.buckets) {
+		t.Errorf("evicting limiter holds %d buckets, reference %d", len(l.buckets), len(ref.buckets))
+	}
+}

@@ -45,6 +45,11 @@ type Result struct {
 	Retries     int
 	Quarantined int
 	Applied     mitigation.Plan
+	// Deductions is the causal chain the session's cross-check path
+	// confirmed, in confirmation order (symptom side first, root cause
+	// last) — what the data lake's verified-ingest gate promotes. Empty
+	// for runners without an iterative deduction loop.
+	Deductions []string
 }
 
 // EscalationPenalty is the modeled time a specialist team needs after a
@@ -183,6 +188,7 @@ func helperResult(in *scenarios.Instance, out *core.Outcome) Result {
 		Retries:     out.ToolRetries,
 		Quarantined: out.Quarantined,
 		Applied:     out.Applied,
+		Deductions:  append([]string(nil), out.Confirmed...),
 	}
 	res.Correct = out.Mitigated && in.Succeeded(out.Applied)
 	truth := in.Incident.Truth

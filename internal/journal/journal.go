@@ -30,12 +30,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
-	"sync"
 )
 
 // FileName is the journal file inside the journal directory.
@@ -108,8 +105,7 @@ func Encode(r Record) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: encode: %w", err)
 	}
-	return fmt.Appendf(make([]byte, 0, len(payload)+10),
-		"%08x %s\n", crc32.ChecksumIEEE(payload), payload), nil
+	return EncodeFrame(payload), nil
 }
 
 // Decode scans data for journal records. It returns every record up to
@@ -119,45 +115,19 @@ func Encode(r Record) ([]byte, error) {
 // appends are strictly ordered, so nothing after a bad line can have
 // been acknowledged on top of durable state.
 func Decode(data []byte) (recs []Record, good int, dropped int) {
-	off := 0
-	for off < len(data) {
-		nl := -1
-		for i := off; i < len(data); i++ {
-			if data[i] == '\n' {
-				nl = i
-				break
-			}
-		}
-		if nl < 0 {
-			// Torn tail: the final append never finished its line.
-			return recs, off, 1
-		}
-		line := data[off : nl+1]
-		r, ok := decodeLine(line)
+	good, dropped = ScanFrames(data, func(payload []byte) bool {
+		r, ok := decodePayload(payload)
 		if !ok {
-			// Corrupt line: drop it and every line after it.
-			return recs, off, countLines(data[off:])
+			return false
 		}
 		recs = append(recs, r)
-		off = nl + 1
-	}
-	return recs, off, 0
+		return true
+	})
+	return recs, good, dropped
 }
 
-// decodeLine parses one full line "%08x SP payload LF".
-func decodeLine(line []byte) (Record, bool) {
-	// 8 hex digits + space + at least "{}" + newline.
-	if len(line) < 12 || line[8] != ' ' || line[len(line)-1] != '\n' {
-		return Record{}, false
-	}
-	var sum uint32
-	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
-		return Record{}, false
-	}
-	payload := line[9 : len(line)-1]
-	if crc32.ChecksumIEEE(payload) != sum {
-		return Record{}, false
-	}
+// decodePayload parses one checksum-clean frame payload as a Record.
+func decodePayload(payload []byte) (Record, bool) {
 	var r Record
 	if err := json.Unmarshal(payload, &r); err != nil {
 		return Record{}, false
@@ -169,20 +139,6 @@ func decodeLine(line []byte) (Record, bool) {
 		return Record{}, false
 	}
 	return r, true
-}
-
-// countLines counts newline-terminated lines plus a trailing partial.
-func countLines(data []byte) int {
-	n := 0
-	for _, b := range data {
-		if b == '\n' {
-			n++
-		}
-	}
-	if len(data) > 0 && data[len(data)-1] != '\n' {
-		n++
-	}
-	return n
 }
 
 // ReplayResult is what a journal scan recovered.
@@ -212,49 +168,27 @@ func (rr ReplayResult) MaxAtMinutes() float64 {
 
 // Journal is the append handle. Safe for concurrent use.
 type Journal struct {
-	mu       sync.Mutex
-	f        *os.File
-	path     string
-	appended int
-	bytes    int64
+	ff *FrameFile
 }
 
 // Open opens (creating if necessary) the journal in dir, replays the
 // existing records, truncates any torn tail back to the last clean
 // record boundary, and returns the append handle positioned there.
 func Open(dir string) (*Journal, ReplayResult, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, ReplayResult{}, fmt.Errorf("journal: %w", err)
-	}
-	path := filepath.Join(dir, FileName)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, ReplayResult{}, fmt.Errorf("journal: %w", err)
-	}
-	data, err := io.ReadAll(f)
-	if err != nil {
-		f.Close()
-		return nil, ReplayResult{}, fmt.Errorf("journal: read: %w", err)
-	}
-	recs, good, dropped := Decode(data)
-	if good < len(data) {
-		if err := f.Truncate(int64(good)); err != nil {
-			f.Close()
-			return nil, ReplayResult{}, fmt.Errorf("journal: truncate torn tail: %w", err)
+	var recs []Record
+	ff, good, dropped, err := OpenFrameFile(dir, FileName, func(payload []byte) bool {
+		r, ok := decodePayload(payload)
+		if !ok {
+			return false
 		}
-	}
-	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
-		f.Close()
+		recs = append(recs, r)
+		return true
+	})
+	if err != nil {
 		return nil, ReplayResult{}, fmt.Errorf("journal: %w", err)
 	}
-	// fsync the directory so the journal file itself survives a crash
-	// that follows its creation.
-	if d, derr := os.Open(dir); derr == nil {
-		_ = d.Sync()
-		d.Close()
-	}
-	return &Journal{f: f, path: path},
-		ReplayResult{Records: recs, Dropped: dropped, Bytes: int64(good)}, nil
+	return &Journal{ff: ff},
+		ReplayResult{Records: recs, Dropped: dropped, Bytes: good}, nil
 }
 
 // Replay scans the journal in dir without opening it for append. A
@@ -278,46 +212,28 @@ func (j *Journal) Append(r Record) (int, error) {
 	if r.V == 0 {
 		r.V = Version
 	}
-	line, err := Encode(r)
+	payload, err := json.Marshal(r)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("journal: encode: %w", err)
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return 0, errors.New("journal: closed")
+	n, err := j.ff.Append(payload)
+	if err != nil {
+		return 0, fmt.Errorf("journal: %w", err)
 	}
-	if _, err := j.f.Write(line); err != nil {
-		return 0, fmt.Errorf("journal: append: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return 0, fmt.Errorf("journal: fsync: %w", err)
-	}
-	j.appended++
-	j.bytes += int64(len(line))
-	return len(line), nil
+	return n, nil
 }
 
 // Stats reports records and bytes appended through this handle.
 func (j *Journal) Stats() (records int, bytes int64) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.appended, j.bytes
+	return j.ff.Stats()
 }
 
 // Path returns the journal file path.
-func (j *Journal) Path() string { return j.path }
+func (j *Journal) Path() string { return j.ff.Path() }
 
 // Close closes the append handle. Every successfully Append'ed record
 // is already fsync'd, so Close-vs-SIGKILL makes no durability
 // difference — which is exactly what the chaos harness exploits.
 func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return nil
-	}
-	err := j.f.Close()
-	j.f = nil
-	return err
+	return j.ff.Close()
 }

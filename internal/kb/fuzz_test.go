@@ -1,0 +1,96 @@
+package kb
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/mitigation"
+)
+
+// FuzzKBPersistRoundTrip drives SaveJSON → LoadJSON → SaveJSON with
+// arbitrary records and asserts the persisted corpus is a fixed point:
+// the second save is byte-identical to the first, and the loaded
+// history carries the same records. The JSON corpus is the exchange
+// format between teams (and the lake's promotion input), so any record
+// the code can build must survive persistence losslessly — including
+// zero severity, empty tags, and duplicate IDs (same-ID replacement).
+func FuzzKBPersistRoundTrip(f *testing.F) {
+	f.Add("inc-0001", "BGP flap", "peering session reset", "link_congested", "drain_link",
+		"tor-7", "50", 38.5, 2, "cascade-5", false)
+	f.Add("inc-0002", "", "", "", "", "", "", 0.0, 0, "", true)
+	f.Add("a", "dup", "first then replaced", "gray_failure", "", "", "", -1.25, 3, "sev3", true)
+	f.Fuzz(func(t *testing.T, id, title, summary, rootCause, actKind, actTarget, actParam string,
+		ttm float64, severity int, tag string, dup bool) {
+		if math.IsNaN(ttm) || math.IsInf(ttm, 0) {
+			t.Skip("JSON cannot carry non-finite floats")
+		}
+		for _, s := range []string{id, title, summary, rootCause, actKind, actTarget, actParam, tag} {
+			if !utf8.ValidString(s) {
+				t.Skip("encoding/json coerces invalid UTF-8 to U+FFFD")
+			}
+		}
+
+		rec := IncidentRecord{
+			ID: id, Title: title, Summary: summary, RootCause: rootCause,
+			TTMMinutes: ttm, Severity: severity,
+		}
+		if tag != "" {
+			rec.Tags = []string{tag}
+			rec.Symptoms = []string{tag + "-symptom"}
+		}
+		if actKind != "" || actTarget != "" || actParam != "" {
+			rec.Mitigation = []mitigation.Action{{
+				Kind: mitigation.ActionKind(actKind), Target: actTarget, Param: actParam,
+			}}
+		}
+
+		h := NewHistory()
+		h.Add(IncidentRecord{ID: "inc-base", Title: "baseline", TTMMinutes: 12, Severity: 1})
+		h.Add(rec)
+		if dup {
+			// Same-ID replacement: the replacement, not the original,
+			// must be what persists.
+			h.Add(rec)
+		}
+
+		var first bytes.Buffer
+		if err := h.SaveJSON(&first); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		loaded := NewHistory()
+		if err := loaded.LoadJSON(bytes.NewReader(first.Bytes())); err != nil {
+			if id == "" {
+				return // empty-ID records are refused on load, by contract
+			}
+			t.Fatalf("load: %v (corpus %q)", err, first.String())
+		}
+		if id == "" {
+			t.Fatal("empty-ID record survived load without an error")
+		}
+		if loaded.Len() != h.Len() {
+			t.Fatalf("loaded %d records, saved %d", loaded.Len(), h.Len())
+		}
+		got, ok := loaded.ByID(id)
+		if !ok {
+			t.Fatalf("record %q missing after round trip", id)
+		}
+		if got.TTMMinutes != rec.TTMMinutes || got.Severity != rec.Severity ||
+			got.Title != rec.Title || got.RootCause != rec.RootCause ||
+			!reflect.DeepEqual(got.Mitigation, rec.Mitigation) {
+			t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", rec, got)
+		}
+
+		var second bytes.Buffer
+		if err := loaded.SaveJSON(&second); err != nil {
+			t.Fatalf("re-save: %v", err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("persisted corpus is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s",
+				strings.TrimSpace(first.String()), strings.TrimSpace(second.String()))
+		}
+	})
+}

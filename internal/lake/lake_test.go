@@ -1,0 +1,367 @@
+package lake
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/kb"
+	"repro/internal/llm"
+	"repro/internal/obs"
+	"repro/internal/scenarios"
+)
+
+func sampleEntries() []Entry {
+	return []Entry{
+		{
+			ID: "inc-0001", Scenario: "cascade-5", Runner: "iterative-helper",
+			Severity: 2, Mitigated: true, TTMMinutes: 40, Rounds: 5,
+			Symptoms: []string{kb.CPacketLoss},
+			Chain:    []string{kb.CLinkOverload, kb.CLinkDown},
+			Proposed: []Edge{
+				{Cause: kb.CLinkOverload, Effect: kb.CPacketLoss, Confidence: 0.7},
+				{Cause: "bgp_hijack", Effect: kb.CPacketLoss, Confidence: 0.88},
+				{Cause: kb.CLinkDown, Effect: kb.CLinkOverload, Confidence: 0.6},
+			},
+			Applied: []Action{{Kind: "isolate-link", Target: "l1"}},
+			Tags:    []string{"cascade-5", "sev2", "mitigated"},
+			Events:  []obs.Event{{Type: obs.EvHypothesis, Hypothesis: kb.CLinkOverload, Confidence: 0.7}},
+		},
+		{
+			ID: "inc-0002", Scenario: "cascade-5", Runner: "iterative-helper",
+			Severity: 2, Escalated: true, TTMMinutes: 180, Rounds: 12,
+			Symptoms: []string{kb.CPacketLoss},
+			Proposed: []Edge{{Cause: "bgp_hijack", Effect: kb.CPacketLoss, Confidence: 0.9}},
+			Tags:     []string{"cascade-5", "sev2", "escalated"},
+		},
+		{
+			ID: "inc-0003", Scenario: "gray-link", Runner: "iterative-helper",
+			Severity: 1, Mitigated: true, TTMMinutes: 20, Rounds: 3,
+			Symptoms: []string{kb.CPacketLoss},
+			Chain:    []string{kb.CLinkDown},
+			Applied:  []Action{{Kind: "isolate-link", Target: "l2"}, {Kind: "restart-device", Target: "d9", Param: "soft"}},
+			Tags:     []string{"gray-link", "sev1", "mitigated"},
+		},
+	}
+}
+
+func TestLakeAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, rr, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if rr.Entries != 0 || rr.Dropped != 0 {
+		t.Fatalf("fresh lake replayed %+v", rr)
+	}
+	for _, e := range sampleEntries() {
+		if _, err := l.Append(e); err != nil {
+			t.Fatalf("Append(%s): %v", e.ID, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rr2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rr2.Entries != 3 || rr2.Dropped != 0 {
+		t.Fatalf("reopen replayed %+v, want 3 entries, 0 dropped", rr2)
+	}
+	got, ok := l2.Get("inc-0001")
+	if !ok {
+		t.Fatal("inc-0001 missing after reopen")
+	}
+	want := sampleEntries()[0]
+	want.V = Version // Append stamps the version
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("entry mutated across reopen:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLakeTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, e := range sampleEntries() {
+		if _, err := l.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+
+	// Simulate the partial line a SIGKILL mid-write leaves behind.
+	f, err := os.OpenFile(filepath.Join(dir, FileName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open log: %v", err)
+	}
+	if _, err := f.WriteString(`deadbeef {"v":1,"id":"inc-torn`); err != nil {
+		t.Fatalf("append garbage: %v", err)
+	}
+	f.Close()
+
+	l2, rr, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if rr.Entries != 3 || rr.Dropped != 1 {
+		t.Fatalf("recover = %+v, want 3 entries, 1 dropped", rr)
+	}
+	// Appends after recovery must land on a clean boundary.
+	if _, err := l2.Append(Entry{ID: "inc-0004", Scenario: "gray-link", TTMMinutes: 5}); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	l2.Close()
+	l3, rr3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer l3.Close()
+	if rr3.Entries != 4 || rr3.Dropped != 0 {
+		t.Fatalf("third open = %+v, want 4 entries, 0 dropped", rr3)
+	}
+}
+
+func TestLakeDuplicateIDLastWins(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	first := Entry{ID: "inc-1", Scenario: "gray-link", TTMMinutes: 30, Mitigated: true,
+		Applied: []Action{{Kind: "isolate-link", Target: "l1"}}, Tags: []string{"gray-link"}}
+	second := Entry{ID: "inc-1", Scenario: "gray-link", TTMMinutes: 10, Escalated: true, Tags: []string{"gray-link", "retry"}}
+	if _, err := l.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(second); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+	got, _ := l.Get("inc-1")
+	if !got.Escalated || got.TTMMinutes != 10 {
+		t.Fatalf("last write did not win: %+v", got)
+	}
+	// The displaced entry's view contributions must be withdrawn.
+	st := l.Stats()
+	if st.Entries != 1 || st.Mitigated != 0 || st.Escalated != 1 {
+		t.Fatalf("Stats after replace = %+v", st)
+	}
+	if m := l.Mitigations(); len(m) != 0 {
+		t.Fatalf("Mitigations after replace = %v, want empty", m)
+	}
+	l.Close()
+
+	// Replay resolves the duplicate the same way.
+	l2, rr, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rr.Entries != 1 {
+		t.Fatalf("replayed %d entries, want 1", rr.Entries)
+	}
+	if got, _ := l2.Get("inc-1"); !got.Escalated {
+		t.Fatalf("replayed entry = %+v", got)
+	}
+}
+
+func TestLakeViews(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, e := range sampleEntries() {
+		if _, err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := l.Stats()
+	if st.Entries != 3 || st.Mitigated != 2 || st.Escalated != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if len(st.Classes) != 2 || st.Classes[0].Scenario != "cascade-5" || st.Classes[1].Scenario != "gray-link" {
+		t.Fatalf("Classes = %+v", st.Classes)
+	}
+	casc := st.Classes[0]
+	if casc.Count != 2 || casc.MeanTTMMinutes != 110 || casc.MinTTMMinutes != 40 || casc.MaxTTMMinutes != 180 {
+		t.Fatalf("cascade-5 stats = %+v", casc)
+	}
+
+	mit := l.Mitigations()
+	if len(mit) != 3 || mit[0].Action != "isolate-link(l1)" && mit[0].Action != "isolate-link(l2)" {
+		t.Fatalf("Mitigations = %+v", mit)
+	}
+	for _, m := range mit {
+		if m.Count != 1 {
+			t.Fatalf("Mitigations = %+v", mit)
+		}
+	}
+
+	if got := l.ByTag("mitigated"); len(got) != 2 || got[0].ID != "inc-0001" || got[1].ID != "inc-0003" {
+		t.Fatalf("ByTag(mitigated) = %+v", got)
+	}
+	tags := l.Tags()
+	if len(tags) == 0 || tags[0].Tag != "cascade-5" || tags[0].Count != 2 {
+		t.Fatalf("Tags = %+v", tags)
+	}
+}
+
+func TestProposedEdgesFrontier(t *testing.T) {
+	symptoms := []string{kb.CPacketLoss}
+	events := []obs.Event{
+		{Type: obs.EvHypothesis, Hypothesis: kb.CLinkOverload, Confidence: 0.7},
+		{Type: obs.EvHypothesis, Hypothesis: "bgp_hijack", Confidence: 0.88},
+		{Type: obs.EvHypothesisTested, Hypothesis: kb.CLinkOverload, Verdict: "supported"},
+		{Type: obs.EvHypothesis, Hypothesis: kb.CLinkDown, Confidence: 0.6},
+		{Type: obs.EvHypothesisTested, Hypothesis: kb.CLinkDown, Verdict: "unsupported"},
+		{Type: obs.EvHypothesis, Hypothesis: kb.CLinkDown, Confidence: 0.65},
+	}
+	got := ProposedEdges(symptoms, events)
+	want := []Edge{
+		{Cause: kb.CLinkOverload, Effect: kb.CPacketLoss, Confidence: 0.7},
+		{Cause: "bgp_hijack", Effect: kb.CPacketLoss, Confidence: 0.88},
+		// Frontier advanced to the supported hypothesis; the duplicate
+		// proposal kept its higher confidence.
+		{Cause: kb.CLinkDown, Effect: kb.CLinkOverload, Confidence: 0.65},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ProposedEdges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestPromoteVerifiedExcludesUnconfirmed(t *testing.T) {
+	c, err := Promote(sampleEntries(), PolicyVerified)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	for _, r := range c.Rules {
+		if r.Cause == "bgp_hijack" {
+			t.Fatalf("verified policy promoted an unconfirmed fabrication: %+v", r)
+		}
+		if r.Strength != VerifiedStrength {
+			t.Fatalf("verified rule at strength %v, want constant %v", r.Strength, VerifiedStrength)
+		}
+	}
+	// inc-0001's chain: congestion explains the symptom, failure causes
+	// congestion; inc-0003 confirms failure -> symptom.
+	wantEdges := map[[2]string]bool{
+		{kb.CLinkOverload, kb.CPacketLoss}: true,
+		{kb.CLinkDown, kb.CLinkOverload}:   true,
+		{kb.CLinkDown, kb.CPacketLoss}:     true,
+	}
+	if len(c.Rules) != len(wantEdges) {
+		t.Fatalf("verified rules = %+v, want %d edges", c.Rules, len(wantEdges))
+	}
+	for _, r := range c.Rules {
+		if !wantEdges[[2]string{r.Cause, r.Effect}] {
+			t.Fatalf("unexpected verified rule %+v", r)
+		}
+	}
+	// Only mitigated incidents with confirmed chains reach the history.
+	if c.History.Len() != 2 {
+		t.Fatalf("verified history has %d records, want 2", c.History.Len())
+	}
+	rec, ok := c.History.ByID("inc-0001")
+	if !ok || rec.RootCause != kb.CLinkDown {
+		t.Fatalf("inc-0001 history record = %+v ok=%v", rec, ok)
+	}
+	if len(rec.Mitigation) != 1 || rec.Mitigation[0].Kind != "isolate-link" {
+		t.Fatalf("mitigation lost in codec round trip: %+v", rec.Mitigation)
+	}
+}
+
+func TestPromoteAlwaysIngestsFabrications(t *testing.T) {
+	c, err := Promote(sampleEntries(), PolicyAlways)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	found := false
+	for _, r := range c.Rules {
+		if r.Cause == "bgp_hijack" && r.Effect == kb.CPacketLoss {
+			found = true
+			if r.Strength != 0.9 { // max confidence across the two proposals
+				t.Fatalf("fabricated rule strength = %v, want 0.9", r.Strength)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("always policy dropped the proposed fabrication — nothing to degrade on")
+	}
+	// Every incident lands in history, including the escalated one.
+	if c.History.Len() != 3 {
+		t.Fatalf("always history has %d records, want 3", c.History.Len())
+	}
+	rec, _ := c.History.ByID("inc-0002")
+	if rec.RootCause != "bgp_hijack" {
+		t.Fatalf("escalated record root cause = %q, want the highest-confidence proposal", rec.RootCause)
+	}
+}
+
+func TestPromoteDeterministicOrder(t *testing.T) {
+	a, err := Promote(sampleEntries(), PolicyAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Promote(sampleEntries(), PolicyAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rules, b.Rules) {
+		t.Fatalf("rule order unstable:\n%+v\n%+v", a.Rules, b.Rules)
+	}
+}
+
+// TestNewEntryFromSession runs one real helper session and checks the
+// lake entry captures its confirmed chain and event stream.
+func TestNewEntryFromSession(t *testing.T) {
+	kbase := kb.Default()
+	kb.ApplyFastpathUpdate(kbase)
+	in := (&scenarios.Cascade{Stage: 5}).Build(rand.New(rand.NewSource(7)))
+	model := llm.NewSimLLM(kbase, 7)
+	res, out := harness.RunSession(model, kbase, core.DefaultConfig(), 0.9, kb.NewHistory(), in, 7, nil)
+	e := NewEntry("inc-7", "iterative-helper", in, res, 7, out.Events)
+	if e.ID != "inc-7" || e.Scenario != "cascade-5" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if res.Mitigated != e.Mitigated {
+		t.Fatalf("mitigated mismatch: res=%v entry=%v", res.Mitigated, e.Mitigated)
+	}
+	if len(e.Chain) == 0 {
+		t.Fatal("entry has no confirmed chain (Deductions not threaded)")
+	}
+	if !reflect.DeepEqual(e.Chain, res.Deductions) {
+		t.Fatalf("chain %v != deductions %v", e.Chain, res.Deductions)
+	}
+	if len(e.Events) != len(out.Events) {
+		t.Fatalf("events truncated: %d != %d", len(e.Events), len(out.Events))
+	}
+	if len(e.Proposed) == 0 {
+		t.Fatal("no proposed edges reconstructed from a real session")
+	}
+	// The chain must be a subset of what was proposed (everything
+	// confirmed was first hypothesized).
+	proposed := map[string]bool{}
+	for _, p := range e.Proposed {
+		proposed[p.Cause] = true
+	}
+	for _, c := range e.Chain {
+		if !proposed[c] {
+			t.Fatalf("confirmed %q never appears among proposed causes %v", c, e.Proposed)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package lake
+
+// The promotion gate: how lake entries become the SimLLM's in-context
+// corpus and the retrieval history, closing the adaptive loop. Two
+// policies exist precisely so experiment E18 can measure the paper's
+// guard claim — only *verified* causal chains should enter the corpus,
+// because a naive always-ingest pipeline promotes the model's own
+// unconfirmed (sometimes fabricated) hypotheses and poisons later
+// retrieval.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/kb"
+	"repro/internal/llm"
+	"repro/internal/mitigation"
+)
+
+// Policy selects which lake evidence may enter the corpus.
+type Policy string
+
+const (
+	// PolicyVerified promotes only chain edges the session's cross-check
+	// path confirmed. Fabricated hypotheses can never reach a confirmed
+	// chain (they fail concept resolution at test-planning time), so the
+	// corpus stays clean by construction.
+	PolicyVerified Policy = "verified"
+	// PolicyAlways promotes every proposed hypothesis edge at its stated
+	// confidence, confirmed or not — the naive ingest pipeline E18 shows
+	// degrading as fabrications accumulate.
+	PolicyAlways Policy = "always"
+)
+
+// VerifiedStrength is the constant rule strength confirmed edges
+// promote at. Constant by design: a confirmed edge is a fact, not a
+// bet, so re-confirmation must not inflate it — which also makes the
+// promoted rule set reach a fixed point on repeat-class incidents.
+const VerifiedStrength = 0.8
+
+// Corpus is the promoted feedback corpus: prompt-side rules for the
+// model's in-context window plus incident records for the retrieval
+// history.
+type Corpus struct {
+	Rules   []llm.InContextRule
+	History *kb.History
+}
+
+// Promote derives the feedback corpus from lake entries under the
+// given policy. The returned history has passed one kb.SaveJSON /
+// kb.LoadJSON round trip, so the in-memory corpus is bit-for-bit what
+// a persisted corpus reloads as — the codec is part of the loop, not
+// an export afterthought.
+func Promote(entries []Entry, policy Policy) (Corpus, error) {
+	c := Corpus{History: kb.NewHistory()}
+	seen := map[[2]string]int{} // (cause, effect) -> index into c.Rules
+	addRule := func(cause, effect string, strength float64) {
+		if cause == "" || effect == "" || cause == effect {
+			return
+		}
+		key := [2]string{cause, effect}
+		if i, ok := seen[key]; ok {
+			if strength > c.Rules[i].Strength {
+				c.Rules[i].Strength = strength
+			}
+			return
+		}
+		seen[key] = len(c.Rules)
+		c.Rules = append(c.Rules, llm.InContextRule{Cause: cause, Effect: effect, Strength: strength})
+	}
+
+	for _, e := range entries {
+		switch policy {
+		case PolicyAlways:
+			for _, p := range e.Proposed {
+				addRule(p.Cause, p.Effect, clamp01(p.Confidence))
+			}
+		default: // PolicyVerified
+			for _, edge := range chainEdges(e) {
+				addRule(edge.Cause, edge.Effect, VerifiedStrength)
+			}
+		}
+		if rec, ok := historyRecord(e, policy); ok {
+			c.History.Add(rec)
+		}
+	}
+	sortRules(c.Rules)
+
+	// Round-trip the history through the persistence codec: the lake
+	// feedback path depends on SaveJSON/LoadJSON being lossless.
+	var buf bytes.Buffer
+	if err := c.History.SaveJSON(&buf); err != nil {
+		return Corpus{}, fmt.Errorf("lake: promote: %w", err)
+	}
+	reloaded := kb.NewHistory()
+	if err := reloaded.LoadJSON(&buf); err != nil {
+		return Corpus{}, fmt.Errorf("lake: promote: %w", err)
+	}
+	c.History = reloaded
+	return c, nil
+}
+
+// chainEdges renders an entry's confirmed chain as causal edges: each
+// confirmed concept is caused by the next one deeper in the chain, and
+// the chain head explains the first symptom.
+func chainEdges(e Entry) []Edge {
+	if len(e.Chain) == 0 {
+		return nil
+	}
+	var out []Edge
+	if len(e.Symptoms) > 0 {
+		out = append(out, Edge{Cause: e.Chain[0], Effect: e.Symptoms[0]})
+	}
+	for i := 0; i+1 < len(e.Chain); i++ {
+		out = append(out, Edge{Cause: e.Chain[i+1], Effect: e.Chain[i]})
+	}
+	return out
+}
+
+// historyRecord maps one entry onto the retrieval corpus. Verified
+// policy: only mitigated incidents with a confirmed chain, root cause
+// from the chain. Always policy: every incident, root cause from the
+// chain when present, else the highest-confidence proposed cause.
+func historyRecord(e Entry, policy Policy) (kb.IncidentRecord, bool) {
+	root := ""
+	if len(e.Chain) > 0 {
+		root = e.Chain[len(e.Chain)-1]
+	}
+	if policy == PolicyVerified {
+		if !e.Mitigated || root == "" {
+			return kb.IncidentRecord{}, false
+		}
+	} else if root == "" {
+		best := -1.0
+		for _, p := range e.Proposed {
+			if p.Confidence > best {
+				best, root = p.Confidence, p.Cause
+			}
+		}
+		if root == "" {
+			return kb.IncidentRecord{}, false
+		}
+	}
+	rec := kb.IncidentRecord{
+		ID:         e.ID,
+		Title:      fmt.Sprintf("%s incident %s", e.Scenario, e.ID),
+		Summary:    fmt.Sprintf("resolved via %s; chain depth %d", policyLabel(policy), len(e.Chain)),
+		Symptoms:   append([]string(nil), e.Symptoms...),
+		RootCause:  root,
+		TTMMinutes: e.TTMMinutes,
+		Severity:   e.Severity,
+		Tags:       append([]string(nil), e.Tags...),
+	}
+	for _, a := range e.Applied {
+		rec.Mitigation = append(rec.Mitigation, mitigation.Action{
+			Kind: mitigation.ActionKind(a.Kind), Target: a.Target, Param: a.Param,
+		})
+	}
+	return rec, true
+}
+
+func policyLabel(p Policy) string {
+	if p == PolicyAlways {
+		return "always-ingest"
+	}
+	return "verified-ingest"
+}
+
+// sortRules orders rules (cause, effect) so promotion output is a pure
+// function of the entry set, independent of map iteration.
+func sortRules(rules []llm.InContextRule) {
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Cause != rules[j].Cause {
+			return rules[i].Cause < rules[j].Cause
+		}
+		return rules[i].Effect < rules[j].Effect
+	})
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

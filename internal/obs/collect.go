@@ -61,6 +61,8 @@ const (
 	MJournalRecords  = "aiops_journal_records_total"
 	MJournalReplayed = "aiops_journal_replayed_total"
 	MJournalBytes    = "aiops_journal_bytes_total"
+	MLakeEntries     = "aiops_lake_entries_total"
+	MLakeBytes       = "aiops_lake_bytes_total"
 )
 
 // NewAIOpsRegistry declares the §3 metric families with their fixed
@@ -102,6 +104,8 @@ func NewAIOpsRegistry() *Registry {
 	r.DeclareCounter(MJournalRecords, "state transitions appended to the write-ahead incident journal")
 	r.DeclareCounter(MJournalReplayed, "journal records replayed during boot-time recovery")
 	r.DeclareCounter(MJournalBytes, "bytes appended to the write-ahead incident journal")
+	r.DeclareCounter(MLakeEntries, "incident postmortems ingested into the data lake")
+	r.DeclareCounter(MLakeBytes, "bytes appended to the data lake's incident log")
 	return r
 }
 
